@@ -1,0 +1,4 @@
+"""Shared constants for the benchmark harness."""
+
+#: Reduced benchmark set used by the heavier sweeps (Table II, cooling power).
+BENCH_WORKLOADS = ("x264", "swaptions", "canneal", "streamcluster", "ferret")

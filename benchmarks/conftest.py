@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report.  A 1.5 mm thermal grid balances fidelity
+against runtime; use ``repro.experiments.runner`` for the full-resolution
+version.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.common import build_platform  # noqa: E402
+
+#: Reduced benchmark set used for the heavier sweeps (Table II, cooling power).
+BENCH_WORKLOADS = ("x264", "swaptions", "canneal", "streamcluster", "ferret")
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """Shared experiment platform with a 1.5 mm thermal grid."""
+    return build_platform(cell_size_mm=1.5)

@@ -1,0 +1,55 @@
+"""Ablation — thermosyphon design parameters (Section VI sweeps).
+
+Sweeps the filling ratio and the refrigerant for the worst-case workload and
+checks the design rules the paper states: a moderate charge (~55%) beats a
+starved loop, and the chosen R236fa design is feasible.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.design_optimizer import ThermosyphonDesignOptimizer
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+
+
+def _run_sweeps(platform):
+    optimizer = ThermosyphonDesignOptimizer(
+        platform.floorplan,
+        power_model=platform.power_model,
+        thermal_simulator=platform.thermal_simulator,
+    )
+    filling = optimizer.sweep_filling_ratios(
+        PAPER_OPTIMIZED_DESIGN, (0.25, 0.35, 0.45, 0.55, 0.65, 0.80)
+    )
+    refrigerants = optimizer.sweep_refrigerants(
+        PAPER_OPTIMIZED_DESIGN, ("R236fa", "R134a", "R245fa", "R1234ze")
+    )
+    rows = [
+        (
+            candidate.design.name,
+            candidate.die_hot_spot_c,
+            candidate.case_temperature_c,
+            "yes" if candidate.dryout else "no",
+            "yes" if candidate.feasible else "no",
+        )
+        for candidate in filling + refrigerants
+    ]
+    table = format_table(
+        ("Design", "Die theta_max (C)", "T_case (C)", "Dryout", "Feasible"),
+        rows,
+        title="Ablation - filling ratio and refrigerant (worst-case workload)",
+    )
+    return filling, refrigerants, table
+
+
+def test_bench_ablation_design_space(benchmark, platform):
+    filling, refrigerants, table = benchmark.pedantic(
+        lambda: _run_sweeps(platform), rounds=1, iterations=1
+    )
+    print()
+    print(table)
+    by_ratio = {round(c.design.filling_ratio, 2): c for c in filling}
+    # A starved loop (25% charge) is worse than the paper's 55% charge.
+    assert by_ratio[0.25].die_hot_spot_c > by_ratio[0.55].die_hot_spot_c
+    # The paper's chosen design is feasible under the worst-case workload.
+    assert by_ratio[0.55].feasible
+    chosen = next(c for c in refrigerants if c.design.refrigerant_name == "R236fa")
+    assert chosen.feasible

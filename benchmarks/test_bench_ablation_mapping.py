@@ -1,0 +1,64 @@
+"""Ablation — value of the channel-row-aware mapping rule.
+
+Compares the proposed C-state-aware mapping against plain corner balancing
+and naive clustering at a fixed 4-core configuration, isolating the mapping
+decision from the configuration selection and the design.
+"""
+
+from repro.core.mapping import ThreadMapper
+from repro.core.mapping_policies import ClusteredMapping, ProposedThermalAwareMapping
+from repro.baselines.coskun_balancing import CoskunBalancingMapping
+from repro.core.pipeline import CooledServerSimulation
+from repro.analysis.reporting import format_table
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.workloads.configuration import Configuration
+from repro.workloads.parsec import get_benchmark
+
+
+def _run_ablation(platform):
+    benchmark_model = get_benchmark("x264")
+    simulation = CooledServerSimulation(
+        platform.floorplan,
+        design=PAPER_OPTIMIZED_DESIGN,
+        power_model=platform.power_model,
+        thermal_simulator=platform.thermal_simulator,
+    )
+    mapper = ThreadMapper(platform.floorplan, orientation=PAPER_OPTIMIZED_DESIGN.orientation)
+    configuration = Configuration(4, 2, 3.2)
+    rows = []
+    results = {}
+    for policy in (ProposedThermalAwareMapping(), CoskunBalancingMapping(), ClusteredMapping()):
+        mapping = mapper.map(benchmark_model, configuration, policy)
+        evaluation = simulation.simulate_mapping(benchmark_model, mapping, mapper=mapper)
+        results[policy.name] = evaluation
+        rows.append(
+            (
+                policy.name,
+                mapping.idle_cstate.value,
+                evaluation.package_power_w,
+                evaluation.die_metrics.theta_max_c,
+                evaluation.die_metrics.grad_max_c_per_mm,
+            )
+        )
+    table = format_table(
+        ("Policy", "Idle C-state", "Power (W)", "Die theta_max (C)", "Die grad_max (C/mm)"),
+        rows,
+        title="Ablation - mapping policy at a fixed (4, 8, 3.2GHz) configuration",
+    )
+    return results, table
+
+
+def test_bench_ablation_mapping_policy(benchmark, platform):
+    results, table = benchmark.pedantic(
+        lambda: _run_ablation(platform), rounds=1, iterations=1
+    )
+    print()
+    print(table)
+    proposed = results["proposed"]
+    coskun = results["coskun_balancing"]
+    clustered = results["clustered"]
+    # The C-state-aware proposed policy saves idle power and never produces a
+    # hotter die than the C-state-agnostic baselines; clustering is worst.
+    assert proposed.package_power_w < coskun.package_power_w
+    assert proposed.die_metrics.theta_max_c <= coskun.die_metrics.theta_max_c + 0.1
+    assert clustered.die_metrics.theta_max_c >= coskun.die_metrics.theta_max_c - 0.1

@@ -1,0 +1,14 @@
+"""Benchmark E1 — Fig. 2: die vs package thermal profile (motivation)."""
+
+from repro.experiments.fig2_motivation import run_fig2
+
+
+def test_bench_fig2_die_vs_package(benchmark, platform):
+    result = benchmark.pedantic(lambda: run_fig2(platform), rounds=1, iterations=1)
+    print()
+    print(result.as_table())
+    # Paper Fig. 2d: the die hot spot and gradient are strongly scaled-up
+    # versions of the package ones (66.1 vs 46.4 C, 6.6 vs 0.5 C/mm).
+    assert result.die.theta_max_c > result.package.theta_max_c
+    assert result.die.grad_max_c_per_mm > 2.0 * result.package.grad_max_c_per_mm
+    assert result.die_package_hot_spot_ratio > 1.05

@@ -1,0 +1,19 @@
+"""Benchmark E2 — Fig. 3: normalised execution time per configuration."""
+
+from repro.experiments.fig3_qos_exec_time import run_fig3
+from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES
+
+
+def test_bench_fig3_normalized_execution_time(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(PARSEC_BENCHMARK_NAMES), rounds=3, iterations=1
+    )
+    print()
+    print(result.as_table())
+    # Shape of Fig. 3: every series starts above the baseline and ends at 1.0,
+    # and at least one benchmark violates the 2x QoS limit at (2, 4, fmax).
+    for series in result.normalized_times.values():
+        assert series[-1] == 1.0 or abs(series[-1] - 1.0) < 1e-9
+        assert series[0] >= series[-1]
+    violations = result.violations()
+    assert any(violations[name] for name in violations)

@@ -1,0 +1,17 @@
+"""Benchmark E4 — Fig. 5: thermosyphon orientation comparison."""
+
+from repro.experiments.fig5_orientation import run_fig5
+
+
+def test_bench_fig5_orientation(benchmark, platform):
+    result = benchmark.pedantic(lambda: run_fig5(platform), rounds=1, iterations=1)
+    print()
+    print(result.as_table())
+    print(f"Design 1 preferred: {result.design1_wins}")
+    # Paper Fig. 5c: the two orientations differ by well under 10 C on the
+    # die; Design 1 (eastward flow over the dead area) is preferred.  Our
+    # reduced-order substrate reproduces the small magnitude; the preferred
+    # direction is reported above and recorded in EXPERIMENTS.md.
+    assert abs(result.design1.die.theta_max_c - result.design2.die.theta_max_c) < 8.0
+    assert result.design1.package.theta_max_c < 70.0
+    assert result.design2.package.theta_max_c < 70.0

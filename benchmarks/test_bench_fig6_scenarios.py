@@ -1,0 +1,28 @@
+"""Benchmark E5 — Fig. 6: 4-core mapping scenarios under POLL and C1."""
+
+from repro.experiments.fig6_mapping_scenarios import run_fig6
+from repro.power.cstates import CState
+
+
+def test_bench_fig6_mapping_scenarios(benchmark, platform):
+    result = benchmark.pedantic(lambda: run_fig6(platform), rounds=1, iterations=1)
+    print()
+    print(result.as_table())
+    for cstate in (CState.POLL, CState.C1):
+        print(f"best scenario under {cstate.value}: {result.best_scenario(cstate)}")
+    # Paper Fig. 6d shapes that must hold in the reproduction:
+    # (i) clustering the active cores is never the best placement,
+    # (ii) deeper idle C-states lower every scenario's temperatures,
+    # (iii) the clustered scenario is the worst under C1 (77.6/73.3 C rows).
+    for cstate in (CState.POLL, CState.C1):
+        assert result.best_scenario(cstate) != "scenario3_clustered"
+        for scenario in ("scenario1_one_per_row", "scenario2_corners", "scenario3_clustered"):
+            assert (
+                result.result(scenario, CState.C1).die.theta_max_c
+                < result.result(scenario, CState.POLL).die.theta_max_c
+            )
+    worst_c1 = max(
+        ("scenario1_one_per_row", "scenario2_corners", "scenario3_clustered"),
+        key=lambda s: result.result(s, CState.C1).die.theta_max_c,
+    )
+    assert worst_c1 == "scenario3_clustered"

@@ -1,0 +1,13 @@
+"""Benchmark E7 — Fig. 7: sample die thermal map, proposed vs state of the art."""
+
+from repro.experiments.fig7_thermal_maps import run_fig7
+
+
+def test_bench_fig7_thermal_map(benchmark, platform):
+    result = benchmark.pedantic(lambda: run_fig7(platform), rounds=1, iterations=1)
+    print()
+    print(result.as_text())
+    # Paper Fig. 7: at 2x QoS the proposed approach's hot spot (71.5 C) is
+    # several degrees below the state of the art's (78.2 C).
+    assert result.hot_spot_reduction_c > 2.0
+    assert result.proposed.hot_spot_c < result.state_of_the_art.hot_spot_c

@@ -1,0 +1,15 @@
+"""Benchmark E3 — Table I: C-state power consumption."""
+
+from repro.experiments.table1_cstates import run_table1
+from repro.power.cstates import CState
+
+
+def test_bench_table1_cstates(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    print()
+    print(result.as_table())
+    poll = next(row for row in result.rows if row.state is CState.POLL)
+    c1e = next(row for row in result.rows if row.state is CState.C1E)
+    # Paper Table I: POLL draws 27/32/40 W, C1E a flat 9 W.
+    assert poll.power_w_by_frequency[3.2] == 40.0
+    assert c1e.power_w_by_frequency[2.6] == 9.0

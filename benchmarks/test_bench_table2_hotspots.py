@@ -1,0 +1,32 @@
+"""Benchmark E6 — Table II: hot spots and gradients per approach and QoS."""
+
+from bench_common import BENCH_WORKLOADS
+
+from repro.experiments.table2_hotspots import run_table2
+
+
+def test_bench_table2_hotspots(benchmark, platform):
+    result = benchmark.pedantic(
+        lambda: run_table2(platform, benchmark_names=BENCH_WORKLOADS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.as_table())
+    for key, values in result.improvement_summary().items():
+        print(
+            f"proposed vs {key}: die hot spot -{values['die_theta_max_reduction_c']:.1f} C, "
+            f"die gradient -{values['die_grad_reduction_pct']:.0f}%, "
+            f"package hot spot -{values['package_theta_max_reduction_c']:.1f} C"
+        )
+    # Paper Table II shape: under 2x and 3x QoS the proposed stack has the
+    # smallest die/package hot spots and gradients; the inlet-first mapping
+    # [7] is never better than the balancing mapping [9] on average.
+    for qos in ("2x", "3x"):
+        proposed = result.comparison.row("proposed", qos)
+        coskun = result.comparison.row("[8]+[27]+[9]", qos)
+        sabry = result.comparison.row("[8]+[27]+[7]", qos)
+        assert proposed.die_theta_max_c < coskun.die_theta_max_c
+        assert proposed.die_theta_max_c < sabry.die_theta_max_c
+        assert proposed.die_grad_max_c_per_mm < coskun.die_grad_max_c_per_mm
+        assert sabry.die_theta_max_c >= coskun.die_theta_max_c - 0.5

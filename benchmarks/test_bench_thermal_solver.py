@@ -1,0 +1,51 @@
+"""Performance benchmark of the thermal and thermosyphon substrates.
+
+Not a paper artefact: measures the cost of one steady-state solve and of one
+full cooled-server evaluation so regressions in the numerical core are
+visible in the benchmark history.
+"""
+
+import pytest
+
+from repro.core.pipeline import CooledServerSimulation
+from repro.power.power_model import CoreActivity
+from repro.thermal.boundary import uniform_cooling_boundary
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.workloads.parsec import get_benchmark
+
+
+@pytest.mark.parametrize("cell_size_mm", [2.0, 1.0])
+def test_bench_steady_state_solve(benchmark, floorplan_module, cell_size_mm):
+    simulator = ThermalSimulator(floorplan_module, cell_size_mm=cell_size_mm)
+    rows, columns = simulator.shape
+    boundary = uniform_cooling_boundary(rows, columns, 2.0e4, 40.0)
+    powers = {f"core{i}": 7.0 for i in range(8)}
+    powers.update({"llc": 2.0, "memory_controller": 8.0, "uncore_io": 5.0})
+
+    result = benchmark(lambda: simulator.steady_state(powers, boundary))
+    assert result.die_metrics().theta_max_c > 40.0
+
+
+def test_bench_full_server_evaluation(benchmark, floorplan_module):
+    simulation = CooledServerSimulation(
+        floorplan_module, design=PAPER_OPTIMIZED_DESIGN, cell_size_mm=1.5
+    )
+    workload = get_benchmark("x264")
+    activities = [
+        CoreActivity.running(i, workload.core_power_parameters(), 2) for i in range(8)
+    ]
+
+    result = benchmark(
+        lambda: simulation.simulate_activities(
+            activities, 3.2, memory_intensity=workload.memory_intensity
+        )
+    )
+    assert result.within_case_limit
+
+
+@pytest.fixture(scope="module")
+def floorplan_module():
+    from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+
+    return build_xeon_e5_v4_floorplan()

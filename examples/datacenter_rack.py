@@ -1,0 +1,64 @@
+"""Rack-level study: shared chiller water temperature and cooling power.
+
+Builds a small rack in which every server runs a different PARSEC workload
+under a 2x QoS constraint, finds the warmest chiller water temperature that
+keeps every CPU within its case-temperature limit, and reports the chiller
+power (Eq. 1) at that operating point — first with the proposed mapping
+stack, then with the conventional balancing baseline.
+
+Run with::
+
+    python examples/datacenter_rack.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.baselines.coskun_balancing import CoskunBalancingMapping
+from repro.core.mapping_policies import ProposedThermalAwareMapping
+from repro.core.rack import RackModel, ServerSlot
+from repro.workloads.parsec import get_benchmark
+from repro.workloads.qos import QoSConstraint
+
+
+WORKLOADS = ("x264", "canneal", "ferret", "streamcluster")
+
+
+def build_rack(policy) -> RackModel:
+    slots = [
+        ServerSlot(get_benchmark(name), QoSConstraint(2.0)) for name in WORKLOADS
+    ]
+    return RackModel(slots, policy=policy, cell_size_mm=1.5)
+
+
+def report(label: str, rack: RackModel) -> float:
+    result = rack.warmest_feasible_water_temperature(low_c=15.0, high_c=40.0, tolerance_c=1.0)
+    print(f"--- {label} ---")
+    print(f"warmest feasible water temperature : {result.water_inlet_temperature_c:.1f} C")
+    print(f"worst case T_case                  : {result.worst_case_temperature_c:.1f} C")
+    print(f"worst die hot spot                 : {result.worst_die_hot_spot_c:.1f} C")
+    print(f"total IT power                     : {result.total_it_power_w:.1f} W")
+    print(f"chiller power (Eq. 1)              : {result.chiller_power_w:.1f} W")
+    for slot, server in zip(rack.slots, result.server_results):
+        print(
+            f"  {slot.benchmark.name:<14s} {server.configuration.label():<18s} "
+            f"P={server.package_power_w:5.1f} W  die max={server.die_metrics.theta_max_c:5.1f} C"
+        )
+    print()
+    return result.chiller_power_w
+
+
+def main() -> None:
+    proposed_power = report("Proposed mapping stack", build_rack(ProposedThermalAwareMapping()))
+    baseline_power = report("Conventional balancing baseline", build_rack(CoskunBalancingMapping()))
+    if baseline_power > 0.0:
+        saving = (baseline_power - proposed_power) / baseline_power * 100.0
+        print(f"Chiller power saving of the proposed stack: {saving:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Design-space exploration of the thermosyphon (paper Section VI).
+
+Sweeps the evaporator orientation, the refrigerant, the filling ratio and
+the water operating point for the worst-case workload, then runs the full
+Section-VI optimisation flow and prints the selected design.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.analysis.reporting import format_table
+from repro.core.design_optimizer import ThermosyphonDesignOptimizer
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+
+
+def print_candidates(title: str, candidates) -> None:
+    rows = [
+        (
+            candidate.design.name,
+            f"{candidate.die_hot_spot_c:.1f}",
+            f"{candidate.die_gradient_c_per_mm:.2f}",
+            f"{candidate.case_temperature_c:.1f}",
+            "yes" if candidate.dryout else "no",
+            "yes" if candidate.feasible else "no",
+        )
+        for candidate in candidates
+    ]
+    print(
+        format_table(
+            ("Design", "Die hot spot (C)", "Die grad (C/mm)", "T_case (C)", "Dryout", "Feasible"),
+            rows,
+            title=title,
+        )
+    )
+    print()
+
+
+def main() -> None:
+    floorplan = build_xeon_e5_v4_floorplan()
+    optimizer = ThermosyphonDesignOptimizer(floorplan, cell_size_mm=1.5)
+    base = PAPER_OPTIMIZED_DESIGN
+
+    print_candidates(
+        "Orientation sweep (worst-case workload)", optimizer.sweep_orientations(base)
+    )
+    print_candidates(
+        "Refrigerant sweep",
+        optimizer.sweep_refrigerants(base, ("R236fa", "R134a", "R245fa", "R1234ze")),
+    )
+    print_candidates(
+        "Filling-ratio sweep",
+        optimizer.sweep_filling_ratios(base, (0.25, 0.35, 0.45, 0.55, 0.65, 0.80)),
+    )
+    print_candidates(
+        "Water operating-point sweep",
+        optimizer.sweep_water(base, (20.0, 25.0, 30.0, 35.0), (5.0, 7.0, 10.0)),
+    )
+
+    chosen = optimizer.optimize(base)
+    print("Design selected by the Section-VI flow:")
+    print(f"  refrigerant      : {chosen.refrigerant_name}")
+    print(f"  filling ratio    : {chosen.filling_ratio:.2f}")
+    print(f"  orientation      : {chosen.orientation.value}")
+    print(f"  water inlet      : {chosen.water_inlet_temperature_c:.1f} C")
+    print(f"  water flow rate  : {chosen.water_flow_rate_kg_h:.1f} kg/h")
+
+
+if __name__ == "__main__":
+    main()

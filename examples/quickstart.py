@@ -1,0 +1,61 @@
+"""Quickstart: run the paper's full flow for one application.
+
+Selects the cheapest (Nc, Nt, f) configuration that satisfies a 2x QoS
+constraint for the ``fluidanimate`` benchmark, maps its threads with the
+thermosyphon-aware policy, and reports the resulting power, thermal metrics
+and thermosyphon operating point.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.core.pipeline import CooledServerSimulation, ThermalAwarePipeline
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.workloads.parsec import get_benchmark
+from repro.workloads.qos import QoSConstraint
+
+
+def main() -> None:
+    # 1. Build a thermosyphon-cooled Xeon E5 v4 server with the paper's
+    #    optimised design (R236fa, 55% fill, west-to-east flow, 7 kg/h of
+    #    30 degC water).
+    simulation = CooledServerSimulation(design=PAPER_OPTIMIZED_DESIGN, cell_size_mm=1.0)
+    pipeline = ThermalAwarePipeline(simulation)
+
+    # 2. Pick the application and its QoS requirement.
+    benchmark = get_benchmark("fluidanimate")
+    constraint = QoSConstraint(2.0)
+
+    # 3. Run configuration selection (Algorithm 1), thread mapping and the
+    #    coupled power / thermosyphon / thermal evaluation.
+    result = pipeline.run(benchmark, constraint)
+
+    print(f"Benchmark            : {benchmark.name}")
+    print(f"QoS constraint       : {constraint.label()} degradation allowed")
+    print(f"Chosen configuration : {result.configuration.label()}")
+    print(f"Thread mapping       : {result.mapping.describe()}")
+    print(f"Package power        : {result.package_power_w:.1f} W")
+    print(f"Die hot spot         : {result.die_metrics.theta_max_c:.1f} C")
+    print(f"Die average          : {result.die_metrics.theta_avg_c:.1f} C")
+    print(f"Die max gradient     : {result.die_metrics.grad_max_c_per_mm:.2f} C/mm")
+    print(f"Package hot spot     : {result.package_metrics.theta_max_c:.1f} C")
+    print(f"T_case               : {result.case_temperature_c:.1f} C "
+          f"(limit 85 C, within limit: {result.within_case_limit})")
+    point = result.operating_point
+    print(f"Saturation temp      : {point.saturation_temperature_c:.1f} C")
+    print(f"Refrigerant flow     : {point.mass_flow_kg_h:.1f} kg/h, "
+          f"outlet quality {point.mean_outlet_quality:.2f}")
+    print(f"Water outlet         : {point.water_outlet_temperature_c:.1f} C "
+          f"(delta-T {result.water_delta_t_c:.1f} C)")
+
+
+if __name__ == "__main__":
+    main()

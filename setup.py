@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments without the ``wheel`` package
+(offline machines) via ``python setup.py develop`` or ``pip install -e .``
+falling back to the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

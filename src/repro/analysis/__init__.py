@@ -1,0 +1,16 @@
+"""Result analysis and report formatting."""
+
+from repro.analysis.reporting import (
+    format_table,
+    format_markdown_table,
+    percentage_reduction,
+)
+from repro.analysis.comparison import ApproachComparison, ComparisonRow
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "percentage_reduction",
+    "ApproachComparison",
+    "ComparisonRow",
+]

@@ -1,0 +1,101 @@
+"""Structured comparison of approaches across QoS levels (Table II layout)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table, percentage_reduction
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Average metrics of one (approach, QoS) pair."""
+
+    approach: str
+    qos_label: str
+    die_theta_max_c: float
+    die_grad_max_c_per_mm: float
+    package_theta_max_c: float
+    package_grad_max_c_per_mm: float
+
+
+@dataclass
+class ApproachComparison:
+    """Collection of comparison rows with Table II-style formatting."""
+
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def add(self, row: ComparisonRow) -> None:
+        """Append one row."""
+        self.rows.append(row)
+
+    def row(self, approach: str, qos_label: str) -> ComparisonRow:
+        """Look up the row for an (approach, QoS) pair."""
+        for row in self.rows:
+            if row.approach == approach and row.qos_label == qos_label:
+                return row
+        raise ValidationError(f"no row for approach={approach!r}, qos={qos_label!r}")
+
+    @property
+    def approaches(self) -> tuple[str, ...]:
+        """Approach names in first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            if row.approach not in seen:
+                seen.append(row.approach)
+        return tuple(seen)
+
+    @property
+    def qos_labels(self) -> tuple[str, ...]:
+        """QoS labels in first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            if row.qos_label not in seen:
+                seen.append(row.qos_label)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def as_table(self) -> str:
+        """Render in the layout of the paper's Table II."""
+        headers = (
+            "Approach",
+            "QoS",
+            "Die theta_max (C)",
+            "Die grad_max (C/mm)",
+            "Pkg theta_max (C)",
+            "Pkg grad_max (C/mm)",
+        )
+        table_rows = [
+            (
+                row.approach,
+                row.qos_label,
+                row.die_theta_max_c,
+                row.die_grad_max_c_per_mm,
+                row.package_theta_max_c,
+                row.package_grad_max_c_per_mm,
+            )
+            for row in self.rows
+        ]
+        return format_table(headers, table_rows, title="Thermal hot spots and spatial gradients")
+
+    def improvement_over(
+        self, baseline_approach: str, improved_approach: str, qos_label: str
+    ) -> dict[str, float]:
+        """Percentage reductions of the improved approach vs the baseline."""
+        baseline = self.row(baseline_approach, qos_label)
+        improved = self.row(improved_approach, qos_label)
+        return {
+            "die_theta_max_reduction_c": baseline.die_theta_max_c - improved.die_theta_max_c,
+            "die_grad_reduction_pct": percentage_reduction(
+                baseline.die_grad_max_c_per_mm, improved.die_grad_max_c_per_mm
+            ),
+            "package_theta_max_reduction_c": (
+                baseline.package_theta_max_c - improved.package_theta_max_c
+            ),
+            "package_grad_reduction_pct": percentage_reduction(
+                baseline.package_grad_max_c_per_mm, improved.package_grad_max_c_per_mm
+            ),
+        }

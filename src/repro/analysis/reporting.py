@@ -1,0 +1,71 @@
+"""Plain-text and Markdown table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ValidationError
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None) -> str:
+    """Format rows as an aligned fixed-width text table."""
+    if not headers:
+        raise ValidationError("format_table needs at least one header")
+    string_rows = [[_stringify(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[index]) for row in string_rows)) if string_rows else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format rows as a GitHub-flavoured Markdown table."""
+    if not headers:
+        raise ValidationError("format_markdown_table needs at least one header")
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "|" + "|".join(["---"] * len(headers)) + "|",
+    ]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(_stringify(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def percentage_reduction(baseline: float, improved: float) -> float:
+    """Reduction of ``improved`` relative to ``baseline`` in percent.
+
+    Positive when ``improved`` is smaller than ``baseline``.  A zero baseline
+    returns 0.0 to avoid propagating infinities into reports.
+    """
+    if baseline == 0.0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0
+
+
+def format_degrees(value: float) -> str:
+    """Format a temperature or gradient with one decimal, e.g. ``"72.2"``."""
+    return f"{value:.1f}"

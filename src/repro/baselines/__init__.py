@@ -1,0 +1,30 @@
+"""State-of-the-art baseline policies the paper compares against.
+
+* :class:`CoskunBalancingMapping` — temperature-aware task scheduling for
+  MPSoCs [9]: conventional thermal balancing that loads the CPU from the
+  corners outwards and keeps idle cores in the platform default state.
+* :class:`SabryInletFirstMapping` — the mapping rule of energy-efficient
+  thermal control for liquid-cooled 3D stacks [7]: threads are placed on the
+  cores closest to the coolant inlet first.
+* :class:`PackAndCapSelector` — Pack & Cap [27]: adaptive thread packing and
+  DVFS under a power cap, used as the configuration-selection stage of the
+  state-of-the-art stack.
+* :data:`SEURET_REFERENCE_DESIGN` plus the uniform-heat-flux helper — the
+  thermosyphon design and modelling assumptions of Seuret et al. [8].
+"""
+
+from repro.baselines.coskun_balancing import CoskunBalancingMapping
+from repro.baselines.sabry_inlet_first import SabryInletFirstMapping
+from repro.baselines.pack_and_cap import PackAndCapSelector
+from repro.baselines.seuret_design import (
+    SEURET_REFERENCE_DESIGN,
+    uniform_heat_flux_boundary,
+)
+
+__all__ = [
+    "CoskunBalancingMapping",
+    "SabryInletFirstMapping",
+    "PackAndCapSelector",
+    "SEURET_REFERENCE_DESIGN",
+    "uniform_heat_flux_boundary",
+]

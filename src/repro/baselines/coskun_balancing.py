@@ -1,0 +1,32 @@
+"""Temperature-aware task scheduling baseline (Coskun et al., DATE 2007 [9]).
+
+The policy the paper uses as the main mapping comparison point: a
+conventional thermal-balancing strategy that spreads the load spatially,
+starting from the die corners, without any knowledge of the two-phase
+cooling behaviour and without touching idle-core C-states.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping_policies import MappingPolicy, corner_balanced_selection
+from repro.floorplan.floorplan import Floorplan
+from repro.power.cstates import CState
+from repro.thermosyphon.orientation import Orientation
+
+
+class CoskunBalancingMapping(MappingPolicy):
+    """Corner-first thermal balancing, C-state agnostic."""
+
+    name = "coskun_balancing"
+    cstate_aware = False
+
+    def select_cores(
+        self,
+        floorplan: Floorplan,
+        n_cores: int,
+        *,
+        idle_cstate: CState = CState.POLL,
+        orientation: Orientation = Orientation.WEST_TO_EAST,
+    ) -> tuple[int, ...]:
+        """Corners first, then greedily maximise the spacing between actives."""
+        return corner_balanced_selection(floorplan, n_cores)

@@ -1,0 +1,41 @@
+"""Inlet-first mapping baseline (Sabry et al., TCAD 2011 [7]).
+
+Designed for inter-layer liquid-cooled 3D stacks, where the coolant flows in
+direct contact with the silicon and the cells nearest the inlet enjoy the
+coldest coolant by a wide margin.  The policy therefore fills the cores
+closest to the coolant inlet first.  The paper shows that this rule is a bad
+fit for a package-level two-phase thermosyphon: the package and heat
+spreader decouple the die from the channels enough that clustering threads
+near the inlet simply concentrates the heat.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping_policies import MappingPolicy, _validate_request
+from repro.floorplan.floorplan import Floorplan
+from repro.power.cstates import CState
+from repro.thermosyphon.orientation import Orientation
+
+
+class SabryInletFirstMapping(MappingPolicy):
+    """Load the cores nearest the coolant inlet first."""
+
+    name = "sabry_inlet_first"
+    cstate_aware = False
+
+    def select_cores(
+        self,
+        floorplan: Floorplan,
+        n_cores: int,
+        *,
+        idle_cstate: CState = CState.POLL,
+        orientation: Orientation = Orientation.WEST_TO_EAST,
+    ) -> tuple[int, ...]:
+        """Cores ordered by distance to the inlet edge centre, closest first."""
+        _validate_request(floorplan, n_cores)
+        outline = floorplan.spreader_outline
+        inlet_x, inlet_y = orientation.inlet_point_mm(
+            outline.x, outline.y, outline.width, outline.height
+        )
+        ordered = floorplan.cores_sorted_by_distance_to(inlet_x, inlet_y)
+        return tuple(sorted(ordered[:n_cores]))

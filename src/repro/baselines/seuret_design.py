@@ -1,0 +1,46 @@
+"""Modelling assumptions of Seuret et al. [8] (the thermosyphon reference).
+
+Besides the reference design (re-exported from
+:mod:`repro.thermosyphon.design`), the original work evaluates the
+thermosyphon under a *uniform* heat flux equal to the total die power
+divided by the package area.  The paper's motivational example (Section
+III-B) shows why that assumption is too optimistic; the helper below
+reproduces it so the motivation experiment can compare the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.thermal.boundary import CoolingBoundary
+from repro.thermosyphon.design import SEURET_REFERENCE_DESIGN
+from repro.thermosyphon.loop import ThermosyphonLoop
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["SEURET_REFERENCE_DESIGN", "uniform_heat_flux_boundary"]
+
+
+def uniform_heat_flux_boundary(
+    loop: ThermosyphonLoop,
+    total_power_w: float,
+    grid_shape: tuple[int, int],
+    cell_pitch_mm: tuple[float, float],
+) -> CoolingBoundary:
+    """Cooling boundary under the uniform-heat-flux assumption of [8].
+
+    The total power is spread evenly over the whole evaporator base, the
+    loop operating point is solved for that load, and every cell receives
+    the same heat transfer coefficient and fluid temperature.  This is the
+    idealised boundary the original design study used; comparing it against
+    the floorplan-aware boundary quantifies how much the uniform assumption
+    underestimates hot spots.
+    """
+    check_non_negative(total_power_w, "total_power_w")
+    n_rows, n_columns = grid_shape
+    check_positive(float(n_rows), "n_rows")
+    check_positive(float(n_columns), "n_columns")
+    uniform_map = np.full(
+        (n_rows, n_columns), total_power_w / float(n_rows * n_columns), dtype=float
+    )
+    result = loop.cooling_boundary(uniform_map, cell_pitch_mm)
+    return result.boundary

@@ -1,0 +1,43 @@
+"""The paper's primary contribution.
+
+QoS-aware configuration selection (Algorithm 1), thermal-aware workload
+mapping tailored to the two-phase thermosyphon, the runtime water-flow
+controller, the thermosyphon design-space optimiser, the end-to-end
+evaluation pipeline, and the rack-level model with a shared chiller.
+"""
+
+from repro.core.heat_flux import ComponentHeatFlux, estimate_component_heat_flux
+from repro.core.config_selection import ConfigurationSelection, QoSAwareConfigSelector
+from repro.core.mapping_policies import (
+    MappingPolicy,
+    ProposedThermalAwareMapping,
+    ClusteredMapping,
+)
+from repro.core.mapping import ThreadMapper, WorkloadMapping
+from repro.core.pipeline import CooledServerSimulation, EvaluationResult, ThermalAwarePipeline
+from repro.core.runtime_controller import ControllerDecision, ControllerTrace, ThermosyphonController
+from repro.core.design_optimizer import DesignCandidateResult, ThermosyphonDesignOptimizer
+from repro.core.rack import RackModel, RackResult, ServerSlot
+
+__all__ = [
+    "ComponentHeatFlux",
+    "estimate_component_heat_flux",
+    "ConfigurationSelection",
+    "QoSAwareConfigSelector",
+    "MappingPolicy",
+    "ProposedThermalAwareMapping",
+    "ClusteredMapping",
+    "ThreadMapper",
+    "WorkloadMapping",
+    "CooledServerSimulation",
+    "EvaluationResult",
+    "ThermalAwarePipeline",
+    "ControllerDecision",
+    "ControllerTrace",
+    "ThermosyphonController",
+    "DesignCandidateResult",
+    "ThermosyphonDesignOptimizer",
+    "RackModel",
+    "RackResult",
+    "ServerSlot",
+]

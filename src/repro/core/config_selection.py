@@ -1,0 +1,106 @@
+"""QoS-aware configuration selection (Algorithm 1, lines 1-6).
+
+For every application the profiler provides the power vector ``P_i`` and the
+QoS vector ``Q_i`` over the configuration space.  The selector sorts the
+configurations by ascending power and returns the first one whose delivered
+QoS exceeds the application's requirement ``q_i`` — i.e. the cheapest
+configuration that still meets the deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QoSViolationError
+from repro.workloads.benchmark import BenchmarkCharacteristics
+from repro.workloads.configuration import Configuration
+from repro.workloads.profiler import ProfiledConfiguration, WorkloadProfiler
+from repro.workloads.qos import QoSConstraint
+
+
+@dataclass(frozen=True)
+class ConfigurationSelection:
+    """Outcome of the configuration-selection step for one application."""
+
+    benchmark_name: str
+    constraint: QoSConstraint
+    selected: ProfiledConfiguration
+    candidates_considered: int
+
+    @property
+    def configuration(self) -> Configuration:
+        """The chosen (Nc, Nt, f) configuration."""
+        return self.selected.configuration
+
+    @property
+    def package_power_w(self) -> float:
+        """Profiled package power of the chosen configuration."""
+        return self.selected.package_power_w
+
+
+class QoSAwareConfigSelector:
+    """Implements the configuration-selection half of Algorithm 1."""
+
+    def __init__(
+        self,
+        profiler: WorkloadProfiler,
+        configurations: tuple[Configuration, ...] | None = None,
+    ) -> None:
+        self.profiler = profiler
+        self.configurations = configurations
+
+    def select(
+        self, benchmark: BenchmarkCharacteristics, constraint: QoSConstraint
+    ) -> ConfigurationSelection:
+        """Cheapest configuration of ``benchmark`` satisfying ``constraint``.
+
+        Raises
+        ------
+        QoSViolationError
+            If no configuration in the space satisfies the constraint (never
+            happens for the paper's constraints because the baseline
+            configuration always satisfies 1x by construction, but guards
+            against restricted configuration spaces).
+        """
+        profiles = self.profiler.profile(benchmark, self.configurations)
+        ordered = WorkloadProfiler.sorted_by_power(profiles)
+        for record in ordered:
+            if record.satisfies(constraint):
+                return ConfigurationSelection(
+                    benchmark_name=benchmark.name,
+                    constraint=constraint,
+                    selected=record,
+                    candidates_considered=len(ordered),
+                )
+        raise QoSViolationError(
+            f"no configuration of {benchmark.name!r} satisfies QoS {constraint.label()}"
+        )
+
+    def select_all(
+        self,
+        benchmarks: tuple[BenchmarkCharacteristics, ...],
+        constraint: QoSConstraint,
+    ) -> dict[str, ConfigurationSelection]:
+        """Select configurations for a set of applications under one constraint."""
+        return {
+            benchmark.name: self.select(benchmark, constraint) for benchmark in benchmarks
+        }
+
+    def power_savings_vs_baseline(
+        self, benchmark: BenchmarkCharacteristics, constraint: QoSConstraint
+    ) -> float:
+        """Fractional package-power saving of the selection vs the full configuration.
+
+        The reference is the paper's baseline configuration (all cores, two
+        threads per core, nominal frequency), not merely the highest thread
+        count, so a 1x constraint always yields zero savings.
+        """
+        from repro.workloads.configuration import baseline_configuration
+
+        baseline = self.profiler.profile_configuration(
+            benchmark, baseline_configuration(self.profiler.power_model.floorplan.n_cores)
+        )
+        chosen = self.select(benchmark, constraint)
+        if baseline.package_power_w <= 0.0:
+            return 0.0
+        return 1.0 - chosen.package_power_w / baseline.package_power_w

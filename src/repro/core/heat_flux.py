@@ -1,0 +1,75 @@
+"""Per-component heat flux estimation (the ``H(P, S)`` step of Algorithm 1).
+
+Knowing the power consumption of each floorplan component and its area, the
+heat it generates per unit area is estimated.  The mapping policy uses the
+per-core heat flux to decide how aggressively cores must be separated, and
+the design optimiser uses the worst-case flux to size the thermosyphon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.exceptions import FloorplanError
+from repro.floorplan.floorplan import Floorplan
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ComponentHeatFlux:
+    """Heat flux of one floorplan component."""
+
+    name: str
+    power_w: float
+    area_mm2: float
+
+    @property
+    def heat_flux_w_cm2(self) -> float:
+        """Heat flux in W/cm^2 (the unit heat-sink datasheets use)."""
+        return self.power_w / (self.area_mm2 / 100.0)
+
+    @property
+    def heat_flux_w_m2(self) -> float:
+        """Heat flux in W/m^2 (the unit the thermal solver uses)."""
+        return self.power_w / (self.area_mm2 * 1e-6)
+
+
+def estimate_component_heat_flux(
+    floorplan: Floorplan, component_power_w: Mapping[str, float]
+) -> dict[str, ComponentHeatFlux]:
+    """Estimate the heat flux of every powered component.
+
+    Parameters
+    ----------
+    floorplan:
+        The die floorplan providing component areas.
+    component_power_w:
+        Power of each component in Watts; components absent from the mapping
+        are treated as dissipating zero power.
+    """
+    result: dict[str, ComponentHeatFlux] = {}
+    known = {component.name for component in floorplan}
+    for name in component_power_w:
+        if name not in known:
+            raise FloorplanError(f"unknown component {name!r} in power mapping")
+    for component in floorplan:
+        power = check_non_negative(
+            float(component_power_w.get(component.name, 0.0)), f"power[{component.name}]"
+        )
+        result[component.name] = ComponentHeatFlux(
+            name=component.name,
+            power_w=power,
+            area_mm2=component.area_mm2,
+        )
+    return result
+
+
+def peak_core_heat_flux_w_cm2(
+    floorplan: Floorplan, component_power_w: Mapping[str, float]
+) -> float:
+    """Highest per-core heat flux, the quantity the worst-case design targets."""
+    fluxes = estimate_component_heat_flux(floorplan, component_power_w)
+    core_names = {core.name for core in floorplan.cores}
+    core_fluxes = [flux.heat_flux_w_cm2 for name, flux in fluxes.items() if name in core_names]
+    return max(core_fluxes) if core_fluxes else 0.0

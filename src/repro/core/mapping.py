@@ -1,0 +1,135 @@
+"""Thread mapping: from a configuration and a policy to per-core activities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import MappingError
+from repro.floorplan.floorplan import Floorplan
+from repro.power.cstates import CState, CStateTable, XEON_E5_V4_CSTATE_TABLE
+from repro.power.power_model import CoreActivity
+from repro.core.mapping_policies import MappingPolicy
+from repro.thermosyphon.orientation import Orientation
+from repro.workloads.benchmark import BenchmarkCharacteristics
+from repro.workloads.configuration import Configuration
+
+
+@dataclass(frozen=True)
+class WorkloadMapping:
+    """A fully resolved placement of one application on the CPU."""
+
+    benchmark_name: str
+    configuration: Configuration
+    active_cores: tuple[int, ...]
+    idle_cstate: CState
+    policy_name: str
+
+    @property
+    def n_active_cores(self) -> int:
+        """Number of cores carrying threads."""
+        return len(self.active_cores)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        cores = ",".join(str(index) for index in self.active_cores)
+        return (
+            f"{self.benchmark_name} @ {self.configuration.label()} on cores [{cores}] "
+            f"(idle cores in {self.idle_cstate.value}, policy {self.policy_name})"
+        )
+
+
+class ThreadMapper:
+    """Builds :class:`WorkloadMapping` and per-core activities from a policy."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        *,
+        cstate_table: CStateTable | None = None,
+        orientation: Orientation = Orientation.WEST_TO_EAST,
+    ) -> None:
+        self.floorplan = floorplan
+        self.cstate_table = cstate_table if cstate_table is not None else XEON_E5_V4_CSTATE_TABLE
+        self.orientation = orientation
+
+    # ------------------------------------------------------------------ #
+    # C-state selection
+    # ------------------------------------------------------------------ #
+    def idle_cstate_for(
+        self, policy: MappingPolicy, tolerable_idle_latency_us: float
+    ) -> CState:
+        """C-state used for idle cores under a given policy.
+
+        The proposed policy parks idle cores in the deepest state whose
+        wakeup latency fits the application's budget ``d_i``; policies that
+        are not C-state aware leave idle cores in the platform default POLL
+        state, as the paper assumes for the state-of-the-art comparisons.
+        """
+        if not policy.cstate_aware:
+            return CState.POLL
+        return self.cstate_table.deepest_state_within_latency(tolerable_idle_latency_us)
+
+    # ------------------------------------------------------------------ #
+    # Mapping
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        configuration: Configuration,
+        policy: MappingPolicy,
+        *,
+        tolerable_idle_latency_us: float | None = None,
+    ) -> WorkloadMapping:
+        """Place a configuration's threads on physical cores."""
+        if configuration.n_cores > self.floorplan.n_cores:
+            raise MappingError(
+                f"configuration needs {configuration.n_cores} cores but the CPU has "
+                f"{self.floorplan.n_cores}"
+            )
+        latency_budget = (
+            tolerable_idle_latency_us
+            if tolerable_idle_latency_us is not None
+            else benchmark.tolerable_idle_latency_us
+        )
+        idle_cstate = self.idle_cstate_for(policy, latency_budget)
+        active_cores = policy.select_cores(
+            self.floorplan,
+            configuration.n_cores,
+            idle_cstate=idle_cstate,
+            orientation=self.orientation,
+        )
+        if len(active_cores) != configuration.n_cores:
+            raise MappingError(
+                f"policy {policy.name!r} returned {len(active_cores)} cores, "
+                f"expected {configuration.n_cores}"
+            )
+        return WorkloadMapping(
+            benchmark_name=benchmark.name,
+            configuration=configuration,
+            active_cores=tuple(active_cores),
+            idle_cstate=idle_cstate,
+            policy_name=policy.name,
+        )
+
+    def activities(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        mapping: WorkloadMapping,
+        *,
+        activity_factor: float = 1.0,
+    ) -> list[CoreActivity]:
+        """Per-core activities consumed by the server power model."""
+        params = benchmark.core_power_parameters(activity_factor)
+        activities = []
+        for core in self.floorplan.cores:
+            if core.core_index in mapping.active_cores:
+                activities.append(
+                    CoreActivity.running(
+                        core.core_index,
+                        params,
+                        mapping.configuration.threads_per_core,
+                    )
+                )
+            else:
+                activities.append(CoreActivity.idle(core.core_index, mapping.idle_cstate))
+        return activities

@@ -1,0 +1,221 @@
+"""Thread-to-core mapping policies.
+
+A mapping policy decides *which* physical cores receive the threads of a
+configuration that uses fewer cores than the CPU provides.  The proposed
+policy (Section VII of the paper) is aware of the thermosyphon's behaviour:
+
+* micro-channels run along one axis (rows for the paper's Design 1), so an
+  active core placed downstream of another active core in the same channel
+  row is cooled by refrigerant that has already picked up vapor quality and
+  therefore cools less well;
+* idle cores still burn significant power in the shallow POLL state, in
+  which case conventional corner-based balancing remains the best choice;
+  with deeper C-states the die background is cold and the channel-row rule
+  dominates.
+
+Baseline policies from the literature live in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import MappingError
+from repro.floorplan.floorplan import Floorplan
+from repro.power.cstates import CState
+from repro.thermosyphon.orientation import Orientation
+
+
+def _validate_request(floorplan: Floorplan, n_cores: int) -> None:
+    if n_cores < 1:
+        raise MappingError(f"n_cores must be >= 1, got {n_cores}")
+    if n_cores > floorplan.n_cores:
+        raise MappingError(
+            f"requested {n_cores} cores but the floorplan only has {floorplan.n_cores}"
+        )
+
+
+class MappingPolicy(abc.ABC):
+    """Interface of a thread-to-core mapping policy."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "abstract"
+
+    #: True if the policy parks idle cores in the deepest C-state the
+    #: application's latency budget allows (the proposed policy); False if
+    #: idle cores are left in the platform default POLL state.
+    cstate_aware: bool = False
+
+    @abc.abstractmethod
+    def select_cores(
+        self,
+        floorplan: Floorplan,
+        n_cores: int,
+        *,
+        idle_cstate: CState = CState.POLL,
+        orientation: Orientation = Orientation.WEST_TO_EAST,
+    ) -> tuple[int, ...]:
+        """Return the logical indices of the cores to activate."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ProposedThermalAwareMapping(MappingPolicy):
+    """The paper's thermosyphon-aware mapping policy (Section VII).
+
+    With idle cores in POLL the policy falls back to conventional
+    corner-based balancing (the idle cores dissipate so much power that the
+    die background is warm everywhere and spacing from the corners wins).
+    With deeper C-states the policy places at most one active core per
+    micro-channel row for as long as possible, preferring upstream (inlet
+    side) positions and alternating columns, and only then starts doubling
+    up rows starting from the corners.
+    """
+
+    name = "proposed"
+    cstate_aware = True
+
+    def select_cores(
+        self,
+        floorplan: Floorplan,
+        n_cores: int,
+        *,
+        idle_cstate: CState = CState.POLL,
+        orientation: Orientation = Orientation.WEST_TO_EAST,
+    ) -> tuple[int, ...]:
+        _validate_request(floorplan, n_cores)
+        if idle_cstate is CState.POLL:
+            return corner_balanced_selection(floorplan, n_cores)
+        return self._channel_aware_selection(floorplan, n_cores, orientation)
+
+    # ------------------------------------------------------------------ #
+    # Channel-aware greedy selection
+    # ------------------------------------------------------------------ #
+    def _channel_aware_selection(
+        self, floorplan: Floorplan, n_cores: int, orientation: Orientation
+    ) -> tuple[int, ...]:
+        if orientation.channels_run_east_west:
+            lanes = floorplan.core_rows()
+            lane_of = floorplan.core_row_of
+            upstream_rank = self._column_rank(floorplan, orientation)
+        else:
+            lanes = floorplan.core_columns()
+            lane_of = floorplan.core_column_of
+            upstream_rank = self._row_rank(floorplan, orientation)
+
+        selected: list[int] = []
+        lane_load: dict[int, int] = {index: 0 for index in range(len(lanes))}
+
+        while len(selected) < n_cores:
+            best_core: int | None = None
+            best_key: tuple[float, ...] | None = None
+            for core in floorplan.cores:
+                index = core.core_index
+                if index in selected:
+                    continue
+                lane = lane_of(index)
+                # Distance to the nearest already-selected core (larger is
+                # better) breaks ties between equally-loaded lanes.
+                if selected:
+                    nearest = min(
+                        core.rect.distance_to(floorplan.core(other).rect)
+                        for other in selected
+                    )
+                else:
+                    nearest = float("inf")
+                key = (
+                    float(lane_load[lane]),       # fewest active cores in the lane
+                    -nearest,                      # prefer far from other actives
+                    float(upstream_rank[index]),  # prefer upstream (inlet side)
+                    float(index),                  # deterministic tie-break
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_core = index
+            assert best_core is not None
+            selected.append(best_core)
+            lane_load[lane_of(best_core)] += 1
+        return tuple(sorted(selected))
+
+    @staticmethod
+    def _column_rank(floorplan: Floorplan, orientation: Orientation) -> dict[int, int]:
+        """Rank of each core's column along the flow direction (0 = inlet side)."""
+        columns = floorplan.core_columns()
+        order = range(len(columns))
+        if orientation is Orientation.EAST_TO_WEST:
+            order = reversed(range(len(columns)))
+        rank: dict[int, int] = {}
+        for position, column_index in enumerate(order):
+            for core_index in columns[column_index]:
+                rank[core_index] = position
+        return rank
+
+    @staticmethod
+    def _row_rank(floorplan: Floorplan, orientation: Orientation) -> dict[int, int]:
+        """Rank of each core's row along the flow direction (0 = inlet side)."""
+        rows = floorplan.core_rows()
+        order = range(len(rows))
+        if orientation is Orientation.NORTH_TO_SOUTH:
+            order = reversed(range(len(rows)))
+        rank: dict[int, int] = {}
+        for position, row_index in enumerate(order):
+            for core_index in rows[row_index]:
+                rank[core_index] = position
+        return rank
+
+
+class ClusteredMapping(MappingPolicy):
+    """Naive packing in core-index order (adjacent cores in one column).
+
+    This is the worst-case mapping the paper's scenario #3 illustrates, and
+    approximates what a topology-unaware OS scheduler does when it fills
+    cores sequentially.
+    """
+
+    name = "clustered"
+    cstate_aware = False
+
+    def select_cores(
+        self,
+        floorplan: Floorplan,
+        n_cores: int,
+        *,
+        idle_cstate: CState = CState.POLL,
+        orientation: Orientation = Orientation.WEST_TO_EAST,
+    ) -> tuple[int, ...]:
+        _validate_request(floorplan, n_cores)
+        ordered = [core.core_index for core in floorplan.cores]
+        return tuple(sorted(ordered[:n_cores]))
+
+
+def corner_balanced_selection(floorplan: Floorplan, n_cores: int) -> tuple[int, ...]:
+    """Conventional thermal balancing: corners first, then maximise spacing.
+
+    Shared by the proposed policy (POLL branch) and the Coskun baseline.
+    """
+    _validate_request(floorplan, n_cores)
+    selected: list[int] = []
+    corner_order = list(floorplan.corner_cores())
+    for core_index in corner_order:
+        if len(selected) >= n_cores:
+            break
+        selected.append(core_index)
+
+    while len(selected) < n_cores:
+        best_core: int | None = None
+        best_key: tuple[float, float] | None = None
+        for core in floorplan.cores:
+            index = core.core_index
+            if index in selected:
+                continue
+            nearest = min(
+                core.rect.distance_to(floorplan.core(other).rect) for other in selected
+            )
+            key = (-nearest, float(index))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_core = index
+        assert best_core is not None
+        selected.append(best_core)
+    return tuple(sorted(selected))

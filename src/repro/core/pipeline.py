@@ -1,0 +1,237 @@
+"""End-to-end evaluation pipeline.
+
+``CooledServerSimulation`` wires the four substrates together for one
+server: floorplan -> power model -> thermosyphon loop -> thermal simulator.
+``ThermalAwarePipeline`` adds the paper's decision layer on top: QoS-aware
+configuration selection (Algorithm 1), C-state-aware thread mapping, and the
+resulting thermal evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config_selection import ConfigurationSelection, QoSAwareConfigSelector
+from repro.core.mapping import ThreadMapper, WorkloadMapping
+from repro.core.mapping_policies import MappingPolicy, ProposedThermalAwareMapping
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.power.power_model import CoreActivity, ServerPowerModel
+from repro.thermal.metrics import ThermalMetrics
+from repro.thermal.simulator import ThermalResult, ThermalSimulator
+from repro.thermosyphon.chiller import ChillerModel
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN, ThermosyphonDesign
+from repro.thermosyphon.loop import LoopOperatingPoint, ThermosyphonLoop
+from repro.thermosyphon.water_loop import WaterLoop
+from repro.workloads.benchmark import BenchmarkCharacteristics
+from repro.workloads.configuration import Configuration
+from repro.workloads.profiler import WorkloadProfiler
+from repro.workloads.qos import QoSConstraint
+
+#: Maximum allowed case (heat-spreader centre) temperature, Section VI-B.
+T_CASE_MAX_C = 85.0
+
+
+@dataclass
+class EvaluationResult:
+    """Everything the experiments report about one evaluated operating point."""
+
+    benchmark_name: str
+    configuration: Configuration
+    mapping: WorkloadMapping | None
+    package_power_w: float
+    die_metrics: ThermalMetrics
+    package_metrics: ThermalMetrics
+    case_temperature_c: float
+    operating_point: LoopOperatingPoint
+    max_channel_quality: float
+    dryout: bool
+    water_delta_t_c: float
+    thermal_result: ThermalResult
+
+    @property
+    def within_case_limit(self) -> bool:
+        """True if the case temperature respects ``T_CASE_MAX``."""
+        return self.case_temperature_c <= T_CASE_MAX_C
+
+    def chiller_power_w(self, chiller: ChillerModel | None = None, water_loop: WaterLoop | None = None) -> float:
+        """Chiller electrical power for this operating point (Eq. 1)."""
+        chiller = chiller if chiller is not None else ChillerModel()
+        if water_loop is None:
+            water_loop = WaterLoop(
+                inlet_temperature_c=self.operating_point.water_outlet_temperature_c
+                - self.water_delta_t_c,
+                flow_rate_kg_h=7.0,
+            )
+        return chiller.cooling_power_w(water_loop, self.package_power_w)
+
+
+class CooledServerSimulation:
+    """One server CPU cooled by one thermosyphon."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan | None = None,
+        *,
+        design: ThermosyphonDesign = PAPER_OPTIMIZED_DESIGN,
+        power_model: ServerPowerModel | None = None,
+        thermal_simulator: ThermalSimulator | None = None,
+        cell_size_mm: float = 1.0,
+    ) -> None:
+        self.floorplan = floorplan if floorplan is not None else build_xeon_e5_v4_floorplan()
+        self.design = design
+        self.power_model = (
+            power_model if power_model is not None else ServerPowerModel(self.floorplan)
+        )
+        self.thermal_simulator = (
+            thermal_simulator
+            if thermal_simulator is not None
+            else ThermalSimulator(self.floorplan, cell_size_mm=cell_size_mm)
+        )
+        self.loop = ThermosyphonLoop(design)
+
+    # ------------------------------------------------------------------ #
+    # Low-level evaluation
+    # ------------------------------------------------------------------ #
+    def simulate_activities(
+        self,
+        activities: list[CoreActivity],
+        frequency_ghz: float,
+        *,
+        memory_intensity: float = 0.5,
+        water_loop: WaterLoop | None = None,
+        benchmark_name: str = "custom",
+        configuration: Configuration | None = None,
+        mapping: WorkloadMapping | None = None,
+    ) -> EvaluationResult:
+        """Evaluate an arbitrary per-core activity pattern."""
+        if water_loop is None:
+            water_loop = self.design.water_loop()
+        breakdown = self.power_model.evaluate(
+            activities, frequency_ghz, memory_intensity=memory_intensity
+        )
+        power_map = self.thermal_simulator.power_map(breakdown.component_power_w)
+        operating_point = self.loop.operating_point(float(power_map.sum()), water_loop)
+        boundary_result = self.loop.cooling_boundary(
+            power_map, self.thermal_simulator.grid.cell_pitch_mm(), operating_point
+        )
+        thermal_result = self.thermal_simulator.steady_state_from_map(
+            power_map, boundary_result.boundary
+        )
+        if configuration is None:
+            n_active = sum(1 for activity in activities if activity.active)
+            threads = max(
+                (activity.threads_on_core for activity in activities if activity.active),
+                default=1,
+            )
+            configuration = Configuration(
+                n_cores=max(n_active, 1),
+                threads_per_core=threads,
+                frequency_ghz=frequency_ghz,
+            )
+        return EvaluationResult(
+            benchmark_name=benchmark_name,
+            configuration=configuration,
+            mapping=mapping,
+            package_power_w=breakdown.package_power_w,
+            die_metrics=thermal_result.die_metrics(),
+            package_metrics=thermal_result.package_metrics(),
+            case_temperature_c=thermal_result.case_temperature_c(),
+            operating_point=operating_point,
+            max_channel_quality=boundary_result.max_quality,
+            dryout=boundary_result.dryout,
+            water_delta_t_c=water_loop.delta_t_c(breakdown.package_power_w),
+            thermal_result=thermal_result,
+        )
+
+    def simulate_mapping(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        mapping: WorkloadMapping,
+        *,
+        mapper: ThreadMapper | None = None,
+        water_loop: WaterLoop | None = None,
+        activity_factor: float = 1.0,
+    ) -> EvaluationResult:
+        """Evaluate a resolved workload mapping."""
+        if mapper is None:
+            mapper = ThreadMapper(self.floorplan, orientation=self.design.orientation)
+        activities = mapper.activities(benchmark, mapping, activity_factor=activity_factor)
+        return self.simulate_activities(
+            activities,
+            mapping.configuration.frequency_ghz,
+            memory_intensity=benchmark.memory_intensity,
+            water_loop=water_loop,
+            benchmark_name=benchmark.name,
+            configuration=mapping.configuration,
+            mapping=mapping,
+        )
+
+
+class ThermalAwarePipeline:
+    """The paper's full flow: configuration selection, mapping, evaluation."""
+
+    def __init__(
+        self,
+        simulation: CooledServerSimulation,
+        *,
+        profiler: WorkloadProfiler | None = None,
+        policy: MappingPolicy | None = None,
+        configurations: tuple[Configuration, ...] | None = None,
+    ) -> None:
+        self.simulation = simulation
+        self.profiler = (
+            profiler if profiler is not None else WorkloadProfiler(simulation.power_model)
+        )
+        self.policy = policy if policy is not None else ProposedThermalAwareMapping()
+        self.selector = QoSAwareConfigSelector(self.profiler, configurations)
+        self.mapper = ThreadMapper(
+            simulation.floorplan, orientation=simulation.design.orientation
+        )
+
+    # ------------------------------------------------------------------ #
+    # Individual steps
+    # ------------------------------------------------------------------ #
+    def select_configuration(
+        self, benchmark: BenchmarkCharacteristics, constraint: QoSConstraint
+    ) -> ConfigurationSelection:
+        """Algorithm 1 configuration-selection step."""
+        return self.selector.select(benchmark, constraint)
+
+    def map_threads(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        configuration: Configuration,
+    ) -> WorkloadMapping:
+        """Thread-mapping step under the pipeline's policy."""
+        return self.mapper.map(benchmark, configuration, self.policy)
+
+    # ------------------------------------------------------------------ #
+    # End-to-end
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        constraint: QoSConstraint,
+        *,
+        water_loop: WaterLoop | None = None,
+    ) -> EvaluationResult:
+        """Select, map and thermally evaluate one application."""
+        selection = self.select_configuration(benchmark, constraint)
+        mapping = self.map_threads(benchmark, selection.configuration)
+        return self.simulation.simulate_mapping(
+            benchmark, mapping, mapper=self.mapper, water_loop=water_loop
+        )
+
+    def run_with_configuration(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        configuration: Configuration,
+        *,
+        water_loop: WaterLoop | None = None,
+    ) -> EvaluationResult:
+        """Map and evaluate a caller-chosen configuration (skip selection)."""
+        mapping = self.map_threads(benchmark, configuration)
+        return self.simulation.simulate_mapping(
+            benchmark, mapping, mapper=self.mapper, water_loop=water_loop
+        )

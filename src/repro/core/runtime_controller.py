@@ -1,0 +1,228 @@
+"""Runtime thermosyphon controller (last paragraph of Section VII).
+
+During execution the only fast actuator is the water-flow valve.  The
+controller therefore follows the paper's rule: increase the water flow rate
+only when a thermal emergency occurs (``T_CASE >= T_CASE_MAX``); if the
+valve is already fully open, lower the core frequency one level — but only
+if the QoS constraint still holds at the lower frequency; if neither
+actuator is available the emergency is reported.
+
+The controller operates quasi-statically: each control period the workload
+phase's power is evaluated, the loop and thermal models are solved at the
+current water flow, and the actuators are updated for the next period.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.mapping import ThreadMapper, WorkloadMapping
+from repro.core.pipeline import CooledServerSimulation, EvaluationResult, T_CASE_MAX_C
+from repro.exceptions import ThermalEmergencyError
+from repro.power.dvfs import CORE_FREQUENCIES_GHZ
+from repro.thermosyphon.water_loop import WaterLoop
+from repro.utils.validation import check_positive
+from repro.workloads.benchmark import BenchmarkCharacteristics
+from repro.workloads.configuration import Configuration
+from repro.workloads.qos import QoSConstraint
+from repro.workloads.trace import PhasedTrace
+
+
+class ControllerAction(enum.Enum):
+    """What the controller did at the end of a control period."""
+
+    NONE = "none"
+    INCREASE_FLOW = "increase_flow"
+    DECREASE_FLOW = "decrease_flow"
+    LOWER_FREQUENCY = "lower_frequency"
+    EMERGENCY = "emergency"
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """State and action of one control period."""
+
+    time_s: float
+    case_temperature_c: float
+    die_hot_spot_c: float
+    package_power_w: float
+    water_flow_kg_h: float
+    frequency_ghz: float
+    action: ControllerAction
+
+
+@dataclass
+class ControllerTrace:
+    """Time series of controller decisions."""
+
+    decisions: list[ControllerDecision] = field(default_factory=list)
+
+    @property
+    def emergencies(self) -> int:
+        """Number of periods that ended in an unresolvable emergency."""
+        return sum(1 for d in self.decisions if d.action is ControllerAction.EMERGENCY)
+
+    @property
+    def flow_increases(self) -> int:
+        """Number of valve-opening actions."""
+        return sum(1 for d in self.decisions if d.action is ControllerAction.INCREASE_FLOW)
+
+    @property
+    def frequency_reductions(self) -> int:
+        """Number of DVFS down-steps."""
+        return sum(1 for d in self.decisions if d.action is ControllerAction.LOWER_FREQUENCY)
+
+    @property
+    def peak_case_temperature_c(self) -> float:
+        """Highest observed case temperature."""
+        return max((d.case_temperature_c for d in self.decisions), default=float("nan"))
+
+
+class ThermosyphonController:
+    """Flow-rate-first, DVFS-second thermal emergency controller."""
+
+    def __init__(
+        self,
+        simulation: CooledServerSimulation,
+        *,
+        t_case_max_c: float = T_CASE_MAX_C,
+        flow_step_kg_h: float = 2.0,
+        control_period_s: float = 2.0,
+        relax_margin_c: float = 8.0,
+        raise_on_unresolved: bool = False,
+    ) -> None:
+        self.simulation = simulation
+        self.t_case_max_c = t_case_max_c
+        self.flow_step_kg_h = check_positive(flow_step_kg_h, "flow_step_kg_h")
+        self.control_period_s = check_positive(control_period_s, "control_period_s")
+        #: When the case temperature falls this far below the limit the
+        #: controller closes the valve again to save pumping/chiller effort.
+        self.relax_margin_c = relax_margin_c
+        self.raise_on_unresolved = raise_on_unresolved
+
+    # ------------------------------------------------------------------ #
+    # Single-period decision
+    # ------------------------------------------------------------------ #
+    def _qos_allows_frequency(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        configuration: Configuration,
+        constraint: QoSConstraint,
+        frequency_ghz: float,
+    ) -> bool:
+        candidate = Configuration(
+            n_cores=configuration.n_cores,
+            threads_per_core=configuration.threads_per_core,
+            frequency_ghz=frequency_ghz,
+        )
+        return constraint.is_satisfied_by(benchmark, candidate)
+
+    def decide(
+        self,
+        result: EvaluationResult,
+        water_loop: WaterLoop,
+        benchmark: BenchmarkCharacteristics,
+        constraint: QoSConstraint,
+    ) -> tuple[ControllerAction, WaterLoop, float]:
+        """Pick the next action given the latest thermal evaluation.
+
+        Returns the action, the water loop for the next period and the core
+        frequency for the next period.
+        """
+        frequency = result.configuration.frequency_ghz
+        if result.case_temperature_c >= self.t_case_max_c:
+            if not water_loop.at_maximum_flow:
+                return (
+                    ControllerAction.INCREASE_FLOW,
+                    water_loop.with_flow_rate(water_loop.flow_rate_kg_h + self.flow_step_kg_h),
+                    frequency,
+                )
+            lower_levels = [f for f in CORE_FREQUENCIES_GHZ if f < frequency]
+            for candidate in sorted(lower_levels, reverse=True):
+                if self._qos_allows_frequency(
+                    benchmark, result.configuration, constraint, candidate
+                ):
+                    return ControllerAction.LOWER_FREQUENCY, water_loop, candidate
+            if self.raise_on_unresolved:
+                raise ThermalEmergencyError(
+                    f"T_CASE {result.case_temperature_c:.1f} degC >= "
+                    f"{self.t_case_max_c:.1f} degC with the valve fully open and no "
+                    "QoS-feasible frequency reduction available"
+                )
+            return ControllerAction.EMERGENCY, water_loop, frequency
+
+        relaxed_enough = (
+            result.case_temperature_c < self.t_case_max_c - self.relax_margin_c
+        )
+        above_minimum_flow = water_loop.flow_rate_kg_h > water_loop.min_flow_rate_kg_h
+        if relaxed_enough and above_minimum_flow:
+            return (
+                ControllerAction.DECREASE_FLOW,
+                water_loop.with_flow_rate(water_loop.flow_rate_kg_h - self.flow_step_kg_h),
+                frequency,
+            )
+        return ControllerAction.NONE, water_loop, frequency
+
+    # ------------------------------------------------------------------ #
+    # Trace execution
+    # ------------------------------------------------------------------ #
+    def run_trace(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        mapping: WorkloadMapping,
+        constraint: QoSConstraint,
+        trace: PhasedTrace,
+        *,
+        initial_water_loop: WaterLoop | None = None,
+    ) -> ControllerTrace:
+        """Run the controller over a phased workload trace."""
+        mapper = ThreadMapper(
+            self.simulation.floorplan, orientation=self.simulation.design.orientation
+        )
+        water_loop = (
+            initial_water_loop
+            if initial_water_loop is not None
+            else self.simulation.design.water_loop()
+        )
+        frequency = mapping.configuration.frequency_ghz
+        record = ControllerTrace()
+
+        time_s = 0.0
+        while time_s < trace.duration_s:
+            phase = trace.phase_at(time_s)
+            configuration = Configuration(
+                n_cores=mapping.configuration.n_cores,
+                threads_per_core=mapping.configuration.threads_per_core,
+                frequency_ghz=frequency,
+            )
+            current_mapping = WorkloadMapping(
+                benchmark_name=mapping.benchmark_name,
+                configuration=configuration,
+                active_cores=mapping.active_cores,
+                idle_cstate=mapping.idle_cstate,
+                policy_name=mapping.policy_name,
+            )
+            result = self.simulation.simulate_mapping(
+                benchmark,
+                current_mapping,
+                mapper=mapper,
+                water_loop=water_loop,
+                activity_factor=phase.activity_factor,
+            )
+            action, water_loop, frequency = self.decide(
+                result, water_loop, benchmark, constraint
+            )
+            record.decisions.append(
+                ControllerDecision(
+                    time_s=time_s,
+                    case_temperature_c=result.case_temperature_c,
+                    die_hot_spot_c=result.die_metrics.theta_max_c,
+                    package_power_w=result.package_power_w,
+                    water_flow_kg_h=water_loop.flow_rate_kg_h,
+                    frequency_ghz=frequency,
+                    action=action,
+                )
+            )
+            time_s += self.control_period_s
+        return record

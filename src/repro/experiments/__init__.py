@@ -1,0 +1,33 @@
+"""Experiment runners — one module per table/figure of the paper.
+
+================  ==========================================================
+Module            Paper artefact
+================  ==========================================================
+``fig2``          Fig. 2 — die vs package thermal profile (motivation)
+``fig3``          Fig. 3 — normalised execution time per configuration
+``table1``        Table I — C-state power
+``fig5``          Fig. 5 — thermosyphon orientation comparison
+``fig6``          Fig. 6 — mapping scenarios under POLL and C1 idle states
+``table2``        Table II — hot spots / gradients per approach and QoS
+``fig7``          Fig. 7 — die thermal map, proposed vs state of the art
+``cooling_power`` Section VIII-B — chiller cooling-power comparison
+================  ==========================================================
+
+``repro.experiments.runner`` executes everything and prints the report.
+"""
+
+from repro.experiments.common import (
+    Approach,
+    Platform,
+    build_platform,
+    evaluate_approach,
+    paper_approaches,
+)
+
+__all__ = [
+    "Approach",
+    "Platform",
+    "build_platform",
+    "evaluate_approach",
+    "paper_approaches",
+]

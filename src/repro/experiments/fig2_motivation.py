@@ -1,0 +1,105 @@
+"""Fig. 2 — motivation: die vs package thermal profile.
+
+With a non-optimised thermosyphon design (the [8] reference, which also
+assumes a uniform heat flux over the package) and a non-optimised workload
+mapping, the hot spots and spatial gradients observed on the package are a
+strongly scaled-down image of what the die actually experiences.  This
+experiment reproduces the comparison in Fig. 2d: die vs package theta_max,
+theta_avg and grad_theta_max, and additionally quantifies how much the
+uniform-heat-flux assumption of [8] underestimates the die hot spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.baselines.seuret_design import uniform_heat_flux_boundary
+from repro.experiments.common import Platform, build_platform
+from repro.power.power_model import CoreActivity
+from repro.thermal.metrics import ThermalMetrics
+from repro.thermosyphon.design import SEURET_REFERENCE_DESIGN
+from repro.workloads.parsec import get_benchmark
+
+
+@dataclass
+class Fig2Result:
+    """Die and package metrics with the non-optimised design and mapping."""
+
+    die: ThermalMetrics
+    package: ThermalMetrics
+    die_uniform_assumption: ThermalMetrics
+    package_power_w: float
+
+    def as_table(self) -> str:
+        """Render the Fig. 2d comparison."""
+        headers = ("Surface", "theta_max (C)", "theta_avg (C)", "grad_max (C/mm)")
+        rows = [
+            ("Die", self.die.theta_max_c, self.die.theta_avg_c, self.die.grad_max_c_per_mm),
+            (
+                "Package",
+                self.package.theta_max_c,
+                self.package.theta_avg_c,
+                self.package.grad_max_c_per_mm,
+            ),
+            (
+                "Die (uniform-flux assumption of [8])",
+                self.die_uniform_assumption.theta_max_c,
+                self.die_uniform_assumption.theta_avg_c,
+                self.die_uniform_assumption.grad_max_c_per_mm,
+            ),
+        ]
+        return format_table(
+            headers, rows, title="Fig. 2 - die vs package thermal profile (non-optimised)"
+        )
+
+    @property
+    def die_package_hot_spot_ratio(self) -> float:
+        """How much hotter the die hot spot is than the package hot spot."""
+        return self.die.theta_max_c / self.package.theta_max_c
+
+
+def run_fig2(
+    platform: Platform | None = None,
+    *,
+    benchmark_name: str = "x264",
+) -> Fig2Result:
+    """Fully load the CPU with a non-optimised design and compare die/package."""
+    platform = platform if platform is not None else build_platform()
+    benchmark = get_benchmark(benchmark_name)
+    simulation = platform.simulation(SEURET_REFERENCE_DESIGN)
+
+    activities = [
+        CoreActivity.running(core.core_index, benchmark.core_power_parameters(), 2)
+        for core in platform.floorplan.cores
+    ]
+    result = simulation.simulate_activities(
+        activities,
+        3.2,
+        memory_intensity=benchmark.memory_intensity,
+        benchmark_name=benchmark.name,
+    )
+
+    # The uniform-heat-flux assumption of [8]: same total power, spread
+    # evenly over the evaporator base.
+    power_map = platform.thermal_simulator.power_map(
+        platform.power_model.evaluate(
+            activities, 3.2, memory_intensity=benchmark.memory_intensity
+        ).component_power_w
+    )
+    uniform_boundary = uniform_heat_flux_boundary(
+        simulation.loop,
+        float(power_map.sum()),
+        platform.thermal_simulator.shape,
+        platform.thermal_simulator.grid.cell_pitch_mm(),
+    )
+    uniform_result = platform.thermal_simulator.steady_state_from_map(
+        power_map, uniform_boundary
+    )
+
+    return Fig2Result(
+        die=result.die_metrics,
+        package=result.package_metrics,
+        die_uniform_assumption=uniform_result.die_metrics(),
+        package_power_w=result.package_power_w,
+    )

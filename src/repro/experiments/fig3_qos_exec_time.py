@@ -1,0 +1,80 @@
+"""Fig. 3 — execution time normalised to the baseline per configuration.
+
+The paper plots, for every PARSEC benchmark, the execution time of the
+configurations (2,4), (4,4), (4,8), (8,8) and (8,16) at the nominal
+frequency, normalised to the baseline (8 cores, 16 threads, fmax), together
+with the 2x QoS-limit line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.workloads.configuration import Configuration, figure3_configuration_space
+from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES, get_benchmark
+
+
+@dataclass
+class Fig3Result:
+    """Normalised execution time per benchmark and configuration."""
+
+    configurations: tuple[Configuration, ...]
+    normalized_times: dict[str, list[float]]
+    qos_limit: float = 2.0
+
+    def series(self, benchmark_name: str) -> list[float]:
+        """The series for one benchmark, ordered like ``configurations``."""
+        return self.normalized_times[benchmark_name]
+
+    def violations(self) -> dict[str, list[str]]:
+        """Configurations exceeding the QoS limit per benchmark."""
+        result: dict[str, list[str]] = {}
+        for name, series in self.normalized_times.items():
+            over = [
+                configuration.label()
+                for configuration, value in zip(self.configurations, series)
+                if value > self.qos_limit
+            ]
+            result[name] = over
+        return result
+
+    def as_table(self) -> str:
+        """Render the figure's series as a table (one row per benchmark)."""
+        headers = ["Benchmark"] + [
+            f"({c.n_cores},{c.total_threads},fmax)" for c in self.configurations
+        ]
+        rows = [
+            [name] + [round(value, 2) for value in series]
+            for name, series in self.normalized_times.items()
+        ]
+        title = (
+            "Fig. 3 - execution time normalised to the baseline "
+            f"(QoS limit = {self.qos_limit:.0f}x)"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def run_fig3(
+    benchmark_names: tuple[str, ...] = PARSEC_BENCHMARK_NAMES,
+    *,
+    qos_limit: float = 2.0,
+) -> Fig3Result:
+    """Compute the normalised execution times of Fig. 3."""
+    configurations = figure3_configuration_space()
+    normalized: dict[str, list[float]] = {}
+    for name in benchmark_names:
+        benchmark = get_benchmark(name)
+        normalized[name] = [
+            benchmark.normalized_execution_time(
+                configuration.n_cores,
+                configuration.threads_per_core,
+                configuration.frequency_ghz,
+            )
+            for configuration in configurations
+        ]
+    return Fig3Result(
+        configurations=configurations,
+        normalized_times=normalized,
+        qos_limit=qos_limit,
+    )

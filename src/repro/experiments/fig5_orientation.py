@@ -1,0 +1,107 @@
+"""Fig. 5 — thermosyphon orientation comparison for a fully loaded CPU.
+
+Design 1 routes the refrigerant eastwards (channels run east-west, the
+quality-rich outlet ends over the die's dead area); Design 2 routes it from
+north to south.  The paper compares the package and die hot spots, averages
+and maximum gradients of the two and picks Design 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import Platform, build_platform
+from repro.power.power_model import CoreActivity
+from repro.thermal.metrics import ThermalMetrics
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN, ThermosyphonDesign
+from repro.thermosyphon.orientation import Orientation
+from repro.workloads.parsec import get_benchmark
+
+
+@dataclass
+class OrientationCase:
+    """Metrics of one orientation."""
+
+    label: str
+    orientation: Orientation
+    die: ThermalMetrics
+    package: ThermalMetrics
+    max_channel_quality: float
+    dryout: bool
+
+
+@dataclass
+class Fig5Result:
+    """Both orientations side by side."""
+
+    design1: OrientationCase
+    design2: OrientationCase
+
+    def as_table(self) -> str:
+        """Render the Fig. 5c comparison."""
+        headers = (
+            "Design",
+            "Surface",
+            "theta_max (C)",
+            "theta_avg (C)",
+            "grad_max (C/mm)",
+        )
+        rows = []
+        for case in (self.design1, self.design2):
+            rows.append(
+                (case.label, "Package", case.package.theta_max_c, case.package.theta_avg_c, case.package.grad_max_c_per_mm)
+            )
+        for case in (self.design1, self.design2):
+            rows.append(
+                (case.label, "Die", case.die.theta_max_c, case.die.theta_avg_c, case.die.grad_max_c_per_mm)
+            )
+        return format_table(headers, rows, title="Fig. 5 - thermosyphon orientation comparison")
+
+    @property
+    def design1_wins(self) -> bool:
+        """True if the eastward-flow design has the smaller die hot spot."""
+        return self.design1.die.theta_max_c <= self.design2.die.theta_max_c
+
+
+def _evaluate_orientation(
+    platform: Platform,
+    design: ThermosyphonDesign,
+    label: str,
+    benchmark_name: str,
+) -> OrientationCase:
+    benchmark = get_benchmark(benchmark_name)
+    simulation = platform.simulation(design)
+    activities = [
+        CoreActivity.running(core.core_index, benchmark.core_power_parameters(), 2)
+        for core in platform.floorplan.cores
+    ]
+    result = simulation.simulate_activities(
+        activities,
+        3.2,
+        memory_intensity=benchmark.memory_intensity,
+        benchmark_name=benchmark.name,
+    )
+    return OrientationCase(
+        label=label,
+        orientation=design.orientation,
+        die=result.die_metrics,
+        package=result.package_metrics,
+        max_channel_quality=result.max_channel_quality,
+        dryout=result.dryout,
+    )
+
+
+def run_fig5(
+    platform: Platform | None = None,
+    *,
+    benchmark_name: str = "x264",
+) -> Fig5Result:
+    """Evaluate the two orientations of the paper's Fig. 5."""
+    platform = platform if platform is not None else build_platform()
+    design1 = PAPER_OPTIMIZED_DESIGN.with_orientation(Orientation.WEST_TO_EAST)
+    design2 = PAPER_OPTIMIZED_DESIGN.with_orientation(Orientation.NORTH_TO_SOUTH)
+    return Fig5Result(
+        design1=_evaluate_orientation(platform, design1, "Design 1 (west-to-east)", benchmark_name),
+        design2=_evaluate_orientation(platform, design2, "Design 2 (north-to-south)", benchmark_name),
+    )

@@ -1,0 +1,115 @@
+"""Fig. 6 — three 4-core mapping scenarios under POLL and C1 idle states.
+
+Scenario #1 places at most one active core per micro-channel row, scenario
+#2 is conventional corner balancing, scenario #3 clusters the active cores.
+The paper's point: the best mapping depends on the C-state of the idle
+cores, because POLL leaves so much idle power on the die that conventional
+balancing remains competitive, while deeper states let the channel-row rule
+win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.core.mapping import WorkloadMapping
+from repro.experiments.common import Platform, build_platform
+from repro.power.cstates import CState
+from repro.thermal.metrics import ThermalMetrics
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.workloads.configuration import Configuration
+from repro.workloads.parsec import get_benchmark
+
+#: The three 4-core placements of the paper's Fig. 6 on our core numbering
+#: (cores 0-3 western column north to south, cores 4-7 eastern column).
+SCENARIO_CORE_SETS: dict[str, tuple[int, ...]] = {
+    "scenario1_one_per_row": (0, 2, 5, 7),
+    "scenario2_corners": (0, 3, 4, 7),
+    "scenario3_clustered": (0, 1, 4, 5),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Die metrics of one (scenario, idle C-state) pair."""
+
+    scenario: str
+    idle_cstate: CState
+    die: ThermalMetrics
+    package_power_w: float
+
+
+@dataclass
+class Fig6Result:
+    """All scenario results."""
+
+    results: list[ScenarioResult]
+
+    def result(self, scenario: str, idle_cstate: CState) -> ScenarioResult:
+        """Look up one (scenario, C-state) pair."""
+        for record in self.results:
+            if record.scenario == scenario and record.idle_cstate is idle_cstate:
+                return record
+        raise KeyError(f"no result for {scenario!r} under {idle_cstate}")
+
+    def best_scenario(self, idle_cstate: CState) -> str:
+        """Scenario with the smallest die hot spot for a given idle C-state."""
+        candidates = [record for record in self.results if record.idle_cstate is idle_cstate]
+        return min(candidates, key=lambda record: record.die.theta_max_c).scenario
+
+    def as_table(self) -> str:
+        """Render the Fig. 6d comparison."""
+        headers = (
+            "Idle C-state",
+            "Scenario",
+            "theta_max (C)",
+            "theta_avg (C)",
+            "grad_max (C/mm)",
+        )
+        rows = [
+            (
+                record.idle_cstate.value,
+                record.scenario,
+                record.die.theta_max_c,
+                record.die.theta_avg_c,
+                record.die.grad_max_c_per_mm,
+            )
+            for record in self.results
+        ]
+        return format_table(headers, rows, title="Fig. 6 - 4-core mapping scenarios (die)")
+
+
+def run_fig6(
+    platform: Platform | None = None,
+    *,
+    benchmark_name: str = "x264",
+    idle_cstates: tuple[CState, ...] = (CState.POLL, CState.C1),
+    frequency_ghz: float = 3.2,
+) -> Fig6Result:
+    """Evaluate the three placements under each idle C-state."""
+    platform = platform if platform is not None else build_platform()
+    benchmark = get_benchmark(benchmark_name)
+    simulation = platform.simulation(PAPER_OPTIMIZED_DESIGN)
+    configuration = Configuration(n_cores=4, threads_per_core=2, frequency_ghz=frequency_ghz)
+
+    results: list[ScenarioResult] = []
+    for idle_cstate in idle_cstates:
+        for scenario, cores in SCENARIO_CORE_SETS.items():
+            mapping = WorkloadMapping(
+                benchmark_name=benchmark.name,
+                configuration=configuration,
+                active_cores=cores,
+                idle_cstate=idle_cstate,
+                policy_name=scenario,
+            )
+            evaluation = simulation.simulate_mapping(benchmark, mapping)
+            results.append(
+                ScenarioResult(
+                    scenario=scenario,
+                    idle_cstate=idle_cstate,
+                    die=evaluation.die_metrics,
+                    package_power_w=evaluation.package_power_w,
+                )
+            )
+    return Fig6Result(results=results)

@@ -1,0 +1,73 @@
+"""Run every experiment and print the full reproduction report.
+
+Usage::
+
+    python -m repro.experiments.runner            # full suite (slow)
+    python -m repro.experiments.runner --quick    # reduced benchmark set
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.common import build_platform
+from repro.experiments.cooling_power import run_cooling_power
+from repro.experiments.fig2_motivation import run_fig2
+from repro.experiments.fig3_qos_exec_time import run_fig3
+from repro.experiments.fig5_orientation import run_fig5
+from repro.experiments.fig6_mapping_scenarios import run_fig6
+from repro.experiments.fig7_thermal_maps import run_fig7
+from repro.experiments.table1_cstates import run_table1
+from repro.experiments.table2_hotspots import run_table2
+from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES
+
+#: Reduced benchmark set used by ``--quick`` runs and the test suite.
+QUICK_BENCHMARKS: tuple[str, ...] = ("x264", "swaptions", "canneal", "streamcluster")
+
+
+def run_all(*, quick: bool = False, cell_size_mm: float = 1.0) -> str:
+    """Run every experiment and return the combined textual report."""
+    platform = build_platform(cell_size_mm=cell_size_mm)
+    benchmarks = QUICK_BENCHMARKS if quick else PARSEC_BENCHMARK_NAMES
+    sections: list[str] = []
+
+    start = time.time()
+    sections.append(run_table1().as_table())
+    sections.append(run_fig3(benchmarks).as_table())
+    sections.append(run_fig2(platform).as_table())
+    sections.append(run_fig5(platform).as_table())
+    sections.append(run_fig6(platform).as_table())
+    table2 = run_table2(platform, benchmark_names=benchmarks)
+    sections.append(table2.as_table())
+    improvements = table2.improvement_summary()
+    improvement_lines = ["Improvements of the proposed approach:"]
+    for key, values in improvements.items():
+        improvement_lines.append(
+            f"  vs {key}: die hot spot -{values['die_theta_max_reduction_c']:.1f} C, "
+            f"die gradient -{values['die_grad_reduction_pct']:.0f}%"
+        )
+    sections.append("\n".join(improvement_lines))
+    sections.append(run_fig7(platform).as_text())
+    sections.append(run_cooling_power(platform, benchmark_names=benchmarks).as_table())
+    elapsed = time.time() - start
+    sections.append(f"Total experiment time: {elapsed:.1f} s")
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use a reduced benchmark set")
+    parser.add_argument(
+        "--cell-size-mm",
+        type=float,
+        default=1.0,
+        help="thermal grid cell size in millimetres (smaller = finer, slower)",
+    )
+    arguments = parser.parse_args()
+    print(run_all(quick=arguments.quick, cell_size_mm=arguments.cell_size_mm))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Table I — C-state power consumption of the Xeon E5 v4 (all 8 cores)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.power.cstates import CState, CStateTable, XEON_E5_V4_CSTATE_TABLE
+from repro.power.dvfs import CORE_FREQUENCIES_GHZ
+
+
+@dataclass(frozen=True)
+class CStateRow:
+    """One row of Table I."""
+
+    state: CState
+    latency_us: float
+    power_w_by_frequency: dict[float, float]
+    measured: bool
+
+
+@dataclass
+class Table1Result:
+    """All rows of Table I."""
+
+    rows: list[CStateRow]
+
+    def as_table(self) -> str:
+        """Render in the paper's Table I layout."""
+        headers = ["C-state", "Latency (us)"] + [
+            f"Power (W) @{frequency:.1f}GHz" for frequency in CORE_FREQUENCIES_GHZ
+        ]
+        table_rows = []
+        for row in self.rows:
+            cells = [row.state.value, row.latency_us] + [
+                row.power_w_by_frequency[frequency] for frequency in CORE_FREQUENCIES_GHZ
+            ]
+            if not row.measured:
+                cells[0] = f"{row.state.value}*"
+            table_rows.append(cells)
+        note = "\n(*) extrapolated: the paper publishes POLL/C1/C1E only."
+        return format_table(headers, table_rows, title="Table I - C-state power (all 8 cores)") + note
+
+
+def run_table1(cstate_table: CStateTable = XEON_E5_V4_CSTATE_TABLE) -> Table1Result:
+    """Collect the C-state table rows."""
+    rows = []
+    for state in cstate_table.states:
+        entry = cstate_table.entry(state)
+        rows.append(
+            CStateRow(
+                state=state,
+                latency_us=entry.wakeup_latency_us,
+                power_w_by_frequency={
+                    frequency: entry.power_all_cores_w[frequency]
+                    for frequency in CORE_FREQUENCIES_GHZ
+                },
+                measured=entry.measured,
+            )
+        )
+    return Table1Result(rows=rows)

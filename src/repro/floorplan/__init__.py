@@ -1,0 +1,31 @@
+"""Die and package floorplans for the target server processor.
+
+The floorplan subsystem models the physical layout of the processor die
+(cores, last-level cache, memory controller, uncore/IO, reserved and dead
+areas) and the package / heat-spreader footprint on which the thermosyphon
+evaporator sits.  The thermal simulator uses the floorplan to turn
+per-component power numbers into a spatial power-density map, and the
+mapping policies use it to reason about which cores share a micro-channel
+row.
+"""
+
+from repro.floorplan.component import Component, ComponentKind
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.xeon_e5_v4 import (
+    XEON_E5_V4_DIE_HEIGHT_MM,
+    XEON_E5_V4_DIE_WIDTH_MM,
+    XEON_E5_V4_SPREADER_SIZE_MM,
+    build_xeon_e5_v4_floorplan,
+)
+from repro.floorplan.grid_mapper import GridMapper
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "Floorplan",
+    "GridMapper",
+    "build_xeon_e5_v4_floorplan",
+    "XEON_E5_V4_DIE_WIDTH_MM",
+    "XEON_E5_V4_DIE_HEIGHT_MM",
+    "XEON_E5_V4_SPREADER_SIZE_MM",
+]

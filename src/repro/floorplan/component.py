@@ -1,0 +1,68 @@
+"""Floorplan components (cores, caches, uncore blocks, dead silicon)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.geometry import Rect
+
+
+class ComponentKind(enum.Enum):
+    """Functional category of a floorplan component.
+
+    The category determines which part of the power model feeds the
+    component: cores receive per-core dynamic plus C-state power, the LLC and
+    memory-controller/uncore strips receive uncore power, and reserved / dead
+    silicon dissipates (approximately) nothing.
+    """
+
+    CORE = "core"
+    LLC = "llc"
+    MEMORY_CONTROLLER = "memory_controller"
+    UNCORE_IO = "uncore_io"
+    RESERVED = "reserved"
+    DEAD = "dead"
+
+    @property
+    def dissipates_power(self) -> bool:
+        """True for components that can receive non-zero power."""
+        return self not in (ComponentKind.RESERVED, ComponentKind.DEAD)
+
+
+@dataclass(frozen=True)
+class Component:
+    """A named rectangular block on the die.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the floorplan (``"core0"`` ... ``"core7"``,
+        ``"llc"``, ``"memory_controller"``, ``"uncore_io"``, ...).
+    kind:
+        Functional category; see :class:`ComponentKind`.
+    rect:
+        Position and size in millimetres in die coordinates (origin at the
+        south-west corner of the die).
+    core_index:
+        For ``CORE`` components, the logical core number (0-based) used by
+        the mapping policies; ``None`` otherwise.
+    """
+
+    name: str
+    kind: ComponentKind
+    rect: Rect
+    core_index: int | None = None
+
+    @property
+    def is_core(self) -> bool:
+        """True if this component is a schedulable CPU core."""
+        return self.kind is ComponentKind.CORE
+
+    @property
+    def area_mm2(self) -> float:
+        """Component area in square millimetres."""
+        return self.rect.area
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{self.name} [{self.kind.value}] @ ({self.rect.x:.1f}, {self.rect.y:.1f}) {self.rect.width:.1f}x{self.rect.height:.1f} mm"

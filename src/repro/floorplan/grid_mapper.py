@@ -1,0 +1,128 @@
+"""Rasterisation of floorplan component power onto a uniform thermal grid."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.exceptions import FloorplanError, ValidationError
+from repro.floorplan.floorplan import Floorplan
+from repro.utils.geometry import Rect
+from repro.utils.validation import check_positive_int
+
+
+class GridMapper:
+    """Maps per-component power onto a uniform cell grid.
+
+    The grid covers an arbitrary rectangular outline (normally the heat
+    spreader, sometimes just the die) with ``n_rows`` x ``n_columns`` equal
+    cells.  Row 0 is the southernmost row, column 0 the westernmost column —
+    the same convention as :class:`repro.utils.geometry.Rect`.
+
+    Power is distributed proportionally to the overlap area between each
+    component and each cell, so the total injected power always equals the
+    sum of the per-component powers regardless of resolution.
+    """
+
+    def __init__(self, floorplan: Floorplan, outline: Rect, n_rows: int, n_columns: int) -> None:
+        self.floorplan = floorplan
+        self.outline = outline
+        self.n_rows = check_positive_int(n_rows, "n_rows")
+        self.n_columns = check_positive_int(n_columns, "n_columns")
+        self.cell_width = outline.width / n_columns
+        self.cell_height = outline.height / n_rows
+        self._overlap_fractions = self._compute_overlap_fractions()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def cell_rect(self, row: int, column: int) -> Rect:
+        """Rectangle covered by cell ``(row, column)`` in floorplan coordinates."""
+        if not (0 <= row < self.n_rows and 0 <= column < self.n_columns):
+            raise ValidationError(
+                f"cell ({row}, {column}) outside grid {self.n_rows}x{self.n_columns}"
+            )
+        return Rect(
+            self.outline.x + column * self.cell_width,
+            self.outline.y + row * self.cell_height,
+            self.cell_width,
+            self.cell_height,
+        )
+
+    def _compute_overlap_fractions(self) -> dict[str, np.ndarray]:
+        """For every component, the fraction of its area falling in each cell."""
+        fractions: dict[str, np.ndarray] = {}
+        for component in self.floorplan:
+            grid = np.zeros((self.n_rows, self.n_columns), dtype=float)
+            rect = component.rect
+            col_lo = max(int((rect.x - self.outline.x) / self.cell_width), 0)
+            col_hi = min(int(np.ceil((rect.x2 - self.outline.x) / self.cell_width)), self.n_columns)
+            row_lo = max(int((rect.y - self.outline.y) / self.cell_height), 0)
+            row_hi = min(int(np.ceil((rect.y2 - self.outline.y) / self.cell_height)), self.n_rows)
+            for row in range(row_lo, row_hi):
+                for column in range(col_lo, col_hi):
+                    overlap = self.cell_rect(row, column).overlap_area(rect)
+                    if overlap > 0.0:
+                        grid[row, column] = overlap / rect.area
+            fractions[component.name] = grid
+        return fractions
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def component_mask(self, name: str) -> np.ndarray:
+        """Array of per-cell area fractions for a component (sums to <= 1)."""
+        try:
+            return self._overlap_fractions[name].copy()
+        except KeyError as exc:
+            raise FloorplanError(f"unknown component {name!r}") from exc
+
+    def power_map(self, component_power_w: Mapping[str, float]) -> np.ndarray:
+        """Rasterise a per-component power dictionary onto the grid.
+
+        Parameters
+        ----------
+        component_power_w:
+            Mapping from component name to total power in Watts.  Components
+            not mentioned receive zero power; unknown names raise
+            :class:`~repro.exceptions.FloorplanError`.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_rows, n_columns)`` array of power per cell in Watts.
+        """
+        grid = np.zeros((self.n_rows, self.n_columns), dtype=float)
+        for name, power in component_power_w.items():
+            if name not in self._overlap_fractions:
+                raise FloorplanError(f"unknown component {name!r} in power map")
+            if power < 0.0:
+                raise ValidationError(f"power for component {name!r} must be >= 0, got {power}")
+            grid += power * self._overlap_fractions[name]
+        return grid
+
+    def heat_flux_map(self, component_power_w: Mapping[str, float]) -> np.ndarray:
+        """Power map converted to heat flux in W/m^2 per cell."""
+        cell_area_m2 = (self.cell_width * 1e-3) * (self.cell_height * 1e-3)
+        return self.power_map(component_power_w) / cell_area_m2
+
+    def total_power(self, component_power_w: Mapping[str, float]) -> float:
+        """Total power injected into the grid in Watts (sanity-check helper)."""
+        return float(self.power_map(component_power_w).sum())
+
+    def die_mask(self) -> np.ndarray:
+        """Boolean mask of the cells covered (at least half) by the die."""
+        mask = np.zeros((self.n_rows, self.n_columns), dtype=bool)
+        die = self.floorplan.die_outline
+        for row in range(self.n_rows):
+            for column in range(self.n_columns):
+                cell = self.cell_rect(row, column)
+                mask[row, column] = cell.overlap_area(die) >= 0.5 * cell.area
+        return mask
+
+    def cell_centres_mm(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arrays ``(x_centres, y_centres)`` of cell centres in millimetres."""
+        xs = self.outline.x + (np.arange(self.n_columns) + 0.5) * self.cell_width
+        ys = self.outline.y + (np.arange(self.n_rows) + 0.5) * self.cell_height
+        return xs, ys

@@ -1,0 +1,122 @@
+"""Per-core dynamic power model.
+
+A running core's power is modelled as
+
+``P_core = P_base(f) + activity * EPI_factor * V(f)^2 * f / (V_max^2 * f_max) * P_dyn_max``
+
+where ``P_dyn_max`` is the benchmark's measured per-core dynamic power at the
+nominal frequency with one thread, ``activity`` captures the workload's
+switching activity, and an optional second hardware thread (SMT) adds a
+fractional increase.  The model is deliberately simple: the mapping policies
+only need per-configuration power values whose ordering and rough magnitudes
+match the platform the paper characterises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.power.dvfs import FMAX_GHZ, VoltageFrequencyTable, validate_core_frequency
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+#: Fraction of additional dynamic power contributed by the second SMT thread.
+SMT_POWER_FACTOR = 0.22
+
+#: Per-core clock-tree and always-on power when the core is executing, at
+#: the nominal frequency, in Watts.  Scales with V^2 f like the rest of the
+#: dynamic power.
+ACTIVE_BASE_POWER_W = 1.1
+
+
+@dataclass(frozen=True)
+class CorePowerParameters:
+    """Workload-dependent inputs to the per-core power model.
+
+    ``dynamic_power_fmax_w`` is the single-thread dynamic power of one core
+    at the nominal frequency; ``activity_factor`` modulates it for phases of
+    lower activity (1.0 = the benchmark's characteristic activity).
+    """
+
+    dynamic_power_fmax_w: float
+    activity_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.dynamic_power_fmax_w, "dynamic_power_fmax_w")
+        check_non_negative(self.activity_factor, "activity_factor")
+
+
+class CorePowerModel:
+    """Computes the power of a single active core."""
+
+    def __init__(self, vf_table: VoltageFrequencyTable | None = None) -> None:
+        self.vf_table = vf_table if vf_table is not None else VoltageFrequencyTable()
+
+    def active_power_w(
+        self,
+        parameters: CorePowerParameters,
+        frequency_ghz: float,
+        *,
+        threads_on_core: int = 1,
+    ) -> float:
+        """Power (W) of one core running ``threads_on_core`` threads.
+
+        Parameters
+        ----------
+        parameters:
+            Workload-specific power parameters.
+        frequency_ghz:
+            Core frequency; must be one of the supported DVFS levels.
+        threads_on_core:
+            1 or 2 (the platform supports two-way SMT).
+        """
+        frequency_ghz = validate_core_frequency(frequency_ghz)
+        if threads_on_core not in (1, 2):
+            raise ConfigurationError(
+                f"threads_on_core must be 1 or 2, got {threads_on_core}"
+            )
+        scale = self.vf_table.dynamic_scale(frequency_ghz, FMAX_GHZ)
+        smt_multiplier = 1.0 + SMT_POWER_FACTOR * (threads_on_core - 1)
+        dynamic = (
+            parameters.dynamic_power_fmax_w
+            * parameters.activity_factor
+            * smt_multiplier
+            * scale
+        )
+        base = ACTIVE_BASE_POWER_W * scale
+        return dynamic + base
+
+    def frequency_for_power_budget(
+        self,
+        parameters: CorePowerParameters,
+        budget_w: float,
+        frequencies_ghz: tuple[float, ...],
+        *,
+        threads_on_core: int = 1,
+    ) -> float | None:
+        """Highest supported frequency whose per-core power fits ``budget_w``.
+
+        Returns ``None`` if even the lowest frequency exceeds the budget.
+        Used by power-capping baselines (Pack & Cap).
+        """
+        check_positive(budget_w, "budget_w")
+        feasible = [
+            f
+            for f in sorted(frequencies_ghz)
+            if self.active_power_w(parameters, f, threads_on_core=threads_on_core) <= budget_w
+        ]
+        return feasible[-1] if feasible else None
+
+
+def leakage_scaling(temperature_c: float, reference_c: float = 60.0, coefficient: float = 0.012) -> float:
+    """Exponential leakage scaling factor relative to a reference temperature.
+
+    Silicon leakage grows roughly exponentially with temperature; the
+    coefficient corresponds to ~1.2 %/K, a typical value for 14 nm parts.
+    The coupled power-thermal iteration multiplies idle (C-state) power by
+    this factor.
+    """
+    check_fraction(coefficient, "coefficient")
+    return math.exp(coefficient * (temperature_c - reference_c))

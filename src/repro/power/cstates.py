@@ -1,0 +1,143 @@
+"""Idle C-state power model (Table I of the paper).
+
+The paper measures, for the 8-core Xeon E5 v4, the power drawn by *all
+eight cores* when parked in a given C-state at each of the three core
+frequency levels.  POLL is the shallowest state (the core spins, zero wakeup
+latency), C1 gates the clock, C1E additionally lowers the voltage.  Deeper
+states (C3, C6) exist on the platform; the paper does not publish their
+power, so we extrapolate conservative values and mark them as such.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.power.dvfs import CORE_FREQUENCIES_GHZ
+
+
+class CState(enum.Enum):
+    """Idle states supported by the target processor, shallowest first."""
+
+    POLL = "POLL"
+    C1 = "C1"
+    C1E = "C1E"
+    C3 = "C3"
+    C6 = "C6"
+
+    @property
+    def depth(self) -> int:
+        """0 for POLL, increasing with sleep depth."""
+        return list(CState).index(self)
+
+    def is_deeper_than(self, other: "CState") -> bool:
+        """True if this state saves more power (and wakes up slower) than ``other``."""
+        return self.depth > other.depth
+
+
+@dataclass(frozen=True)
+class CStateEntry:
+    """Power and latency of one C-state.
+
+    ``power_all_cores_w`` maps core frequency (GHz) to the power drawn by all
+    eight cores parked in this state, exactly as Table I reports it.
+    ``wakeup_latency_us`` is the time to resume execution.
+    ``measured`` is False for the states the paper does not publish
+    (extrapolated values).
+    """
+
+    state: CState
+    wakeup_latency_us: float
+    power_all_cores_w: dict[float, float]
+    measured: bool = True
+
+    def power_per_core_w(self, frequency_ghz: float, n_cores: int = 8) -> float:
+        """Idle power of a single core in this state at the given frequency."""
+        if frequency_ghz not in self.power_all_cores_w:
+            raise ConfigurationError(
+                f"no C-state power entry for {frequency_ghz} GHz "
+                f"(available: {sorted(self.power_all_cores_w)})"
+            )
+        return self.power_all_cores_w[frequency_ghz] / n_cores
+
+
+class CStateTable:
+    """Lookup table of C-state entries for a processor."""
+
+    def __init__(self, entries: dict[CState, CStateEntry], n_cores: int = 8) -> None:
+        if not entries:
+            raise ConfigurationError("CStateTable requires at least one entry")
+        self._entries = dict(entries)
+        self.n_cores = n_cores
+
+    def entry(self, state: CState) -> CStateEntry:
+        """Return the entry for ``state`` or raise ``ConfigurationError``."""
+        try:
+            return self._entries[state]
+        except KeyError as exc:
+            raise ConfigurationError(f"C-state {state} not available on this platform") from exc
+
+    def __contains__(self, state: CState) -> bool:
+        return state in self._entries
+
+    @property
+    def states(self) -> tuple[CState, ...]:
+        """Available states, shallowest first."""
+        return tuple(sorted(self._entries, key=lambda s: s.depth))
+
+    def idle_core_power_w(self, state: CState, frequency_ghz: float) -> float:
+        """Power of one idle core parked in ``state`` at ``frequency_ghz``."""
+        return self.entry(state).power_per_core_w(frequency_ghz, self.n_cores)
+
+    def wakeup_latency_us(self, state: CState) -> float:
+        """Wakeup latency of ``state`` in microseconds."""
+        return self.entry(state).wakeup_latency_us
+
+    def deepest_state_within_latency(self, max_latency_us: float) -> CState:
+        """Deepest available state whose wakeup latency fits the budget.
+
+        This is how the mapping policy (Section VII) converts an
+        application's tolerable delay ``d_i`` into the C-state used for idle
+        cores: the deeper the state the application can tolerate, the more
+        aggressive the hot-spot-spreading mapping can be.
+        """
+        feasible = [
+            entry.state
+            for entry in self._entries.values()
+            if entry.wakeup_latency_us <= max_latency_us
+        ]
+        if not feasible:
+            raise ConfigurationError(
+                f"no C-state has wakeup latency <= {max_latency_us} us"
+            )
+        return max(feasible, key=lambda s: s.depth)
+
+
+def _table_entry(
+    state: CState,
+    latency_us: float,
+    powers: tuple[float, float, float],
+    *,
+    measured: bool = True,
+) -> CStateEntry:
+    return CStateEntry(
+        state=state,
+        wakeup_latency_us=latency_us,
+        power_all_cores_w=dict(zip(CORE_FREQUENCIES_GHZ, powers)),
+        measured=measured,
+    )
+
+
+#: Table I of the paper: C-state power for all 8 cores of the Xeon E5 v4 at
+#: 2.6 / 2.9 / 3.2 GHz.  C3 and C6 are extrapolations (not published).
+XEON_E5_V4_CSTATE_TABLE = CStateTable(
+    {
+        CState.POLL: _table_entry(CState.POLL, 0.0, (27.0, 32.0, 40.0)),
+        CState.C1: _table_entry(CState.C1, 2.0, (14.0, 15.0, 17.0)),
+        CState.C1E: _table_entry(CState.C1E, 10.0, (9.0, 9.0, 9.0)),
+        CState.C3: _table_entry(CState.C3, 40.0, (4.5, 4.5, 4.5), measured=False),
+        CState.C6: _table_entry(CState.C6, 133.0, (1.6, 1.6, 1.6), measured=False),
+    },
+    n_cores=8,
+)

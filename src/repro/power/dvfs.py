@@ -1,0 +1,106 @@
+"""DVFS operating points for the target processor.
+
+The paper restricts itself to three core frequency levels (2.6, 2.9 and
+3.2 GHz) chosen to satisfy the QoS requirements, and an uncore frequency
+range of 1.2-2.8 GHz.  The voltage-frequency pairs are estimates for a
+14 nm Broadwell-EP part; only their relative scaling matters for the power
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.utils.interpolation import LinearTable1D
+
+#: Core frequency levels used throughout the paper, in GHz (ascending).
+CORE_FREQUENCIES_GHZ: tuple[float, ...] = (2.6, 2.9, 3.2)
+
+#: Minimum core frequency level in GHz.
+FMIN_GHZ = CORE_FREQUENCIES_GHZ[0]
+
+#: Maximum (nominal) core frequency level in GHz.
+FMAX_GHZ = CORE_FREQUENCIES_GHZ[-1]
+
+#: Uncore frequency range in GHz (memory controller, LLC ring, IO).
+UNCORE_FMIN_GHZ = 1.2
+UNCORE_FMAX_GHZ = 2.8
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A single DVFS operating point (frequency in GHz, voltage in Volts)."""
+
+    frequency_ghz: float
+    voltage_v: float
+
+
+class VoltageFrequencyTable:
+    """Voltage as a function of core frequency, with interpolation.
+
+    The default table is an estimate for the Broadwell-EP voltage/frequency
+    curve.  The dynamic power model uses ``V(f)^2 * f`` scaling, so only the
+    ratio between voltages at different frequencies affects results.
+    """
+
+    DEFAULT_POINTS: tuple[OperatingPoint, ...] = (
+        OperatingPoint(1.2, 0.80),
+        OperatingPoint(2.0, 0.90),
+        OperatingPoint(2.6, 0.98),
+        OperatingPoint(2.9, 1.06),
+        OperatingPoint(3.2, 1.15),
+    )
+
+    def __init__(self, points: tuple[OperatingPoint, ...] | None = None) -> None:
+        pts = points if points is not None else self.DEFAULT_POINTS
+        if len(pts) < 2:
+            raise ConfigurationError("VoltageFrequencyTable needs at least two points")
+        ordered = sorted(pts, key=lambda p: p.frequency_ghz)
+        self._points = tuple(ordered)
+        self._table = LinearTable1D(
+            [p.frequency_ghz for p in ordered], [p.voltage_v for p in ordered]
+        )
+
+    @property
+    def points(self) -> tuple[OperatingPoint, ...]:
+        """The operating points, sorted by ascending frequency."""
+        return self._points
+
+    def voltage(self, frequency_ghz: float) -> float:
+        """Supply voltage (V) at the given core frequency (GHz)."""
+        if frequency_ghz <= 0.0:
+            raise ConfigurationError(f"frequency must be > 0, got {frequency_ghz}")
+        return self._table(frequency_ghz)
+
+    def dynamic_scale(self, frequency_ghz: float, reference_ghz: float = FMAX_GHZ) -> float:
+        """Dynamic power scaling factor ``(V^2 f) / (V_ref^2 f_ref)``."""
+        v = self.voltage(frequency_ghz)
+        v_ref = self.voltage(reference_ghz)
+        return (v * v * frequency_ghz) / (v_ref * v_ref * reference_ghz)
+
+
+def validate_core_frequency(frequency_ghz: float) -> float:
+    """Return ``frequency_ghz`` if it is one of the supported levels."""
+    for level in CORE_FREQUENCIES_GHZ:
+        if abs(level - frequency_ghz) < 1e-9:
+            return level
+    raise ConfigurationError(
+        f"unsupported core frequency {frequency_ghz} GHz; "
+        f"supported levels are {CORE_FREQUENCIES_GHZ}"
+    )
+
+
+def uncore_frequency_for(core_frequency_ghz: float) -> float:
+    """Uncore frequency the platform selects for a given core frequency.
+
+    The uncore frequency scales with core demand; we model the firmware
+    policy as a linear mapping from the core frequency range onto the
+    uncore range, clamped at both ends.
+    """
+    if core_frequency_ghz <= FMIN_GHZ:
+        return UNCORE_FMIN_GHZ + (UNCORE_FMAX_GHZ - UNCORE_FMIN_GHZ) * 0.5
+    span = FMAX_GHZ - FMIN_GHZ
+    fraction = min(max((core_frequency_ghz - FMIN_GHZ) / span, 0.0), 1.0)
+    base = UNCORE_FMIN_GHZ + (UNCORE_FMAX_GHZ - UNCORE_FMIN_GHZ) * 0.5
+    return base + (UNCORE_FMAX_GHZ - base) * fraction

@@ -1,0 +1,222 @@
+"""Whole-package power model combining core, C-state and uncore models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.power.core_power import CorePowerModel, CorePowerParameters, leakage_scaling
+from repro.power.cstates import CState, CStateTable, XEON_E5_V4_CSTATE_TABLE
+from repro.power.dvfs import (
+    VoltageFrequencyTable,
+    uncore_frequency_for,
+    validate_core_frequency,
+)
+from repro.power.uncore_power import UncorePowerModel
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """What a single core is doing during the interval of interest.
+
+    Exactly one of the two views applies: an *active* core runs
+    ``threads_on_core`` threads of a workload described by ``power_params``;
+    an *idle* core is parked in ``idle_cstate``.
+    """
+
+    core_index: int
+    active: bool
+    power_params: CorePowerParameters | None = None
+    threads_on_core: int = 1
+    idle_cstate: CState = CState.POLL
+
+    def __post_init__(self) -> None:
+        if self.active and self.power_params is None:
+            raise ConfigurationError(
+                f"core {self.core_index}: active cores need power parameters"
+            )
+        if self.active and self.threads_on_core not in (1, 2):
+            raise ConfigurationError(
+                f"core {self.core_index}: threads_on_core must be 1 or 2"
+            )
+
+    @staticmethod
+    def running(
+        core_index: int, power_params: CorePowerParameters, threads_on_core: int = 1
+    ) -> "CoreActivity":
+        """Convenience constructor for an active core."""
+        return CoreActivity(
+            core_index=core_index,
+            active=True,
+            power_params=power_params,
+            threads_on_core=threads_on_core,
+        )
+
+    @staticmethod
+    def idle(core_index: int, cstate: CState = CState.POLL) -> "CoreActivity":
+        """Convenience constructor for an idle core."""
+        return CoreActivity(core_index=core_index, active=False, idle_cstate=cstate)
+
+
+@dataclass
+class PowerBreakdown:
+    """Per-component and aggregate power for one evaluation."""
+
+    component_power_w: dict[str, float] = field(default_factory=dict)
+    core_power_w: float = 0.0
+    uncore_power_w: float = 0.0
+
+    @property
+    def package_power_w(self) -> float:
+        """Total package power in Watts."""
+        return self.core_power_w + self.uncore_power_w
+
+
+class ServerPowerModel:
+    """Power model of the whole server processor.
+
+    Combines the per-core dynamic model, the C-state table and the uncore
+    model, and distributes the results over the floorplan components so that
+    the thermal simulator can rasterise them into a power-density map.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        *,
+        cstate_table: CStateTable | None = None,
+        core_model: CorePowerModel | None = None,
+        uncore_model: UncorePowerModel | None = None,
+        vf_table: VoltageFrequencyTable | None = None,
+        leakage_coefficient: float = 0.0,
+    ) -> None:
+        self.floorplan = floorplan
+        self.cstate_table = cstate_table if cstate_table is not None else XEON_E5_V4_CSTATE_TABLE
+        self.core_model = core_model if core_model is not None else CorePowerModel(vf_table)
+        self.uncore_model = uncore_model if uncore_model is not None else UncorePowerModel()
+        #: Per-Kelvin exponential leakage coefficient applied to idle power
+        #: when core temperatures are supplied (0 disables the coupling).
+        self.leakage_coefficient = leakage_coefficient
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        activities: Mapping[int, CoreActivity] | list[CoreActivity],
+        core_frequency_ghz: float,
+        *,
+        memory_intensity: float = 0.5,
+        uncore_frequency_ghz: float | None = None,
+        core_temperatures_c: Mapping[int, float] | None = None,
+    ) -> PowerBreakdown:
+        """Compute the power of every floorplan component.
+
+        Parameters
+        ----------
+        activities:
+            One :class:`CoreActivity` per physical core.  Cores not listed
+            default to idle in POLL.
+        core_frequency_ghz:
+            Shared core-domain frequency (all active cores run at the same
+            level, as in the paper).
+        memory_intensity:
+            Workload memory intensity (0-1) driving LLC and memory-controller
+            activity.
+        uncore_frequency_ghz:
+            Explicit uncore frequency; derived from the core frequency via
+            the firmware policy when omitted.
+        core_temperatures_c:
+            Optional per-core temperatures for leakage coupling.
+        """
+        core_frequency_ghz = validate_core_frequency(core_frequency_ghz)
+        memory_intensity = check_fraction(memory_intensity, "memory_intensity")
+        if uncore_frequency_ghz is None:
+            uncore_frequency_ghz = uncore_frequency_for(core_frequency_ghz)
+
+        activity_by_core = self._normalise_activities(activities)
+
+        breakdown = PowerBreakdown()
+        for core in self.floorplan.cores:
+            activity = activity_by_core[core.core_index]
+            if activity.active:
+                power = self.core_model.active_power_w(
+                    activity.power_params,
+                    core_frequency_ghz,
+                    threads_on_core=activity.threads_on_core,
+                )
+            else:
+                power = self.cstate_table.idle_core_power_w(
+                    activity.idle_cstate, core_frequency_ghz
+                )
+                if self.leakage_coefficient > 0.0 and core_temperatures_c is not None:
+                    temperature = core_temperatures_c.get(core.core_index)
+                    if temperature is not None:
+                        power *= leakage_scaling(
+                            temperature, coefficient=self.leakage_coefficient
+                        )
+            breakdown.component_power_w[core.name] = power
+            breakdown.core_power_w += power
+
+        uncore = self.uncore_model.breakdown(uncore_frequency_ghz, memory_intensity)
+        breakdown.component_power_w["llc"] = uncore.llc_w
+        breakdown.component_power_w["memory_controller"] = uncore.memory_controller_w
+        breakdown.component_power_w["uncore_io"] = uncore.uncore_io_w
+        breakdown.uncore_power_w = uncore.total_w
+        return breakdown
+
+    def _normalise_activities(
+        self, activities: Mapping[int, CoreActivity] | list[CoreActivity]
+    ) -> dict[int, CoreActivity]:
+        """Turn the user-provided activities into a complete per-core map."""
+        if isinstance(activities, Mapping):
+            provided = dict(activities)
+        else:
+            provided = {activity.core_index: activity for activity in activities}
+
+        known_indices = {core.core_index for core in self.floorplan.cores}
+        unknown = set(provided) - known_indices
+        if unknown:
+            raise ConfigurationError(f"activities reference unknown cores: {sorted(unknown)}")
+
+        complete: dict[int, CoreActivity] = {}
+        for core in self.floorplan.cores:
+            complete[core.core_index] = provided.get(
+                core.core_index, CoreActivity.idle(core.core_index)
+            )
+        return complete
+
+    # ------------------------------------------------------------------ #
+    # Convenience queries
+    # ------------------------------------------------------------------ #
+    def package_power_w(
+        self,
+        activities: Mapping[int, CoreActivity] | list[CoreActivity],
+        core_frequency_ghz: float,
+        *,
+        memory_intensity: float = 0.5,
+    ) -> float:
+        """Total package power for a given activity pattern."""
+        return self.evaluate(
+            activities, core_frequency_ghz, memory_intensity=memory_intensity
+        ).package_power_w
+
+    def all_cores_active(
+        self,
+        power_params: CorePowerParameters,
+        core_frequency_ghz: float,
+        *,
+        threads_on_core: int = 2,
+        memory_intensity: float = 0.5,
+    ) -> PowerBreakdown:
+        """Breakdown with every core running the same workload (worst case)."""
+        activities = [
+            CoreActivity.running(core.core_index, power_params, threads_on_core)
+            for core in self.floorplan.cores
+        ]
+        return self.evaluate(
+            activities, core_frequency_ghz, memory_intensity=memory_intensity
+        )

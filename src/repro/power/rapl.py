@@ -1,0 +1,102 @@
+"""Simulated Running Average Power Limit (RAPL) interface.
+
+The paper measures power through the RAPL machine-specific registers.  This
+module provides a drop-in simulated equivalent: energy counters per domain
+that integrate an externally supplied power signal over time, expose the
+energy in micro-Joules with the same 32-bit wraparound behaviour as the real
+registers, and derive average power between two reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+#: RAPL energy counters wrap around at 2^32 micro-Joule-resolution ticks.
+RAPL_COUNTER_WRAP_UJ = 2 ** 32
+
+
+class RaplDomain(enum.Enum):
+    """RAPL power domains exposed by the simulated interface."""
+
+    PACKAGE = "package"
+    PP0 = "pp0"  # all cores
+    DRAM = "dram"
+
+
+@dataclass
+class _DomainState:
+    energy_uj: float = 0.0
+    last_power_w: float = 0.0
+
+
+@dataclass
+class RaplSample:
+    """A single read of a RAPL domain."""
+
+    domain: RaplDomain
+    timestamp_s: float
+    energy_uj: float
+
+
+class SimulatedRapl:
+    """Energy counters that integrate supplied power over simulated time."""
+
+    def __init__(self) -> None:
+        self._domains: dict[RaplDomain, _DomainState] = {
+            domain: _DomainState() for domain in RaplDomain
+        }
+        self._time_s = 0.0
+        self._samples: list[RaplSample] = []
+
+    @property
+    def time_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._time_s
+
+    def advance(self, dt_s: float, power_w: dict[RaplDomain, float]) -> None:
+        """Advance simulated time by ``dt_s`` with the given per-domain power."""
+        check_positive(dt_s, "dt_s")
+        for domain, power in power_w.items():
+            if domain not in self._domains:
+                raise ConfigurationError(f"unknown RAPL domain {domain!r}")
+            check_non_negative(power, f"power for {domain.value}")
+            state = self._domains[domain]
+            state.energy_uj = (state.energy_uj + power * dt_s * 1e6) % RAPL_COUNTER_WRAP_UJ
+            state.last_power_w = power
+        self._time_s += dt_s
+
+    def read_energy_uj(self, domain: RaplDomain) -> float:
+        """Read the (wrapping) energy counter of a domain in micro-Joules."""
+        sample = RaplSample(domain, self._time_s, self._domains[domain].energy_uj)
+        self._samples.append(sample)
+        return sample.energy_uj
+
+    def last_power_w(self, domain: RaplDomain) -> float:
+        """Power supplied for the domain in the most recent ``advance`` call."""
+        return self._domains[domain].last_power_w
+
+    @staticmethod
+    def average_power_w(first: RaplSample, second: RaplSample) -> float:
+        """Average power between two samples of the same domain.
+
+        Handles a single counter wraparound, like user-space RAPL tooling.
+        """
+        if first.domain is not second.domain:
+            raise ConfigurationError("samples come from different RAPL domains")
+        dt = second.timestamp_s - first.timestamp_s
+        if dt <= 0.0:
+            raise ConfigurationError("second sample must be later than the first")
+        delta = second.energy_uj - first.energy_uj
+        if delta < 0.0:
+            delta += RAPL_COUNTER_WRAP_UJ
+        return delta / dt / 1e6
+
+    @property
+    def samples(self) -> tuple[RaplSample, ...]:
+        """All samples read so far (for tests and tracing)."""
+        return tuple(self._samples)

@@ -1,0 +1,103 @@
+"""Uncore power model: last-level cache, memory controller and IO.
+
+Section IV-C.2 of the paper measures:
+
+* an LLC (25 MB) power of 2 W in the worst case (static + dynamic),
+* a constant 9 W overhead for the memory controller and IO subsystem, and
+* an additional component proportional to the uncore frequency, spanning
+  8 W from the minimum (1.2 GHz) to the maximum (2.8 GHz) uncore frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.dvfs import UNCORE_FMAX_GHZ, UNCORE_FMIN_GHZ
+from repro.utils.validation import check_fraction, check_in_range, check_non_negative
+
+
+#: Worst-case LLC power (static plus dynamic) in Watts for the 25 MB cache.
+LLC_MAX_POWER_W = 2.0
+
+#: Fraction of the LLC power that is static (drawn even when idle).
+LLC_STATIC_FRACTION = 0.4
+
+#: Constant memory-controller / IO power overhead in Watts.
+MEMORY_IO_STATIC_POWER_W = 9.0
+
+#: Variation of the memory-controller / IO power across the uncore
+#: frequency range (minimum to maximum) in Watts.
+MEMORY_IO_FREQUENCY_RANGE_W = 8.0
+
+
+@dataclass(frozen=True)
+class UncorePowerBreakdown:
+    """Per-block uncore power in Watts."""
+
+    llc_w: float
+    memory_controller_w: float
+    uncore_io_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Total uncore power in Watts."""
+        return self.llc_w + self.memory_controller_w + self.uncore_io_w
+
+
+class UncorePowerModel:
+    """Computes uncore power from uncore frequency and memory activity."""
+
+    def __init__(
+        self,
+        *,
+        llc_max_power_w: float = LLC_MAX_POWER_W,
+        llc_static_fraction: float = LLC_STATIC_FRACTION,
+        static_power_w: float = MEMORY_IO_STATIC_POWER_W,
+        frequency_range_w: float = MEMORY_IO_FREQUENCY_RANGE_W,
+    ) -> None:
+        self.llc_max_power_w = check_non_negative(llc_max_power_w, "llc_max_power_w")
+        self.llc_static_fraction = check_fraction(llc_static_fraction, "llc_static_fraction")
+        self.static_power_w = check_non_negative(static_power_w, "static_power_w")
+        self.frequency_range_w = check_non_negative(frequency_range_w, "frequency_range_w")
+
+    def llc_power_w(self, memory_intensity: float) -> float:
+        """LLC power for a workload with the given memory intensity (0-1)."""
+        memory_intensity = check_fraction(memory_intensity, "memory_intensity")
+        static = self.llc_max_power_w * self.llc_static_fraction
+        dynamic = self.llc_max_power_w * (1.0 - self.llc_static_fraction) * memory_intensity
+        return static + dynamic
+
+    def memory_io_power_w(self, uncore_frequency_ghz: float, memory_intensity: float) -> float:
+        """Memory-controller plus IO power at an uncore frequency (GHz)."""
+        uncore_frequency_ghz = check_in_range(
+            uncore_frequency_ghz, UNCORE_FMIN_GHZ, UNCORE_FMAX_GHZ, "uncore_frequency_ghz"
+        )
+        memory_intensity = check_fraction(memory_intensity, "memory_intensity")
+        span = UNCORE_FMAX_GHZ - UNCORE_FMIN_GHZ
+        fraction = (uncore_frequency_ghz - UNCORE_FMIN_GHZ) / span
+        # The frequency-proportional part is only fully exercised by
+        # memory-intensive workloads; compute-bound ones keep the uncore
+        # mostly idle, which we model with a 30% floor.
+        utilisation = 0.3 + 0.7 * memory_intensity
+        return self.static_power_w + self.frequency_range_w * fraction * utilisation
+
+    def breakdown(
+        self, uncore_frequency_ghz: float, memory_intensity: float
+    ) -> UncorePowerBreakdown:
+        """Full uncore power breakdown.
+
+        The memory-controller / IO power is split between the south
+        (memory controller) and north (queue / uncore / IO) die strips in a
+        60/40 ratio, matching the relative sizes of those blocks.
+        """
+        llc = self.llc_power_w(memory_intensity)
+        memory_io = self.memory_io_power_w(uncore_frequency_ghz, memory_intensity)
+        return UncorePowerBreakdown(
+            llc_w=llc,
+            memory_controller_w=0.6 * memory_io,
+            uncore_io_w=0.4 * memory_io,
+        )
+
+    def total_power_w(self, uncore_frequency_ghz: float, memory_intensity: float) -> float:
+        """Total uncore power in Watts."""
+        return self.breakdown(uncore_frequency_ghz, memory_intensity).total_w

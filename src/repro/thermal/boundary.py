@@ -1,0 +1,86 @@
+"""Boundary conditions of the thermal network.
+
+The top boundary is the interface to the thermosyphon evaporator
+micro-channels: each cell of the top layer exchanges heat with the two-phase
+refrigerant through a per-cell heat transfer coefficient and local fluid
+temperature, both computed by the thermosyphon model.  The bottom boundary
+models the weak heat path through the package substrate and board into the
+server air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class CoolingBoundary:
+    """Convective boundary on top of the evaporator base.
+
+    Attributes
+    ----------
+    htc_w_m2k:
+        Heat transfer coefficient per cell, shape ``(n_rows, n_columns)``.
+    fluid_temperature_c:
+        Local fluid (refrigerant) temperature per cell in degrees Celsius,
+        same shape.
+    """
+
+    htc_w_m2k: np.ndarray
+    fluid_temperature_c: np.ndarray
+
+    def __post_init__(self) -> None:
+        htc = np.asarray(self.htc_w_m2k, dtype=float)
+        fluid = np.asarray(self.fluid_temperature_c, dtype=float)
+        if htc.shape != fluid.shape:
+            raise ValidationError(
+                f"htc shape {htc.shape} differs from fluid temperature shape {fluid.shape}"
+            )
+        if htc.ndim != 2:
+            raise ValidationError("boundary arrays must be two-dimensional")
+        if np.any(htc < 0.0) or not np.all(np.isfinite(htc)):
+            raise ValidationError("heat transfer coefficients must be finite and >= 0")
+        if not np.all(np.isfinite(fluid)):
+            raise ValidationError("fluid temperatures must be finite")
+        object.__setattr__(self, "htc_w_m2k", htc)
+        object.__setattr__(self, "fluid_temperature_c", fluid)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape ``(n_rows, n_columns)``."""
+        return self.htc_w_m2k.shape
+
+    def mean_htc(self) -> float:
+        """Average heat transfer coefficient over the cells with non-zero HTC."""
+        active = self.htc_w_m2k[self.htc_w_m2k > 0.0]
+        return float(active.mean()) if active.size else 0.0
+
+
+@dataclass(frozen=True)
+class BottomBoundary:
+    """Uniform convective path from the bottom layer to the server ambient."""
+
+    htc_w_m2k: float = 25.0
+    ambient_temperature_c: float = 40.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.htc_w_m2k, "htc_w_m2k")
+
+
+def uniform_cooling_boundary(
+    n_rows: int,
+    n_columns: int,
+    htc_w_m2k: float,
+    fluid_temperature_c: float,
+) -> CoolingBoundary:
+    """A spatially uniform top boundary (useful for tests and calibration)."""
+    check_non_negative(htc_w_m2k, "htc_w_m2k")
+    return CoolingBoundary(
+        htc_w_m2k=np.full((n_rows, n_columns), htc_w_m2k, dtype=float),
+        fluid_temperature_c=np.full((n_rows, n_columns), fluid_temperature_c, dtype=float),
+    )

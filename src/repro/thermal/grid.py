@@ -1,0 +1,97 @@
+"""Spatial discretisation of the layer stack into a 3D cell grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.thermal.layers import LayerStack
+from repro.utils.geometry import Rect
+from repro.utils.validation import check_positive_int
+
+
+class ThermalGrid:
+    """Uniform in-plane grid shared by every layer of the stack.
+
+    Cells are indexed ``(layer, row, column)``; row 0 is the southernmost
+    row and column 0 the westernmost column, matching the floorplan
+    convention.  The flat index used by the sparse solver is
+    ``layer * n_rows * n_columns + row * n_columns + column``.
+    """
+
+    def __init__(
+        self,
+        outline: Rect,
+        stack: LayerStack,
+        n_rows: int,
+        n_columns: int,
+    ) -> None:
+        self.outline = outline
+        self.stack = stack
+        self.n_rows = check_positive_int(n_rows, "n_rows")
+        self.n_columns = check_positive_int(n_columns, "n_columns")
+        self.n_layers = len(stack)
+        self.cell_width_m = outline.width * 1e-3 / n_columns
+        self.cell_height_m = outline.height * 1e-3 / n_rows
+        if self.cell_width_m <= 0.0 or self.cell_height_m <= 0.0:
+            raise ConfigurationError("grid cells must have positive size")
+
+    # ------------------------------------------------------------------ #
+    # Sizes and indexing
+    # ------------------------------------------------------------------ #
+    @property
+    def cells_per_layer(self) -> int:
+        """Number of cells in one layer."""
+        return self.n_rows * self.n_columns
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells across all layers."""
+        return self.cells_per_layer * self.n_layers
+
+    @property
+    def cell_area_m2(self) -> float:
+        """Horizontal cell area in m^2."""
+        return self.cell_width_m * self.cell_height_m
+
+    def flat_index(self, layer: int, row: int, column: int) -> int:
+        """Flat solver index of cell ``(layer, row, column)``."""
+        if not (0 <= layer < self.n_layers):
+            raise ConfigurationError(f"layer {layer} out of range [0, {self.n_layers})")
+        if not (0 <= row < self.n_rows):
+            raise ConfigurationError(f"row {row} out of range [0, {self.n_rows})")
+        if not (0 <= column < self.n_columns):
+            raise ConfigurationError(f"column {column} out of range [0, {self.n_columns})")
+        return (layer * self.n_rows + row) * self.n_columns + column
+
+    def unflatten(self, flat: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`flat_index`."""
+        if not (0 <= flat < self.n_cells):
+            raise ConfigurationError(f"flat index {flat} out of range [0, {self.n_cells})")
+        layer, remainder = divmod(flat, self.cells_per_layer)
+        row, column = divmod(remainder, self.n_columns)
+        return layer, row, column
+
+    def layer_slice(self, layer: int) -> slice:
+        """Slice of the flat vector covering one layer."""
+        start = layer * self.cells_per_layer
+        return slice(start, start + self.cells_per_layer)
+
+    def reshape_layer(self, flat_values: np.ndarray, layer: int) -> np.ndarray:
+        """Extract a ``(n_rows, n_columns)`` view of one layer from a flat vector."""
+        return np.asarray(flat_values)[self.layer_slice(layer)].reshape(
+            self.n_rows, self.n_columns
+        )
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+    def cell_centre_mm(self, row: int, column: int) -> tuple[float, float]:
+        """Centre of cell ``(row, column)`` in floorplan millimetres."""
+        x = self.outline.x + (column + 0.5) * self.outline.width / self.n_columns
+        y = self.outline.y + (row + 0.5) * self.outline.height / self.n_rows
+        return x, y
+
+    def cell_pitch_mm(self) -> tuple[float, float]:
+        """Cell pitch (width, height) in millimetres."""
+        return self.cell_width_m * 1e3, self.cell_height_m * 1e3

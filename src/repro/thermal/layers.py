@@ -1,0 +1,131 @@
+"""Vertical layer stack of the die / package / evaporator assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.thermal.materials import Material, get_material
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One horizontal layer of the stack.
+
+    ``fill_material`` (optional) is the material used for cells of this
+    layer that fall *outside* the die footprint — e.g. the silicon die layer
+    is surrounded by package sealant.  When ``None`` the whole layer is made
+    of ``material``.
+    """
+
+    name: str
+    material: Material
+    thickness_m: float
+    fill_material: Material | None = None
+    heat_source: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.thickness_m, "thickness_m")
+
+    def conductivity_at(self, inside_die: bool) -> float:
+        """Thermal conductivity of a cell, which may depend on the die mask."""
+        if inside_die or self.fill_material is None:
+            return self.material.thermal_conductivity_w_mk
+        return self.fill_material.thermal_conductivity_w_mk
+
+    def volumetric_capacity_at(self, inside_die: bool) -> float:
+        """Volumetric heat capacity of a cell."""
+        if inside_die or self.fill_material is None:
+            return self.material.volumetric_heat_capacity_j_m3k
+        return self.fill_material.volumetric_heat_capacity_j_m3k
+
+
+class LayerStack:
+    """Ordered collection of layers, bottom (die) to top (evaporator base)."""
+
+    def __init__(self, layers: tuple[Layer, ...]) -> None:
+        if len(layers) < 2:
+            raise ConfigurationError("a layer stack needs at least two layers")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate layer names: {names}")
+        self.layers = tuple(layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def index_of(self, name: str) -> int:
+        """Index of the layer called ``name``."""
+        for index, layer in enumerate(self.layers):
+            if layer.name == name:
+                return index
+        raise ConfigurationError(f"no layer named {name!r}")
+
+    @property
+    def heat_source_index(self) -> int:
+        """Index of the layer into which component power is injected."""
+        for index, layer in enumerate(self.layers):
+            if layer.heat_source:
+                return index
+        raise ConfigurationError("no layer is marked as the heat source")
+
+    @property
+    def total_thickness_m(self) -> float:
+        """Total stack thickness in metres."""
+        return sum(layer.thickness_m for layer in self.layers)
+
+
+def standard_thermosyphon_stack(
+    *,
+    die_thickness_mm: float = 0.75,
+    spreader_thickness_mm: float = 2.5,
+    evaporator_base_thickness_mm: float = 1.0,
+    evaporator_material: str = "copper",
+) -> LayerStack:
+    """The default stack: die, solder TIM, copper IHS, grease TIM, evaporator base.
+
+    The micro-channels themselves are not a solid layer; they appear as the
+    convective boundary condition on top of the evaporator base, supplied by
+    the thermosyphon model.
+    """
+    silicon = get_material("silicon")
+    sealant = get_material("sealant")
+    return LayerStack(
+        (
+            Layer(
+                name="die",
+                material=silicon,
+                thickness_m=die_thickness_mm * 1e-3,
+                fill_material=sealant,
+                heat_source=True,
+            ),
+            Layer(
+                name="tim1",
+                material=get_material("solder_tim"),
+                thickness_m=0.10e-3,
+                fill_material=sealant,
+            ),
+            Layer(
+                name="heat_spreader",
+                material=get_material("copper"),
+                thickness_m=spreader_thickness_mm * 1e-3,
+            ),
+            Layer(
+                name="tim2",
+                material=get_material("grease_tim"),
+                thickness_m=0.10e-3,
+            ),
+            Layer(
+                name="evaporator_base",
+                material=get_material(evaporator_material),
+                thickness_m=evaporator_base_thickness_mm * 1e-3,
+            ),
+        )
+    )

@@ -1,0 +1,72 @@
+"""Material thermal properties used by the layer stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Material:
+    """Homogeneous isotropic material.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in layer definitions and error messages.
+    thermal_conductivity_w_mk:
+        Thermal conductivity in W/(m K).
+    density_kg_m3:
+        Density in kg/m^3 (used for transient heat capacity).
+    specific_heat_j_kgk:
+        Specific heat capacity in J/(kg K).
+    """
+
+    name: str
+    thermal_conductivity_w_mk: float
+    density_kg_m3: float
+    specific_heat_j_kgk: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.thermal_conductivity_w_mk, "thermal_conductivity_w_mk")
+        check_positive(self.density_kg_m3, "density_kg_m3")
+        check_positive(self.specific_heat_j_kgk, "specific_heat_j_kgk")
+
+    @property
+    def volumetric_heat_capacity_j_m3k(self) -> float:
+        """Volumetric heat capacity rho * c_p in J/(m^3 K)."""
+        return self.density_kg_m3 * self.specific_heat_j_kgk
+
+
+#: Library of the materials appearing in the thermosyphon-cooled assembly.
+MATERIALS: dict[str, Material] = {
+    material.name: material
+    for material in (
+        # Bulk silicon at ~350 K.
+        Material("silicon", 120.0, 2330.0, 710.0),
+        # Copper (heat spreader, evaporator base).
+        Material("copper", 390.0, 8960.0, 385.0),
+        # Indium-solder thermal interface (die attach on server parts).
+        Material("solder_tim", 50.0, 7300.0, 230.0),
+        # Polymer thermal grease between spreader and evaporator.
+        Material("grease_tim", 4.0, 2500.0, 800.0),
+        # Package sealant / underfill surrounding the die.
+        Material("sealant", 0.9, 1900.0, 1000.0),
+        # Organic package substrate below the die.
+        Material("substrate", 15.0, 1900.0, 1100.0),
+        # Aluminium (alternative evaporator material for design sweeps).
+        Material("aluminium", 205.0, 2700.0, 900.0),
+    )
+}
+
+
+def get_material(name: str) -> Material:
+    """Return the material called ``name``.
+
+    Raises ``KeyError`` with the list of known materials if absent, which is
+    the most useful failure mode for configuration typos.
+    """
+    if name not in MATERIALS:
+        raise KeyError(f"unknown material {name!r}; known: {sorted(MATERIALS)}")
+    return MATERIALS[name]

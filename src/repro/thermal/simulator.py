@@ -1,0 +1,211 @@
+"""High-level thermal simulator tying floorplan, network and solvers together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.grid_mapper import GridMapper
+from repro.thermal.boundary import BottomBoundary, CoolingBoundary
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.layers import LayerStack, standard_thermosyphon_stack
+from repro.thermal.metrics import ThermalMetrics, compute_metrics
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.steady_state import SteadyStateSolver
+from repro.thermal.transient import TransientSolver
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ThermalResult:
+    """Temperature field of one simulation plus convenience accessors."""
+
+    temperatures_c: np.ndarray  # (n_layers, n_rows, n_columns)
+    die_mask: np.ndarray
+    cell_pitch_mm: tuple[float, float]
+    die_layer_index: int
+    spreader_layer_index: int
+    floorplan: Floorplan
+    grid_mapper: GridMapper
+
+    # ------------------------------------------------------------------ #
+    # Maps
+    # ------------------------------------------------------------------ #
+    def die_map(self) -> np.ndarray:
+        """Temperature map of the silicon (junction) layer, full grid."""
+        return self.temperatures_c[self.die_layer_index]
+
+    def package_map(self) -> np.ndarray:
+        """Temperature map of the heat-spreader (package/case) layer."""
+        return self.temperatures_c[self.spreader_layer_index]
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def die_metrics(self) -> ThermalMetrics:
+        """Hot spot, average and max gradient over the die area."""
+        return compute_metrics(self.die_map(), self.cell_pitch_mm, self.die_mask)
+
+    def package_metrics(self) -> ThermalMetrics:
+        """Hot spot, average and max gradient over the package (die shadow)."""
+        return compute_metrics(self.package_map(), self.cell_pitch_mm, self.die_mask)
+
+    def case_temperature_c(self) -> float:
+        """T_CASE: temperature at the centre of the heat spreader.
+
+        The thermal design constraint of Section VI is
+        ``T_CASE <= T_CASE_MAX`` (85 degC), measured at the centre of the
+        heat-spreader surface.
+        """
+        die = self.floorplan.die_outline
+        centre_x, centre_y = die.center
+        n_rows, n_columns = self.package_map().shape
+        outline = self.grid_mapper.outline
+        column = int((centre_x - outline.x) / outline.width * n_columns)
+        row = int((centre_y - outline.y) / outline.height * n_rows)
+        column = min(max(column, 0), n_columns - 1)
+        row = min(max(row, 0), n_rows - 1)
+        return float(self.package_map()[row, column])
+
+    def core_temperature_c(self, core_index: int, *, reduce: str = "max") -> float:
+        """Temperature of one core (max or mean over the cells it covers)."""
+        core = self.floorplan.core(core_index)
+        weights = self.grid_mapper.component_mask(core.name)
+        selected = self.die_map()[weights > 0.0]
+        if selected.size == 0:
+            return float("nan")
+        if reduce == "max":
+            return float(selected.max())
+        if reduce == "mean":
+            return float(selected.mean())
+        raise ValueError(f"reduce must be 'max' or 'mean', got {reduce!r}")
+
+    def core_temperatures_c(self, *, reduce: str = "max") -> dict[int, float]:
+        """Per-core temperatures keyed by logical core index."""
+        return {
+            core.core_index: self.core_temperature_c(core.core_index, reduce=reduce)
+            for core in self.floorplan.cores
+        }
+
+    def component_temperature_c(self, name: str, *, reduce: str = "max") -> float:
+        """Temperature of an arbitrary floorplan component."""
+        weights = self.grid_mapper.component_mask(name)
+        selected = self.die_map()[weights > 0.0]
+        if selected.size == 0:
+            return float("nan")
+        return float(selected.max() if reduce == "max" else selected.mean())
+
+
+class ThermalSimulator:
+    """Steady-state and transient thermal simulation over a floorplan.
+
+    Parameters
+    ----------
+    floorplan:
+        The die/package floorplan; the grid covers its spreader outline.
+    stack:
+        Layer stack; defaults to the standard thermosyphon assembly.
+    cell_size_mm:
+        Target in-plane cell size.  The actual size is the spreader extent
+        divided by the nearest integer cell count.
+    bottom_boundary:
+        Heat path from the package bottom to the server ambient.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        *,
+        stack: LayerStack | None = None,
+        cell_size_mm: float = 1.0,
+        bottom_boundary: BottomBoundary | None = None,
+    ) -> None:
+        check_positive(cell_size_mm, "cell_size_mm")
+        self.floorplan = floorplan
+        self.stack = stack if stack is not None else standard_thermosyphon_stack()
+        outline = floorplan.spreader_outline
+        n_columns = max(int(round(outline.width / cell_size_mm)), 4)
+        n_rows = max(int(round(outline.height / cell_size_mm)), 4)
+        self.grid = ThermalGrid(outline, self.stack, n_rows, n_columns)
+        self.grid_mapper = GridMapper(floorplan, outline, n_rows, n_columns)
+        self.die_mask = self.grid_mapper.die_mask()
+        self.network = ThermalNetwork(self.grid, self.die_mask, bottom_boundary)
+        self._steady_solver = SteadyStateSolver(self.network)
+        self._transient_solver = TransientSolver(self.network)
+
+    # ------------------------------------------------------------------ #
+    # Shapes and helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, int]:
+        """In-plane grid shape ``(n_rows, n_columns)``."""
+        return self.grid.n_rows, self.grid.n_columns
+
+    def power_map(self, component_power_w: Mapping[str, float]) -> np.ndarray:
+        """Rasterise per-component power onto the grid."""
+        return self.grid_mapper.power_map(component_power_w)
+
+    def _result(self, flat_temperatures: np.ndarray) -> ThermalResult:
+        grid = self.grid
+        return ThermalResult(
+            temperatures_c=flat_temperatures.reshape(
+                grid.n_layers, grid.n_rows, grid.n_columns
+            ),
+            die_mask=self.die_mask,
+            cell_pitch_mm=grid.cell_pitch_mm(),
+            die_layer_index=self.stack.heat_source_index,
+            spreader_layer_index=self.stack.index_of("heat_spreader"),
+            floorplan=self.floorplan,
+            grid_mapper=self.grid_mapper,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solvers
+    # ------------------------------------------------------------------ #
+    def steady_state(
+        self,
+        component_power_w: Mapping[str, float],
+        cooling: CoolingBoundary,
+    ) -> ThermalResult:
+        """Equilibrium temperatures for a component power dictionary."""
+        power_map = self.power_map(component_power_w)
+        flat = self._steady_solver.solve(power_map, cooling)
+        return self._result(flat)
+
+    def steady_state_from_map(
+        self, power_map_w: np.ndarray, cooling: CoolingBoundary
+    ) -> ThermalResult:
+        """Equilibrium temperatures for an explicit per-cell power map."""
+        flat = self._steady_solver.solve(np.asarray(power_map_w, dtype=float), cooling)
+        return self._result(flat)
+
+    def transient(
+        self,
+        component_power_sequence: Sequence[Mapping[str, float]],
+        cooling: CoolingBoundary | Sequence[CoolingBoundary],
+        dt_s: float,
+        *,
+        initial_temperature_c: float = 45.0,
+    ) -> list[ThermalResult]:
+        """Backward-Euler transient over a sequence of power dictionaries."""
+        power_maps = [self.power_map(powers) for powers in component_power_sequence]
+        results = []
+        for flat in self._transient_solver.run(
+            initial_temperature_c, power_maps, cooling, dt_s
+        ):
+            results.append(self._result(flat))
+        return results
+
+    def settle(
+        self,
+        component_power_w: Mapping[str, float],
+        cooling: CoolingBoundary,
+        **kwargs,
+    ) -> tuple[ThermalResult, int]:
+        """Time-march to equilibrium (cross-check of the steady-state path)."""
+        power_map = self.power_map(component_power_w)
+        flat, steps = self._transient_solver.settle(power_map, cooling, **kwargs)
+        return self._result(flat), steps

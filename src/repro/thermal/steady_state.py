@@ -1,0 +1,44 @@
+"""Steady-state solution of the thermal network."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.linalg import spsolve
+
+from repro.exceptions import ConvergenceError
+from repro.thermal.boundary import CoolingBoundary
+from repro.thermal.network import ThermalNetwork
+
+
+class SteadyStateSolver:
+    """Solves ``A @ T = b`` for the equilibrium temperature field."""
+
+    def __init__(self, network: ThermalNetwork) -> None:
+        self.network = network
+
+    def solve(self, power_map_w: np.ndarray, cooling: CoolingBoundary) -> np.ndarray:
+        """Return the flat temperature vector (degrees Celsius).
+
+        Raises
+        ------
+        ConvergenceError
+            If the linear solve produces non-finite values, which indicates a
+            singular system (for example a zero-HTC boundary everywhere with
+            no bottom path).
+        """
+        matrix, rhs = self.network.system(power_map_w, cooling)
+        temperatures = spsolve(matrix, rhs)
+        if not np.all(np.isfinite(temperatures)):
+            raise ConvergenceError(
+                "steady-state solve produced non-finite temperatures; "
+                "check that at least one boundary has a non-zero heat transfer coefficient"
+            )
+        return np.asarray(temperatures, dtype=float)
+
+    def solve_layers(
+        self, power_map_w: np.ndarray, cooling: CoolingBoundary
+    ) -> np.ndarray:
+        """Temperatures reshaped to ``(n_layers, n_rows, n_columns)``."""
+        flat = self.solve(power_map_w, cooling)
+        grid = self.network.grid
+        return flat.reshape(grid.n_layers, grid.n_rows, grid.n_columns)

@@ -1,0 +1,105 @@
+"""Transient (time-marching) solution of the thermal network.
+
+A backward-Euler scheme is used: it is unconditionally stable, so the
+controller studies can take steps of hundreds of milliseconds without the
+millikelvin-scale time constants of the thin TIM layers forcing tiny steps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import factorized
+
+from repro.exceptions import ValidationError
+from repro.thermal.boundary import CoolingBoundary
+from repro.thermal.network import ThermalNetwork
+from repro.utils.validation import check_positive
+
+
+class TransientSolver:
+    """Backward-Euler time integration of ``C dT/dt = -A T + b``."""
+
+    def __init__(self, network: ThermalNetwork) -> None:
+        self.network = network
+
+    def step(
+        self,
+        temperatures: np.ndarray,
+        power_map_w: np.ndarray,
+        cooling: CoolingBoundary,
+        dt_s: float,
+    ) -> np.ndarray:
+        """Advance the temperature field by one time step."""
+        check_positive(dt_s, "dt_s")
+        grid = self.network.grid
+        temperatures = np.asarray(temperatures, dtype=float).ravel()
+        if temperatures.size != grid.n_cells:
+            raise ValidationError(
+                f"temperature vector has {temperatures.size} entries, expected {grid.n_cells}"
+            )
+        matrix, rhs = self.network.system(power_map_w, cooling)
+        capacitance = self.network.capacitance / dt_s
+        system = matrix + sparse.diags(capacitance)
+        solve = factorized(system.tocsc())
+        return np.asarray(solve(rhs + capacitance * temperatures), dtype=float)
+
+    def run(
+        self,
+        initial_temperature_c: float | np.ndarray,
+        power_maps_w: Sequence[np.ndarray],
+        cooling: CoolingBoundary | Sequence[CoolingBoundary],
+        dt_s: float,
+    ) -> Iterator[np.ndarray]:
+        """Yield the temperature field after every step of a power sequence.
+
+        ``cooling`` may be a single boundary reused for every step or one
+        boundary per step (for flow-rate control studies).
+        """
+        grid = self.network.grid
+        if np.isscalar(initial_temperature_c):
+            state = np.full(grid.n_cells, float(initial_temperature_c), dtype=float)
+        else:
+            state = np.asarray(initial_temperature_c, dtype=float).ravel().copy()
+            if state.size != grid.n_cells:
+                raise ValidationError(
+                    f"initial temperature vector has {state.size} entries, "
+                    f"expected {grid.n_cells}"
+                )
+        boundaries: Sequence[CoolingBoundary]
+        if isinstance(cooling, CoolingBoundary):
+            boundaries = [cooling] * len(power_maps_w)
+        else:
+            boundaries = list(cooling)
+            if len(boundaries) != len(power_maps_w):
+                raise ValidationError(
+                    "number of cooling boundaries must match number of power maps"
+                )
+        for power_map, boundary in zip(power_maps_w, boundaries):
+            state = self.step(state, power_map, boundary, dt_s)
+            yield state.copy()
+
+    def settle(
+        self,
+        power_map_w: np.ndarray,
+        cooling: CoolingBoundary,
+        *,
+        dt_s: float = 0.5,
+        max_steps: int = 200,
+        tolerance_c: float = 0.01,
+        initial_temperature_c: float = 45.0,
+    ) -> tuple[np.ndarray, int]:
+        """March in time until the field stops changing; returns (field, steps).
+
+        Useful as a cross-check of the steady-state solver: both must agree.
+        """
+        grid = self.network.grid
+        state = np.full(grid.n_cells, initial_temperature_c, dtype=float)
+        for step_index in range(1, max_steps + 1):
+            new_state = self.step(state, power_map_w, cooling, dt_s)
+            if float(np.max(np.abs(new_state - state))) < tolerance_c:
+                return new_state, step_index
+            state = new_state
+        return state, max_steps

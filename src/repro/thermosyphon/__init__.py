@@ -1,0 +1,53 @@
+"""Two-phase gravity-driven thermosyphon model.
+
+This subsystem reproduces (at system level) the micro-scale thermosyphon of
+Seuret et al. that the paper designs and tunes: a micro-channel evaporator
+sitting on the CPU heat spreader, a riser carrying the two-phase mixture up
+to a water-cooled micro-condenser, and a downcomer returning liquid by
+gravity.  The models capture the behaviours the paper's design-space and
+mapping studies rely on:
+
+* the saturation temperature set by the condenser water loop (inlet
+  temperature and flow rate),
+* flow-boiling heat transfer that varies along the channel with local vapor
+  quality, with dryout above a critical quality,
+* the gravity-driven circulation rate as a balance between the driving head
+  and the loop pressure drop, modulated by the filling ratio,
+* the chiller electrical power needed to cool the return water (Eq. 1).
+"""
+
+from repro.thermosyphon.refrigerant import (
+    REFRIGERANTS,
+    Refrigerant,
+    get_refrigerant,
+)
+from repro.thermosyphon.orientation import Orientation
+from repro.thermosyphon.evaporator import EvaporatorGeometry, EvaporatorModel, ChannelSolution
+from repro.thermosyphon.condenser import CondenserModel
+from repro.thermosyphon.water_loop import WaterLoop
+from repro.thermosyphon.chiller import ChillerModel, chiller_power_w
+from repro.thermosyphon.design import (
+    PAPER_OPTIMIZED_DESIGN,
+    SEURET_REFERENCE_DESIGN,
+    ThermosyphonDesign,
+)
+from repro.thermosyphon.loop import LoopOperatingPoint, ThermosyphonLoop
+
+__all__ = [
+    "REFRIGERANTS",
+    "Refrigerant",
+    "get_refrigerant",
+    "Orientation",
+    "EvaporatorGeometry",
+    "EvaporatorModel",
+    "ChannelSolution",
+    "CondenserModel",
+    "WaterLoop",
+    "ChillerModel",
+    "chiller_power_w",
+    "ThermosyphonDesign",
+    "PAPER_OPTIMIZED_DESIGN",
+    "SEURET_REFERENCE_DESIGN",
+    "LoopOperatingPoint",
+    "ThermosyphonLoop",
+]

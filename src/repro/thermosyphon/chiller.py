@@ -1,0 +1,73 @@
+"""Chiller cooling-power model (Eq. 1 of the paper).
+
+The paper estimates the electrical power needed to cool the return water
+back to the supply temperature as
+
+    P = V_dot * rho * C_w * delta_T
+
+with ``V_dot`` the volumetric flow rate in litres per second, ``rho`` the
+density in kg/litre and ``C_w`` the specific heat in J/(kg K).  This is the
+thermodynamic heat rate removed from the water; an optional coefficient of
+performance converts it into compressor electrical power, and an optional
+free-cooling fraction models the case where outside air removes part of the
+load (the paper notes the real chiller burden is lower than Eq. 1 suggests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.thermosyphon.water_loop import WaterLoop
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+def chiller_power_w(
+    volumetric_flow_l_s: float,
+    density_kg_per_l: float,
+    specific_heat_j_kgk: float,
+    delta_t_k: float,
+) -> float:
+    """Direct implementation of Eq. 1: ``P = V_dot * rho * C_w * delta_T``."""
+    check_non_negative(volumetric_flow_l_s, "volumetric_flow_l_s")
+    check_positive(density_kg_per_l, "density_kg_per_l")
+    check_positive(specific_heat_j_kgk, "specific_heat_j_kgk")
+    check_non_negative(delta_t_k, "delta_t_k")
+    return volumetric_flow_l_s * density_kg_per_l * specific_heat_j_kgk * delta_t_k
+
+
+@dataclass(frozen=True)
+class ChillerModel:
+    """Per-rack chiller supplying cold water to all thermosyphons.
+
+    Attributes
+    ----------
+    coefficient_of_performance:
+        Ratio of heat removed to electrical power drawn by the compressor;
+        1.0 reproduces the paper's pessimistic Eq. 1 accounting.
+    free_cooling_fraction:
+        Fraction of the load removed for free by outside air (0 = none).
+    """
+
+    coefficient_of_performance: float = 1.0
+    free_cooling_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.coefficient_of_performance, "coefficient_of_performance")
+        check_fraction(self.free_cooling_fraction, "free_cooling_fraction")
+
+    def cooling_power_w(self, water_loop: WaterLoop, heat_w: float) -> float:
+        """Electrical power to cool the loop's return water back to supply."""
+        check_non_negative(heat_w, "heat_w")
+        delta_t = water_loop.delta_t_c(heat_w)
+        thermal = chiller_power_w(
+            water_loop.volumetric_flow_l_s,
+            water_loop.density_kg_m3 / 1000.0,
+            water_loop.specific_heat_j_kgk,
+            delta_t,
+        )
+        remaining = thermal * (1.0 - self.free_cooling_fraction)
+        return remaining / self.coefficient_of_performance
+
+    def rack_cooling_power_w(self, water_loops_and_heats: list[tuple[WaterLoop, float]]) -> float:
+        """Total chiller power for every thermosyphon fed by this rack chiller."""
+        return sum(self.cooling_power_w(loop, heat) for loop, heat in water_loops_and_heats)

@@ -1,0 +1,72 @@
+"""Water-cooled micro-condenser model (effectiveness-NTU)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.thermosyphon.water_loop import WaterLoop
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CondenserOperatingPoint:
+    """Result of a condenser energy balance."""
+
+    saturation_temperature_c: float
+    water_outlet_temperature_c: float
+    effectiveness: float
+    heat_w: float
+
+
+class CondenserModel:
+    """Condensation-side heat exchange with the chilled-water loop.
+
+    Because the refrigerant condenses at (nearly) constant temperature, the
+    condensing stream behaves as an infinite-heat-capacity stream and the
+    effectiveness reduces to ``1 - exp(-NTU)`` with
+    ``NTU = UA / (m_dot_w * c_p_w)``.  Solving the energy balance for the
+    saturation temperature gives the loop temperature the thermosyphon will
+    settle at for a given heat load and water condition.
+    """
+
+    def __init__(self, ua_w_per_k: float = 15.0, *, flooding_penalty: float = 0.0) -> None:
+        self.ua_w_per_k = check_positive(ua_w_per_k, "ua_w_per_k")
+        #: Fraction of the condenser surface flooded by excess liquid charge
+        #: (high filling ratios); reduces the effective UA.
+        self.flooding_penalty = check_fraction(flooding_penalty, "flooding_penalty")
+
+    @property
+    def effective_ua_w_per_k(self) -> float:
+        """UA after the flooding penalty."""
+        return self.ua_w_per_k * (1.0 - self.flooding_penalty)
+
+    def effectiveness(self, water_loop: WaterLoop) -> float:
+        """Heat-exchanger effectiveness for the given water flow."""
+        capacity_rate = water_loop.heat_capacity_rate_w_per_k
+        ntu = self.effective_ua_w_per_k / capacity_rate
+        return 1.0 - math.exp(-ntu)
+
+    def required_saturation_temperature_c(
+        self, heat_w: float, water_loop: WaterLoop
+    ) -> CondenserOperatingPoint:
+        """Saturation temperature needed to reject ``heat_w`` into the water."""
+        check_non_negative(heat_w, "heat_w")
+        effectiveness = self.effectiveness(water_loop)
+        capacity_rate = water_loop.heat_capacity_rate_w_per_k
+        saturation = water_loop.inlet_temperature_c + heat_w / (effectiveness * capacity_rate)
+        water_out = water_loop.outlet_temperature_c(heat_w)
+        return CondenserOperatingPoint(
+            saturation_temperature_c=saturation,
+            water_outlet_temperature_c=water_out,
+            effectiveness=effectiveness,
+            heat_w=heat_w,
+        )
+
+    def heat_rejected_w(self, saturation_temperature_c: float, water_loop: WaterLoop) -> float:
+        """Heat the condenser rejects at a given saturation temperature."""
+        effectiveness = self.effectiveness(water_loop)
+        capacity_rate = water_loop.heat_capacity_rate_w_per_k
+        driving = saturation_temperature_c - water_loop.inlet_temperature_c
+        return max(effectiveness * capacity_rate * driving, 0.0)

@@ -1,0 +1,114 @@
+"""Thermosyphon design descriptions (design-time parameters).
+
+A design fixes everything chosen before deployment: the refrigerant and its
+filling ratio, the evaporator orientation and channel geometry, the riser
+height, the condenser size, and the nominal water-loop operating point.  The
+runtime controller may later adjust the water flow rate (fast) and, per
+rack, the water inlet temperature (slow), but not the design parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ConfigurationError
+from repro.thermosyphon.evaporator import EvaporatorGeometry
+from repro.thermosyphon.orientation import Orientation
+from repro.thermosyphon.refrigerant import Refrigerant, get_refrigerant
+from repro.thermosyphon.water_loop import WaterLoop
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class ThermosyphonDesign:
+    """A complete set of thermosyphon design-time parameters."""
+
+    name: str
+    refrigerant_name: str = "R236fa"
+    filling_ratio: float = 0.55
+    orientation: Orientation = Orientation.WEST_TO_EAST
+    evaporator_geometry: EvaporatorGeometry = field(default_factory=EvaporatorGeometry)
+    riser_height_m: float = 0.12
+    condenser_ua_w_per_k: float = 15.0
+    water_inlet_temperature_c: float = 30.0
+    water_flow_rate_kg_h: float = 7.0
+    loop_friction_coefficient: float = 2.6e8
+    dryout_quality: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("design name must not be empty")
+        check_fraction(self.filling_ratio, "filling_ratio")
+        check_positive(self.riser_height_m, "riser_height_m")
+        check_positive(self.condenser_ua_w_per_k, "condenser_ua_w_per_k")
+        check_positive(self.water_flow_rate_kg_h, "water_flow_rate_kg_h")
+        check_positive(self.loop_friction_coefficient, "loop_friction_coefficient")
+        check_fraction(self.dryout_quality, "dryout_quality")
+        # Validates the refrigerant name eagerly.
+        get_refrigerant(self.refrigerant_name)
+
+    # ------------------------------------------------------------------ #
+    # Derived objects
+    # ------------------------------------------------------------------ #
+    @property
+    def refrigerant(self) -> Refrigerant:
+        """The refrigerant property model for this design."""
+        return get_refrigerant(self.refrigerant_name)
+
+    def water_loop(self) -> WaterLoop:
+        """The nominal water-loop operating point of this design."""
+        return WaterLoop(
+            inlet_temperature_c=self.water_inlet_temperature_c,
+            flow_rate_kg_h=self.water_flow_rate_kg_h,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Variants
+    # ------------------------------------------------------------------ #
+    def with_orientation(self, orientation: Orientation) -> "ThermosyphonDesign":
+        """Copy of this design with a different evaporator orientation."""
+        return replace(self, orientation=orientation, name=f"{self.name}@{orientation.value}")
+
+    def with_refrigerant(self, refrigerant_name: str) -> "ThermosyphonDesign":
+        """Copy of this design with a different refrigerant."""
+        get_refrigerant(refrigerant_name)
+        return replace(self, refrigerant_name=refrigerant_name, name=f"{self.name}@{refrigerant_name}")
+
+    def with_filling_ratio(self, filling_ratio: float) -> "ThermosyphonDesign":
+        """Copy of this design with a different filling ratio."""
+        return replace(self, filling_ratio=filling_ratio, name=f"{self.name}@fr{filling_ratio:.2f}")
+
+    def with_water(self, inlet_temperature_c: float, flow_rate_kg_h: float) -> "ThermosyphonDesign":
+        """Copy of this design with different nominal water conditions."""
+        return replace(
+            self,
+            water_inlet_temperature_c=inlet_temperature_c,
+            water_flow_rate_kg_h=flow_rate_kg_h,
+        )
+
+
+#: The workload- and platform-aware design proposed by the paper
+#: (Section VI): R236fa at a 55% filling ratio, channels running east-west
+#: with the quality-rich outlet over the die's dead area, 7 kg/h of water
+#: at 30 degC.
+PAPER_OPTIMIZED_DESIGN = ThermosyphonDesign(
+    name="paper_optimized",
+    refrigerant_name="R236fa",
+    filling_ratio=0.55,
+    orientation=Orientation.WEST_TO_EAST,
+    water_inlet_temperature_c=30.0,
+    water_flow_rate_kg_h=7.0,
+)
+
+#: The reference design of Seuret et al. [8]: sized for a uniform heat flux
+#: over the package, without considering the die floorplan.  The orientation
+#: (Design 2, north-to-south flow) and the slightly lower filling ratio make
+#: it the state-of-the-art baseline the paper compares against.
+SEURET_REFERENCE_DESIGN = ThermosyphonDesign(
+    name="seuret_reference",
+    refrigerant_name="R236fa",
+    filling_ratio=0.50,
+    orientation=Orientation.NORTH_TO_SOUTH,
+    water_inlet_temperature_c=30.0,
+    water_flow_rate_kg_h=7.0,
+)

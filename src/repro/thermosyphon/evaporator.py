@@ -1,0 +1,290 @@
+"""Micro-channel evaporator geometry and flow-boiling heat transfer model.
+
+The evaporator is a copper plate with parallel rectangular micro-channels
+machined into its top surface.  Refrigerant enters slightly subcooled, heats
+up to saturation, boils as it traverses the channel, and may dry out if the
+local vapor quality exceeds a critical value.  The local heat transfer
+coefficient is modelled with a standard flow-boiling composition: a Cooper
+pool-boiling (nucleate) term combined with a Dittus-Boelter convective term
+enhanced by the vapor quality, and a sharp degradation beyond the dryout
+quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.thermosyphon.refrigerant import Refrigerant
+from repro.utils.validation import check_fraction, check_positive
+
+
+#: Heat transfer coefficient of pure vapor convection after full dryout [W/m^2 K].
+VAPOR_PHASE_HTC_W_M2K = 400.0
+
+#: Fin efficiency applied to the channel side walls when converting the
+#: channel-wall HTC into an equivalent base-area HTC.
+FIN_EFFICIENCY = 0.82
+
+
+@dataclass(frozen=True)
+class EvaporatorGeometry:
+    """Geometry of the micro-channel evaporator.
+
+    The evaporator base covers the heat-spreader footprint.  Channels run
+    across the full base in the direction given by the orientation; the
+    channel/fin pitch fixes how many parallel channels fit.
+    """
+
+    base_width_mm: float = 38.0
+    base_height_mm: float = 38.0
+    channel_width_mm: float = 0.5
+    channel_depth_mm: float = 1.5
+    fin_width_mm: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_width_mm, "base_width_mm")
+        check_positive(self.base_height_mm, "base_height_mm")
+        check_positive(self.channel_width_mm, "channel_width_mm")
+        check_positive(self.channel_depth_mm, "channel_depth_mm")
+        check_positive(self.fin_width_mm, "fin_width_mm")
+
+    @property
+    def channel_pitch_mm(self) -> float:
+        """Channel-to-channel pitch (channel plus fin width)."""
+        return self.channel_width_mm + self.fin_width_mm
+
+    def n_channels(self, span_mm: float) -> int:
+        """Number of channels that fit across ``span_mm``."""
+        return max(int(span_mm / self.channel_pitch_mm), 1)
+
+    @property
+    def hydraulic_diameter_m(self) -> float:
+        """Hydraulic diameter of one rectangular channel in metres."""
+        w = self.channel_width_mm * 1e-3
+        d = self.channel_depth_mm * 1e-3
+        return 4.0 * w * d / (2.0 * (w + d))
+
+    @property
+    def channel_flow_area_m2(self) -> float:
+        """Cross-sectional flow area of one channel in m^2."""
+        return (self.channel_width_mm * 1e-3) * (self.channel_depth_mm * 1e-3)
+
+    @property
+    def area_enhancement(self) -> float:
+        """Wetted-perimeter to base-pitch ratio (fin area enhancement).
+
+        Converts a channel-wall heat transfer coefficient into an equivalent
+        coefficient per unit of evaporator base area.
+        """
+        wetted = self.channel_width_mm + 2.0 * self.channel_depth_mm * FIN_EFFICIENCY
+        return wetted / self.channel_pitch_mm
+
+
+@dataclass
+class ChannelSolution:
+    """Per-cell state along one micro-channel lane (flow direction order)."""
+
+    quality: np.ndarray
+    fluid_temperature_c: np.ndarray
+    base_htc_w_m2k: np.ndarray
+    dryout: bool
+
+    @property
+    def outlet_quality(self) -> float:
+        """Vapor quality at the channel outlet."""
+        return float(self.quality[-1])
+
+
+class EvaporatorModel:
+    """Flow-boiling heat transfer along the evaporator channels."""
+
+    def __init__(
+        self,
+        refrigerant: Refrigerant,
+        geometry: EvaporatorGeometry | None = None,
+        *,
+        dryout_quality: float = 0.85,
+    ) -> None:
+        self.refrigerant = refrigerant
+        self.geometry = geometry if geometry is not None else EvaporatorGeometry()
+        self.dryout_quality = check_fraction(dryout_quality, "dryout_quality")
+
+    # ------------------------------------------------------------------ #
+    # Local heat transfer coefficients (channel-wall referenced)
+    # ------------------------------------------------------------------ #
+    def single_phase_htc_w_m2k(self, mass_flux_kg_m2s: float) -> float:
+        """Liquid single-phase HTC from Dittus-Boelter with a laminar floor."""
+        check_positive(mass_flux_kg_m2s, "mass_flux_kg_m2s")
+        refrigerant = self.refrigerant
+        diameter = self.geometry.hydraulic_diameter_m
+        reynolds = mass_flux_kg_m2s * diameter / refrigerant.liquid_viscosity_pa_s
+        prandtl = refrigerant.liquid_prandtl()
+        nusselt_turbulent = 0.023 * reynolds**0.8 * prandtl**0.4
+        nusselt = max(4.36, nusselt_turbulent)
+        return nusselt * refrigerant.liquid_conductivity_w_mk / diameter
+
+    def nucleate_boiling_htc_w_m2k(self, heat_flux_w_m2: float, t_sat_c: float) -> float:
+        """Cooper pool-boiling correlation."""
+        heat_flux_w_m2 = max(heat_flux_w_m2, 100.0)
+        reduced = self.refrigerant.reduced_pressure(t_sat_c)
+        molar_mass = self.refrigerant.molar_mass_kg_kmol
+        return (
+            55.0
+            * reduced**0.12
+            * (-math.log10(reduced)) ** (-0.55)
+            * molar_mass ** (-0.5)
+            * heat_flux_w_m2**0.67
+        )
+
+    def two_phase_htc_w_m2k(
+        self,
+        quality: float,
+        mass_flux_kg_m2s: float,
+        heat_flux_w_m2: float,
+        t_sat_c: float,
+    ) -> float:
+        """Channel-wall HTC in the saturated boiling regime.
+
+        In micro-channel flow boiling at the heat fluxes of interest the
+        nucleate term dominates at low quality; as the vapor quality grows
+        the liquid film thins and intermittent local dryout progressively
+        degrades the coefficient, until the dryout quality is reached and it
+        collapses towards single-phase vapor cooling.  This monotone
+        degradation with quality is what makes the evaporator inlet cool
+        better than its outlet — the effect the paper's orientation choice
+        and channel-row mapping rule exploit.
+        """
+        quality = min(max(quality, 0.0), 1.0)
+        h_liquid = self.single_phase_htc_w_m2k(mass_flux_kg_m2s)
+        h_nucleate = self.nucleate_boiling_htc_w_m2k(heat_flux_w_m2, t_sat_c)
+        convective_enhancement = 1.0 + 1.0 * quality**0.8
+        h_convective = h_liquid * convective_enhancement
+        h_wet = (h_nucleate**2 + h_convective**2) ** 0.5
+
+        # Progressive film-thinning degradation before full dryout.
+        onset_quality = 0.10
+        if quality > onset_quality:
+            span = max(self.dryout_quality - onset_quality, 1e-6)
+            progress = min((quality - onset_quality) / span, 1.0)
+            h_wet *= 1.0 - 0.65 * progress
+
+        if quality <= self.dryout_quality:
+            return h_wet
+        # Collapse from the dryout quality to pure vapor cooling.
+        span = max(1.0 - self.dryout_quality, 1e-6)
+        weight = (quality - self.dryout_quality) / span
+        return h_wet * (1.0 - weight) + VAPOR_PHASE_HTC_W_M2K * weight
+
+    def base_htc_w_m2k(
+        self,
+        quality: float,
+        mass_flux_kg_m2s: float,
+        heat_flux_w_m2: float,
+        t_sat_c: float,
+        *,
+        subcooled: bool = False,
+    ) -> float:
+        """Heat transfer coefficient referenced to the evaporator base area."""
+        if subcooled:
+            wall_htc = self.single_phase_htc_w_m2k(mass_flux_kg_m2s) * 1.5
+        else:
+            wall_htc = self.two_phase_htc_w_m2k(
+                quality, mass_flux_kg_m2s, heat_flux_w_m2, t_sat_c
+            )
+        return wall_htc * self.geometry.area_enhancement
+
+    # ------------------------------------------------------------------ #
+    # Channel marching
+    # ------------------------------------------------------------------ #
+    def solve_channel(
+        self,
+        heat_per_cell_w: np.ndarray,
+        mass_flow_kg_s: float,
+        t_sat_c: float,
+        *,
+        inlet_subcooling_c: float = 3.0,
+        inlet_quality: float = 0.0,
+        cell_base_area_m2: float,
+        saturation_slope_c_per_cell: float = 0.0,
+    ) -> ChannelSolution:
+        """March the refrigerant state along one channel lane.
+
+        Parameters
+        ----------
+        heat_per_cell_w:
+            Heat absorbed from the base in each cell along the flow
+            direction (W); the first entry is the inlet cell.
+        mass_flow_kg_s:
+            Refrigerant mass flow through this lane.
+        t_sat_c:
+            Saturation temperature set by the condenser.
+        inlet_subcooling_c:
+            How far below saturation the liquid enters.
+        inlet_quality:
+            Non-zero when the filling ratio is too low and vapor reaches the
+            evaporator inlet.
+        cell_base_area_m2:
+            Base area of one grid cell, used to convert heat to heat flux.
+        saturation_slope_c_per_cell:
+            Small decrease of the local saturation temperature along the
+            channel caused by the two-phase pressure drop.
+        """
+        heat_per_cell_w = np.asarray(heat_per_cell_w, dtype=float)
+        if heat_per_cell_w.ndim != 1:
+            raise ValidationError("heat_per_cell_w must be one-dimensional")
+        check_positive(mass_flow_kg_s, "mass_flow_kg_s")
+        check_positive(cell_base_area_m2, "cell_base_area_m2")
+
+        refrigerant = self.refrigerant
+        latent = refrigerant.latent_heat_j_kg(t_sat_c)
+        cp_liquid = refrigerant.liquid_specific_heat_j_kgk
+        mass_flux = mass_flow_kg_s / self.geometry.channel_flow_area_m2
+        enhancement = self.geometry.area_enhancement
+
+        n_cells = heat_per_cell_w.size
+        quality = np.zeros(n_cells, dtype=float)
+        fluid_temperature = np.zeros(n_cells, dtype=float)
+        htc = np.zeros(n_cells, dtype=float)
+
+        current_quality = min(max(inlet_quality, 0.0), 1.0)
+        subcooling = max(inlet_subcooling_c, 0.0) if current_quality == 0.0 else 0.0
+        dryout = False
+
+        for index in range(n_cells):
+            local_t_sat = t_sat_c - saturation_slope_c_per_cell * index
+            cell_heat = float(heat_per_cell_w[index])
+            heat_flux = cell_heat / (cell_base_area_m2 * enhancement)
+
+            if subcooling > 0.0:
+                # Sensible heating region: the liquid warms towards saturation.
+                fluid_temperature[index] = local_t_sat - subcooling
+                htc[index] = self.base_htc_w_m2k(
+                    0.0, mass_flux, heat_flux, local_t_sat, subcooled=True
+                )
+                temperature_rise = cell_heat / max(mass_flow_kg_s * cp_liquid, 1e-9)
+                subcooling = max(subcooling - temperature_rise, 0.0)
+                quality[index] = 0.0
+                continue
+
+            # Saturated boiling region.
+            fluid_temperature[index] = local_t_sat
+            htc[index] = self.base_htc_w_m2k(
+                current_quality, mass_flux, heat_flux, local_t_sat
+            )
+            current_quality = min(
+                current_quality + cell_heat / max(mass_flow_kg_s * latent, 1e-9), 1.0
+            )
+            quality[index] = current_quality
+            if current_quality > self.dryout_quality:
+                dryout = True
+
+        return ChannelSolution(
+            quality=quality,
+            fluid_temperature_c=fluid_temperature,
+            base_htc_w_m2k=htc,
+            dryout=dryout,
+        )

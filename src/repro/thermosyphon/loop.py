@@ -1,0 +1,268 @@
+"""Gravity-driven thermosyphon loop solver.
+
+Couples the condenser energy balance (which sets the saturation temperature
+for a given heat load and water condition), the gravity-driven circulation
+(driving head from the density difference between the liquid downcomer and
+the two-phase riser, balanced against the loop friction), the filling-ratio
+effects (inlet subcooling, inlet quality, condenser flooding), and the
+evaporator channel model (per-cell heat transfer coefficient and fluid
+temperature for the thermal simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.thermal.boundary import CoolingBoundary
+from repro.thermosyphon.condenser import CondenserModel
+from repro.thermosyphon.design import ThermosyphonDesign
+from repro.thermosyphon.evaporator import EvaporatorModel
+from repro.thermosyphon.water_loop import WaterLoop
+from repro.utils.units import GRAVITY
+from repro.utils.validation import check_non_negative, check_positive
+
+
+#: Standard deviation (mm) of the Gaussian kernel used to approximate heat
+#: spreading between the die and the evaporator channels.
+HEAT_SPREADING_SIGMA_MM = 1.5
+
+
+@dataclass(frozen=True)
+class FillingRatioEffects:
+    """How the refrigerant charge level influences the loop."""
+
+    inlet_subcooling_c: float
+    inlet_quality: float
+    flooding_penalty: float
+    head_factor: float
+
+
+@dataclass(frozen=True)
+class LoopOperatingPoint:
+    """Converged thermodynamic state of the thermosyphon loop."""
+
+    total_heat_w: float
+    saturation_temperature_c: float
+    mass_flow_kg_s: float
+    inlet_subcooling_c: float
+    inlet_quality: float
+    mean_outlet_quality: float
+    water_outlet_temperature_c: float
+    condenser_effectiveness: float
+    iterations: int
+
+    @property
+    def mass_flow_kg_h(self) -> float:
+        """Refrigerant circulation rate in kg/h."""
+        return self.mass_flow_kg_s * 3600.0
+
+
+@dataclass
+class BoundaryResult:
+    """Cooling boundary plus evaporator-side diagnostics."""
+
+    boundary: CoolingBoundary
+    outlet_quality_per_lane: np.ndarray
+    max_quality: float
+    dryout: bool
+
+
+class ThermosyphonLoop:
+    """System-level model of one thermosyphon attached to one CPU."""
+
+    def __init__(self, design: ThermosyphonDesign) -> None:
+        self.design = design
+        self.refrigerant = design.refrigerant
+        effects = self.filling_ratio_effects()
+        self.condenser = CondenserModel(
+            design.condenser_ua_w_per_k, flooding_penalty=effects.flooding_penalty
+        )
+        self.evaporator = EvaporatorModel(
+            self.refrigerant,
+            design.evaporator_geometry,
+            dryout_quality=design.dryout_quality,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Filling ratio
+    # ------------------------------------------------------------------ #
+    def filling_ratio_effects(self) -> FillingRatioEffects:
+        """Inlet subcooling, inlet quality, flooding and head factors.
+
+        The filling ratio is a design-time charge level.  Around the optimum
+        (~55%) the downcomer stays full of liquid (maximum driving head and
+        a few degrees of subcooling at the evaporator inlet).  Undercharging
+        starves the downcomer — the driving head shrinks and vapor reaches
+        the evaporator inlet.  Overcharging floods part of the condenser,
+        reducing its effective surface.
+        """
+        fr = self.design.filling_ratio
+        # Subcooling grows with charge until the downcomer is full (~0.5).
+        inlet_subcooling = min(max(8.0 * (fr - 0.30), 0.0), 4.0)
+        # Severe undercharge lets vapor recirculate to the evaporator inlet.
+        inlet_quality = min(max(0.35 - fr, 0.0) * 0.6, 0.3)
+        # Overcharge floods condenser surface.
+        flooding_penalty = min(max(fr - 0.62, 0.0) * 1.6, 0.6)
+        # The driving head needs a full liquid leg.
+        head_factor = min(fr / 0.50, 1.0)
+        return FillingRatioEffects(
+            inlet_subcooling_c=inlet_subcooling,
+            inlet_quality=inlet_quality,
+            flooding_penalty=flooding_penalty,
+            head_factor=head_factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Loop thermodynamics
+    # ------------------------------------------------------------------ #
+    def solve_mass_flow(
+        self, total_heat_w: float, saturation_temperature_c: float, inlet_quality: float
+    ) -> tuple[float, float, int]:
+        """Gravity/friction balance; returns (mass flow, outlet quality, iterations)."""
+        check_non_negative(total_heat_w, "total_heat_w")
+        design = self.design
+        refrigerant = self.refrigerant
+        effects = self.filling_ratio_effects()
+        latent = refrigerant.latent_heat_j_kg(saturation_temperature_c)
+        rho_liquid = refrigerant.liquid_density_kg_m3(saturation_temperature_c)
+
+        mass_flow = 1.0e-3  # kg/s initial guess
+        outlet_quality = inlet_quality
+        for iteration in range(1, 61):
+            if total_heat_w <= 0.0:
+                return mass_flow, inlet_quality, iteration
+            outlet_quality = min(inlet_quality + total_heat_w / (mass_flow * latent), 1.0)
+            mean_quality = 0.5 * (inlet_quality + outlet_quality)
+            rho_riser = refrigerant.two_phase_density_kg_m3(
+                saturation_temperature_c, mean_quality
+            )
+            driving_pa = (
+                (rho_liquid - rho_riser)
+                * GRAVITY
+                * design.riser_height_m
+                * effects.head_factor
+            )
+            driving_pa = max(driving_pa, 1.0)
+            new_mass_flow = (driving_pa / design.loop_friction_coefficient) ** 0.5
+            if abs(new_mass_flow - mass_flow) < 1e-8:
+                return new_mass_flow, outlet_quality, iteration
+            mass_flow = 0.5 * mass_flow + 0.5 * new_mass_flow
+        raise ConvergenceError("thermosyphon mass-flow iteration did not converge")
+
+    def operating_point(
+        self, total_heat_w: float, water_loop: WaterLoop | None = None
+    ) -> LoopOperatingPoint:
+        """Converged loop state for a total heat load and water condition."""
+        check_non_negative(total_heat_w, "total_heat_w")
+        if water_loop is None:
+            water_loop = self.design.water_loop()
+        effects = self.filling_ratio_effects()
+        condenser_point = self.condenser.required_saturation_temperature_c(
+            total_heat_w, water_loop
+        )
+        mass_flow, outlet_quality, iterations = self.solve_mass_flow(
+            total_heat_w, condenser_point.saturation_temperature_c, effects.inlet_quality
+        )
+        return LoopOperatingPoint(
+            total_heat_w=total_heat_w,
+            saturation_temperature_c=condenser_point.saturation_temperature_c,
+            mass_flow_kg_s=mass_flow,
+            inlet_subcooling_c=effects.inlet_subcooling_c,
+            inlet_quality=effects.inlet_quality,
+            mean_outlet_quality=outlet_quality,
+            water_outlet_temperature_c=condenser_point.water_outlet_temperature_c,
+            condenser_effectiveness=condenser_point.effectiveness,
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Boundary condition for the thermal simulator
+    # ------------------------------------------------------------------ #
+    def cooling_boundary(
+        self,
+        power_map_w: np.ndarray,
+        cell_pitch_mm: tuple[float, float],
+        operating_point: LoopOperatingPoint | None = None,
+        *,
+        water_loop: WaterLoop | None = None,
+    ) -> BoundaryResult:
+        """Per-cell HTC and fluid temperature for a die power map.
+
+        The die power map is smoothed with a Gaussian kernel to approximate
+        lateral spreading through the heat spreader, split into channel
+        lanes according to the design orientation, and each lane is marched
+        with the evaporator flow-boiling model.
+        """
+        power_map_w = np.asarray(power_map_w, dtype=float)
+        if power_map_w.ndim != 2:
+            raise ValidationError("power map must be two-dimensional")
+        pitch_x_mm, pitch_y_mm = cell_pitch_mm
+        check_positive(pitch_x_mm, "pitch_x_mm")
+        check_positive(pitch_y_mm, "pitch_y_mm")
+        if operating_point is None:
+            operating_point = self.operating_point(float(power_map_w.sum()), water_loop)
+
+        total_power = float(power_map_w.sum())
+        smoothed = gaussian_filter(
+            power_map_w,
+            sigma=(HEAT_SPREADING_SIGMA_MM / pitch_y_mm, HEAT_SPREADING_SIGMA_MM / pitch_x_mm),
+            mode="nearest",
+        )
+        if smoothed.sum() > 0.0:
+            smoothed *= total_power / smoothed.sum()
+
+        n_rows, n_columns = power_map_w.shape
+        orientation = self.design.orientation
+        n_lanes = orientation.channel_count(n_rows, n_columns)
+        flow_per_lane = operating_point.mass_flow_kg_s / n_lanes
+        cell_area_m2 = (pitch_x_mm * 1e-3) * (pitch_y_mm * 1e-3)
+
+        htc = np.zeros_like(power_map_w)
+        fluid = np.full_like(power_map_w, operating_point.saturation_temperature_c)
+        outlet_qualities = np.zeros(n_lanes, dtype=float)
+        dryout = False
+        max_quality = 0.0
+
+        for lane in range(n_lanes):
+            if orientation.channels_run_east_west:
+                lane_heat = smoothed[lane, :]
+            else:
+                lane_heat = smoothed[:, lane]
+            if orientation.flow_reversed:
+                lane_heat = lane_heat[::-1]
+
+            solution = self.evaporator.solve_channel(
+                lane_heat,
+                flow_per_lane,
+                operating_point.saturation_temperature_c,
+                inlet_subcooling_c=operating_point.inlet_subcooling_c,
+                inlet_quality=operating_point.inlet_quality,
+                cell_base_area_m2=cell_area_m2,
+                saturation_slope_c_per_cell=0.015,
+            )
+            lane_htc = solution.base_htc_w_m2k
+            lane_fluid = solution.fluid_temperature_c
+            if orientation.flow_reversed:
+                lane_htc = lane_htc[::-1]
+                lane_fluid = lane_fluid[::-1]
+            if orientation.channels_run_east_west:
+                htc[lane, :] = lane_htc
+                fluid[lane, :] = lane_fluid
+            else:
+                htc[:, lane] = lane_htc
+                fluid[:, lane] = lane_fluid
+
+            outlet_qualities[lane] = solution.outlet_quality
+            max_quality = max(max_quality, float(solution.quality.max()))
+            dryout = dryout or solution.dryout
+
+        return BoundaryResult(
+            boundary=CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=fluid),
+            outlet_quality_per_lane=outlet_qualities,
+            max_quality=max_quality,
+            dryout=dryout,
+        )

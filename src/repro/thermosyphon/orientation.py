@@ -1,0 +1,78 @@
+"""Evaporator orientation: micro-channel direction and flow sense.
+
+The thermosyphon can be mounted in four orientations on the square heat
+spreader.  The orientation fixes (i) the axis along which the micro-channels
+run and therefore which cores share a channel, and (ii) the direction in
+which the refrigerant flows, which matters because the fluid enters slightly
+subcooled and its quality — and eventually dryout risk — grows downstream.
+
+The paper's *Design 1* routes the flow eastwards (channels run east-west,
+inlet on the west edge) so that the quality-rich downstream end of the
+channels sits over the dead, power-free area on the east side of the die.
+*Design 2* routes the flow from north to south.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Orientation(enum.Enum):
+    """Flow orientation of the evaporator micro-channels."""
+
+    WEST_TO_EAST = "west_to_east"
+    EAST_TO_WEST = "east_to_west"
+    NORTH_TO_SOUTH = "north_to_south"
+    SOUTH_TO_NORTH = "south_to_north"
+
+    @property
+    def channels_run_east_west(self) -> bool:
+        """True if channels are horizontal (each grid row is a channel)."""
+        return self in (Orientation.WEST_TO_EAST, Orientation.EAST_TO_WEST)
+
+    @property
+    def channels_run_north_south(self) -> bool:
+        """True if channels are vertical (each grid column is a channel)."""
+        return not self.channels_run_east_west
+
+    @property
+    def flow_reversed(self) -> bool:
+        """True if the flow runs against the grid index direction.
+
+        Grid columns increase eastwards and grid rows increase northwards, so
+        WEST_TO_EAST and SOUTH_TO_NORTH follow increasing indices while the
+        other two orientations run against them.
+        """
+        return self in (Orientation.EAST_TO_WEST, Orientation.NORTH_TO_SOUTH)
+
+    def channel_count(self, n_rows: int, n_columns: int) -> int:
+        """Number of grid lanes acting as channels for a given grid shape."""
+        return n_rows if self.channels_run_east_west else n_columns
+
+    def cells_per_channel(self, n_rows: int, n_columns: int) -> int:
+        """Number of grid cells along one channel."""
+        return n_columns if self.channels_run_east_west else n_rows
+
+    def inlet_edge(self) -> str:
+        """Compass name of the edge where the subcooled refrigerant enters."""
+        return {
+            Orientation.WEST_TO_EAST: "west",
+            Orientation.EAST_TO_WEST: "east",
+            Orientation.NORTH_TO_SOUTH: "north",
+            Orientation.SOUTH_TO_NORTH: "south",
+        }[self]
+
+    def inlet_point_mm(self, outline_x: float, outline_y: float, width: float, height: float) -> tuple[float, float]:
+        """Centre of the inlet edge in floorplan millimetres.
+
+        Used by the inlet-first baseline mapping policy ([7]), which loads
+        the cores closest to the coolant inlet first.
+        """
+        centre_x = outline_x + width / 2.0
+        centre_y = outline_y + height / 2.0
+        return {
+            Orientation.WEST_TO_EAST: (outline_x, centre_y),
+            Orientation.EAST_TO_WEST: (outline_x + width, centre_y),
+            Orientation.NORTH_TO_SOUTH: (centre_x, outline_y + height),
+            Orientation.SOUTH_TO_NORTH: (centre_x, outline_y),
+        }[self]

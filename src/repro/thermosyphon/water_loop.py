@@ -1,0 +1,84 @@
+"""Chilled-water loop feeding the thermosyphon condenser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+from repro.utils.units import WATER_DENSITY, WATER_SPECIFIC_HEAT, kg_per_hour_to_kg_per_second
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class WaterLoop:
+    """Operating point of the condenser water loop.
+
+    The paper's thermosyphon is equipped with a flow meter and valve so the
+    flow rate can be adjusted at runtime; the inlet temperature is set per
+    rack by the chiller and changes only slowly.
+    """
+
+    inlet_temperature_c: float
+    flow_rate_kg_h: float
+    min_flow_rate_kg_h: float = 2.0
+    max_flow_rate_kg_h: float = 30.0
+    specific_heat_j_kgk: float = WATER_SPECIFIC_HEAT
+    density_kg_m3: float = WATER_DENSITY
+
+    def __post_init__(self) -> None:
+        check_positive(self.flow_rate_kg_h, "flow_rate_kg_h")
+        check_positive(self.min_flow_rate_kg_h, "min_flow_rate_kg_h")
+        check_positive(self.max_flow_rate_kg_h, "max_flow_rate_kg_h")
+        check_positive(self.specific_heat_j_kgk, "specific_heat_j_kgk")
+        check_positive(self.density_kg_m3, "density_kg_m3")
+        if self.min_flow_rate_kg_h > self.max_flow_rate_kg_h:
+            raise ConfigurationError("min_flow_rate_kg_h must be <= max_flow_rate_kg_h")
+        if not (self.min_flow_rate_kg_h <= self.flow_rate_kg_h <= self.max_flow_rate_kg_h):
+            raise ConfigurationError(
+                f"flow rate {self.flow_rate_kg_h} kg/h outside the valve range "
+                f"[{self.min_flow_rate_kg_h}, {self.max_flow_rate_kg_h}]"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def mass_flow_kg_s(self) -> float:
+        """Mass flow rate in kg/s."""
+        return kg_per_hour_to_kg_per_second(self.flow_rate_kg_h)
+
+    @property
+    def volumetric_flow_l_s(self) -> float:
+        """Volumetric flow rate in litres per second."""
+        return self.mass_flow_kg_s / self.density_kg_m3 * 1000.0
+
+    @property
+    def heat_capacity_rate_w_per_k(self) -> float:
+        """``m_dot * c_p`` in W/K."""
+        return self.mass_flow_kg_s * self.specific_heat_j_kgk
+
+    def outlet_temperature_c(self, heat_w: float) -> float:
+        """Water outlet temperature after absorbing ``heat_w``."""
+        check_non_negative(heat_w, "heat_w")
+        return self.inlet_temperature_c + heat_w / self.heat_capacity_rate_w_per_k
+
+    def delta_t_c(self, heat_w: float) -> float:
+        """Water temperature rise across the condenser."""
+        return self.outlet_temperature_c(heat_w) - self.inlet_temperature_c
+
+    # ------------------------------------------------------------------ #
+    # Actuation
+    # ------------------------------------------------------------------ #
+    def with_flow_rate(self, flow_rate_kg_h: float) -> "WaterLoop":
+        """Copy with a new flow rate, clamped to the valve range."""
+        clamped = min(max(flow_rate_kg_h, self.min_flow_rate_kg_h), self.max_flow_rate_kg_h)
+        return replace(self, flow_rate_kg_h=clamped)
+
+    def with_inlet_temperature(self, inlet_temperature_c: float) -> "WaterLoop":
+        """Copy with a new inlet (chiller supply) temperature."""
+        return replace(self, inlet_temperature_c=inlet_temperature_c)
+
+    @property
+    def at_maximum_flow(self) -> bool:
+        """True when the valve is fully open."""
+        return abs(self.flow_rate_kg_h - self.max_flow_rate_kg_h) < 1e-9

@@ -1,0 +1,42 @@
+"""Shared utilities: unit conversions, validation, interpolation, geometry."""
+
+from repro.utils.units import (
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    kg_per_hour_to_kg_per_second,
+    kg_per_second_to_kg_per_hour,
+    litre_per_second_to_cubic_metre_per_second,
+    mm_to_m,
+    m_to_mm,
+    mm2_to_m2,
+    watts_per_cm2_to_watts_per_m2,
+)
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_fraction,
+)
+from repro.utils.geometry import Rect
+from repro.utils.interpolation import LinearTable1D, clamp
+
+__all__ = [
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "kg_per_hour_to_kg_per_second",
+    "kg_per_second_to_kg_per_hour",
+    "litre_per_second_to_cubic_metre_per_second",
+    "mm_to_m",
+    "m_to_mm",
+    "mm2_to_m2",
+    "watts_per_cm2_to_watts_per_m2",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_fraction",
+    "Rect",
+    "LinearTable1D",
+    "clamp",
+]

@@ -1,0 +1,91 @@
+"""Planar geometry primitives used by floorplans and thermal grids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_finite, check_positive
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle in millimetres.
+
+    ``x`` and ``y`` locate the lower-left corner; ``width`` extends along the
+    x axis (east) and ``height`` along the y axis (north).  Floorplans and the
+    thermal grid share this convention, so "a row of the grid" corresponds to
+    a horizontal band of constant ``y``.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        check_finite(self.x, "x")
+        check_finite(self.y, "y")
+        check_positive(self.width, "width")
+        check_positive(self.height, "height")
+
+    @property
+    def x2(self) -> float:
+        """Right (east) edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top (north) edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Rectangle area in mm^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centre point ``(cx, cy)``."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """Return True if ``(px, py)`` lies inside or on the boundary."""
+        return self.x <= px <= self.x2 and self.y <= py <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return True if ``other`` lies fully within this rectangle."""
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection with ``other`` (0.0 if disjoint)."""
+        dx = min(self.x2, other.x2) - max(self.x, other.x)
+        dy = min(self.y2, other.y2) - max(self.y, other.y)
+        if dx <= 0.0 or dy <= 0.0:
+            return 0.0
+        return dx * dy
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True if the two rectangles overlap with non-zero area."""
+        return self.overlap_area(other) > 0.0
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def scaled(self, factor: float) -> "Rect":
+        """Return a copy with both dimensions scaled about the origin."""
+        if factor <= 0.0:
+            raise ValidationError(f"scale factor must be > 0, got {factor!r}")
+        return Rect(self.x * factor, self.y * factor, self.width * factor, self.height * factor)
+
+    def distance_to(self, other: "Rect") -> float:
+        """Euclidean distance between rectangle centres in millimetres."""
+        cx1, cy1 = self.center
+        cx2, cy2 = other.center
+        return ((cx1 - cx2) ** 2 + (cy1 - cy2) ** 2) ** 0.5

@@ -1,0 +1,71 @@
+"""Small interpolation helpers shared by the property and power models."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValidationError(f"clamp: low ({low}) must be <= high ({high})")
+    return min(max(value, low), high)
+
+
+class LinearTable1D:
+    """Piecewise-linear interpolation table with edge clamping.
+
+    Refrigerant saturation curves and per-frequency power tables are stored as
+    small monotone tables; queries outside the table range are clamped to the
+    end points, which is the conservative behaviour for design sweeps.
+    """
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        xs_arr = np.asarray(xs, dtype=float)
+        ys_arr = np.asarray(ys, dtype=float)
+        if xs_arr.ndim != 1 or ys_arr.ndim != 1:
+            raise ValidationError("LinearTable1D expects one-dimensional sequences")
+        if xs_arr.size != ys_arr.size:
+            raise ValidationError(
+                f"LinearTable1D: xs and ys lengths differ ({xs_arr.size} vs {ys_arr.size})"
+            )
+        if xs_arr.size < 2:
+            raise ValidationError("LinearTable1D needs at least two points")
+        if not np.all(np.diff(xs_arr) > 0):
+            raise ValidationError("LinearTable1D: xs must be strictly increasing")
+        if not (np.all(np.isfinite(xs_arr)) and np.all(np.isfinite(ys_arr))):
+            raise ValidationError("LinearTable1D: xs and ys must be finite")
+        self._xs = xs_arr
+        self._ys = ys_arr
+
+    @property
+    def x_min(self) -> float:
+        """Smallest abscissa in the table."""
+        return float(self._xs[0])
+
+    @property
+    def x_max(self) -> float:
+        """Largest abscissa in the table."""
+        return float(self._xs[-1])
+
+    def __call__(self, x: float) -> float:
+        """Interpolate at ``x``, clamping outside the table range."""
+        return float(np.interp(x, self._xs, self._ys))
+
+    def inverse(self, y: float) -> float:
+        """Interpolate the abscissa for ``y`` (requires monotone ys)."""
+        ys = self._ys
+        xs = self._xs
+        if np.all(np.diff(ys) > 0):
+            return float(np.interp(y, ys, xs))
+        if np.all(np.diff(ys) < 0):
+            return float(np.interp(y, ys[::-1], xs[::-1]))
+        raise ValidationError("LinearTable1D.inverse requires strictly monotone ys")
+
+    def sample(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorised interpolation over ``xs``."""
+        return np.interp(np.asarray(xs, dtype=float), self._xs, self._ys)

@@ -1,0 +1,80 @@
+"""Unit conversion helpers.
+
+The library uses SI units internally (metres, kilograms, seconds, Kelvin for
+absolute temperatures, Watts).  Temperatures exposed to users are in degrees
+Celsius because the paper reports them that way; conversions are explicit.
+"""
+
+from __future__ import annotations
+
+#: Absolute zero offset between Celsius and Kelvin.
+KELVIN_OFFSET = 273.15
+
+#: Standard gravitational acceleration [m/s^2].
+GRAVITY = 9.81
+
+#: Specific heat capacity of liquid water around 30 degC [J/(kg K)].
+WATER_SPECIFIC_HEAT = 4180.0
+
+#: Density of liquid water around 30 degC [kg/m^3].
+WATER_DENSITY = 995.7
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return temperature_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(temperature_k: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return temperature_k - KELVIN_OFFSET
+
+
+def kg_per_hour_to_kg_per_second(flow_kg_h: float) -> float:
+    """Convert a mass flow rate from kg/h to kg/s."""
+    return flow_kg_h / 3600.0
+
+
+def kg_per_second_to_kg_per_hour(flow_kg_s: float) -> float:
+    """Convert a mass flow rate from kg/s to kg/h."""
+    return flow_kg_s * 3600.0
+
+
+def litre_per_second_to_cubic_metre_per_second(flow_l_s: float) -> float:
+    """Convert a volumetric flow rate from litres per second to m^3/s."""
+    return flow_l_s / 1000.0
+
+
+def cubic_metre_per_second_to_litre_per_second(flow_m3_s: float) -> float:
+    """Convert a volumetric flow rate from m^3/s to litres per second."""
+    return flow_m3_s * 1000.0
+
+
+def mm_to_m(length_mm: float) -> float:
+    """Convert a length from millimetres to metres."""
+    return length_mm * 1e-3
+
+
+def m_to_mm(length_m: float) -> float:
+    """Convert a length from metres to millimetres."""
+    return length_m * 1e3
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area from square millimetres to square metres."""
+    return area_mm2 * 1e-6
+
+
+def m2_to_mm2(area_m2: float) -> float:
+    """Convert an area from square metres to square millimetres."""
+    return area_m2 * 1e6
+
+
+def watts_per_cm2_to_watts_per_m2(flux_w_cm2: float) -> float:
+    """Convert a heat flux from W/cm^2 to W/m^2."""
+    return flux_w_cm2 * 1e4
+
+
+def watts_per_m2_to_watts_per_cm2(flux_w_m2: float) -> float:
+    """Convert a heat flux from W/m^2 to W/cm^2."""
+    return flux_w_m2 * 1e-4

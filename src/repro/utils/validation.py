@@ -1,0 +1,80 @@
+"""Argument validation helpers.
+
+Every public constructor in the library validates its numeric arguments with
+these helpers so that unit mistakes (negative areas, filling ratios above one,
+NaN temperatures) fail loudly at construction time rather than corrupting a
+simulation many calls later.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+
+
+def check_finite(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite number, raise otherwise."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is finite and strictly positive."""
+    value = check_finite(value, name)
+    if value <= 0.0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is finite and greater than or equal to zero."""
+    value = check_finite(value, name)
+    if value < 0.0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    low: float,
+    high: float,
+    name: str,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies within ``[low, high]`` (or ``(low, high)``)."""
+    value = check_finite(value, name)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValidationError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return ``value`` if it is a fraction in the closed interval [0, 1]."""
+    return check_in_range(value, 0.0, 1.0, name)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a strictly positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is an integer greater than or equal to zero."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value

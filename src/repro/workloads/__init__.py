@@ -1,0 +1,43 @@
+"""Workload models: PARSEC-like benchmarks, configurations, QoS and profiling.
+
+The paper characterises the PARSEC 3.0 suite on the target machine and feeds
+per-configuration power / execution-time vectors into Algorithm 1.  Running
+the real suite requires the physical machine, so this subsystem provides an
+analytical characterisation of the same 13 benchmarks: Amdahl-style scaling
+with the number of cores and threads, frequency sensitivity split between
+compute- and memory-bound fractions, and per-benchmark power parameters
+calibrated so that package power spans the 40.5-79.3 W range the paper
+reports.
+"""
+
+from repro.workloads.benchmark import BenchmarkCharacteristics
+from repro.workloads.configuration import (
+    Configuration,
+    baseline_configuration,
+    default_configuration_space,
+)
+from repro.workloads.parsec import (
+    PARSEC_BENCHMARKS,
+    PARSEC_BENCHMARK_NAMES,
+    get_benchmark,
+)
+from repro.workloads.qos import QoSConstraint, QoSRequirement
+from repro.workloads.profiler import ProfiledConfiguration, WorkloadProfiler
+from repro.workloads.trace import PhasedTrace, TracePhase, generate_trace
+
+__all__ = [
+    "BenchmarkCharacteristics",
+    "Configuration",
+    "baseline_configuration",
+    "default_configuration_space",
+    "PARSEC_BENCHMARKS",
+    "PARSEC_BENCHMARK_NAMES",
+    "get_benchmark",
+    "QoSConstraint",
+    "QoSRequirement",
+    "ProfiledConfiguration",
+    "WorkloadProfiler",
+    "PhasedTrace",
+    "TracePhase",
+    "generate_trace",
+]

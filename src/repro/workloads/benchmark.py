@@ -1,0 +1,111 @@
+"""Analytical benchmark characterisation.
+
+Each benchmark is summarised by a handful of parameters sufficient to
+reproduce its scaling behaviour across the (Nc, Nt, f) configuration space:
+
+* ``parallel_fraction`` — Amdahl parallel fraction ``p``.
+* ``memory_intensity`` — fraction of execution bound by memory, which does
+  not speed up with core frequency and drives uncore power.
+* ``smt_gain`` — throughput gain of the second hardware thread on a core
+  (0.25 means two threads deliver 1.25x the work of one).
+* ``core_dynamic_power_fmax_w`` — dynamic power of one core running one
+  thread of this benchmark at the nominal frequency.
+* ``baseline_time_s`` — execution time of the paper's reference
+  configuration (8 cores, 16 threads, nominal frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.power.core_power import CorePowerParameters
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacteristics:
+    """Static description of one benchmark's scaling and power behaviour."""
+
+    name: str
+    parallel_fraction: float
+    memory_intensity: float
+    smt_gain: float
+    core_dynamic_power_fmax_w: float
+    baseline_time_s: float
+    #: Maximum wakeup latency (microseconds) the benchmark tolerates for idle
+    #: cores; drives the C-state selection of the mapping policy.  A large
+    #: value means deep C-states are acceptable.
+    tolerable_idle_latency_us: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("benchmark name must not be empty")
+        check_fraction(self.parallel_fraction, "parallel_fraction")
+        check_fraction(self.memory_intensity, "memory_intensity")
+        check_fraction(self.smt_gain, "smt_gain")
+        check_positive(self.core_dynamic_power_fmax_w, "core_dynamic_power_fmax_w")
+        check_positive(self.baseline_time_s, "baseline_time_s")
+        check_positive(self.tolerable_idle_latency_us, "tolerable_idle_latency_us")
+
+    # ------------------------------------------------------------------ #
+    # Scaling model
+    # ------------------------------------------------------------------ #
+    def effective_parallelism(self, n_cores: int, threads_per_core: int) -> float:
+        """Effective number of hardware contexts seen by the parallel part."""
+        if n_cores < 1:
+            raise ConfigurationError(f"n_cores must be >= 1, got {n_cores}")
+        if threads_per_core not in (1, 2):
+            raise ConfigurationError(
+                f"threads_per_core must be 1 or 2, got {threads_per_core}"
+            )
+        return n_cores * (1.0 + self.smt_gain * (threads_per_core - 1))
+
+    def speedup(self, n_cores: int, threads_per_core: int) -> float:
+        """Amdahl speedup relative to one core running one thread."""
+        n_eff = self.effective_parallelism(n_cores, threads_per_core)
+        p = self.parallel_fraction
+        return 1.0 / ((1.0 - p) + p / n_eff)
+
+    def frequency_time_factor(self, frequency_ghz: float, nominal_ghz: float) -> float:
+        """Execution-time multiplier when running below the nominal frequency.
+
+        The compute-bound fraction scales inversely with frequency while the
+        memory-bound fraction is insensitive to it.
+        """
+        if frequency_ghz <= 0.0 or nominal_ghz <= 0.0:
+            raise ConfigurationError("frequencies must be positive")
+        m = self.memory_intensity
+        return (1.0 - m) * (nominal_ghz / frequency_ghz) + m
+
+    def execution_time_s(
+        self,
+        n_cores: int,
+        threads_per_core: int,
+        frequency_ghz: float,
+        *,
+        nominal_ghz: float = 3.2,
+        baseline_cores: int = 8,
+        baseline_threads_per_core: int = 2,
+    ) -> float:
+        """Execution time of an arbitrary configuration in seconds."""
+        baseline_speedup = self.speedup(baseline_cores, baseline_threads_per_core)
+        single_thread_time = self.baseline_time_s * baseline_speedup
+        time_at_fmax = single_thread_time / self.speedup(n_cores, threads_per_core)
+        return time_at_fmax * self.frequency_time_factor(frequency_ghz, nominal_ghz)
+
+    def normalized_execution_time(
+        self, n_cores: int, threads_per_core: int, frequency_ghz: float
+    ) -> float:
+        """Execution time normalised to the paper's baseline configuration."""
+        return self.execution_time_s(n_cores, threads_per_core, frequency_ghz) / self.baseline_time_s
+
+    # ------------------------------------------------------------------ #
+    # Power model hooks
+    # ------------------------------------------------------------------ #
+    def core_power_parameters(self, activity_factor: float = 1.0) -> CorePowerParameters:
+        """Per-core power parameters consumed by the server power model."""
+        return CorePowerParameters(
+            dynamic_power_fmax_w=self.core_dynamic_power_fmax_w,
+            activity_factor=activity_factor,
+        )

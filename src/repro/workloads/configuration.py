@@ -1,0 +1,86 @@
+"""Workload configurations ``(Nc, Nt, f)`` and the configuration space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.power.dvfs import CORE_FREQUENCIES_GHZ, FMAX_GHZ
+
+
+@dataclass(frozen=True, order=True)
+class Configuration:
+    """One operating configuration: number of cores, threads per core, frequency.
+
+    The paper writes configurations as ``(Nc, Nt, f)`` where ``Nt`` is the
+    *total* thread count; here we store threads per core (1 or 2) and expose
+    the total through :attr:`total_threads` to avoid ambiguity.
+    """
+
+    n_cores: int
+    threads_per_core: int
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigurationError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.threads_per_core not in (1, 2):
+            raise ConfigurationError(
+                f"threads_per_core must be 1 or 2, got {self.threads_per_core}"
+            )
+        if self.frequency_ghz <= 0.0:
+            raise ConfigurationError(
+                f"frequency_ghz must be > 0, got {self.frequency_ghz}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        """Total number of software threads across all assigned cores."""
+        return self.n_cores * self.threads_per_core
+
+    def label(self) -> str:
+        """The paper's ``(Nc, Nt, f)`` notation, e.g. ``(4, 8, 3.2GHz)``."""
+        return f"({self.n_cores}, {self.total_threads}, {self.frequency_ghz:.1f}GHz)"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+def baseline_configuration(n_cpu_cores: int = 8) -> Configuration:
+    """The paper's QoS reference: all cores, two threads each, nominal frequency."""
+    return Configuration(n_cores=n_cpu_cores, threads_per_core=2, frequency_ghz=FMAX_GHZ)
+
+
+def default_configuration_space(
+    n_cpu_cores: int = 8,
+    frequencies_ghz: tuple[float, ...] = CORE_FREQUENCIES_GHZ,
+    *,
+    min_cores: int = 1,
+) -> tuple[Configuration, ...]:
+    """Enumerate the full (Nc, Nt, f) configuration space of Algorithm 1.
+
+    ``Nc`` ranges from ``min_cores`` to the CPU core count, ``Nt`` per core is
+    1 or 2, and ``f`` spans the supported DVFS levels.
+    """
+    if min_cores < 1 or min_cores > n_cpu_cores:
+        raise ConfigurationError(
+            f"min_cores must be in [1, {n_cpu_cores}], got {min_cores}"
+        )
+    space = [
+        Configuration(n_cores=n_cores, threads_per_core=threads, frequency_ghz=freq)
+        for n_cores in range(min_cores, n_cpu_cores + 1)
+        for threads in (1, 2)
+        for freq in frequencies_ghz
+    ]
+    return tuple(space)
+
+
+def figure3_configuration_space() -> tuple[Configuration, ...]:
+    """The five configurations shown in the paper's Fig. 3 (all at fmax)."""
+    return (
+        Configuration(2, 2, FMAX_GHZ),
+        Configuration(4, 1, FMAX_GHZ),
+        Configuration(4, 2, FMAX_GHZ),
+        Configuration(8, 1, FMAX_GHZ),
+        Configuration(8, 2, FMAX_GHZ),
+    )

@@ -1,0 +1,88 @@
+"""PARSEC 3.0 benchmark characterisations.
+
+The thirteen multithreaded benchmarks the paper evaluates, described by the
+analytical model of :class:`~repro.workloads.benchmark.BenchmarkCharacteristics`.
+Parameter values are estimates based on published PARSEC characterisation
+studies (scaling behaviour, memory intensity) and calibrated so that the
+package power across the full configuration space spans the 40.5-79.3 W
+range the paper reports for the Xeon E5 v4.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.benchmark import BenchmarkCharacteristics
+
+
+def _benchmark(
+    name: str,
+    parallel_fraction: float,
+    memory_intensity: float,
+    smt_gain: float,
+    core_power_w: float,
+    baseline_time_s: float,
+    tolerable_idle_latency_us: float,
+) -> BenchmarkCharacteristics:
+    return BenchmarkCharacteristics(
+        name=name,
+        parallel_fraction=parallel_fraction,
+        memory_intensity=memory_intensity,
+        smt_gain=smt_gain,
+        core_dynamic_power_fmax_w=core_power_w,
+        baseline_time_s=baseline_time_s,
+        tolerable_idle_latency_us=tolerable_idle_latency_us,
+    )
+
+
+#: The PARSEC 3.0 benchmarks used in the paper's evaluation (Fig. 3).
+PARSEC_BENCHMARKS: dict[str, BenchmarkCharacteristics] = {
+    benchmark.name: benchmark
+    for benchmark in (
+        # name,              p,    mem,  smt,  P/core, T_ref, idle-latency budget (us)
+        _benchmark("blackscholes", 0.900, 0.15, 0.20, 4.00, 42.0, 150.0),
+        _benchmark("bodytrack", 0.820, 0.35, 0.24, 4.30, 66.0, 60.0),
+        _benchmark("canneal", 0.600, 0.85, 0.32, 3.60, 78.0, 150.0),
+        _benchmark("dedup", 0.680, 0.60, 0.28, 4.10, 47.0, 25.0),
+        _benchmark("facesim", 0.840, 0.55, 0.26, 4.80, 112.0, 60.0),
+        _benchmark("ferret", 0.880, 0.50, 0.27, 4.50, 86.0, 60.0),
+        _benchmark("fluidanimate", 0.850, 0.45, 0.25, 4.70, 81.0, 25.0),
+        _benchmark("freqmine", 0.870, 0.40, 0.24, 4.40, 96.0, 150.0),
+        _benchmark("raytrace", 0.780, 0.30, 0.22, 4.20, 71.0, 60.0),
+        _benchmark("streamcluster", 0.650, 0.90, 0.34, 3.80, 102.0, 150.0),
+        _benchmark("swaptions", 0.920, 0.10, 0.18, 5.00, 56.0, 150.0),
+        _benchmark("vips", 0.830, 0.45, 0.26, 4.60, 61.0, 25.0),
+        _benchmark("x264", 0.750, 0.50, 0.28, 5.40, 52.0, 8.0),
+    )
+}
+
+#: Benchmark names in the order the paper's Fig. 3 legend lists them.
+PARSEC_BENCHMARK_NAMES: tuple[str, ...] = (
+    "blackscholes",
+    "bodytrack",
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "freqmine",
+    "raytrace",
+    "swaptions",
+    "vips",
+    "x264",
+    "canneal",
+    "dedup",
+    "streamcluster",
+)
+
+
+def get_benchmark(name: str) -> BenchmarkCharacteristics:
+    """Return the characterisation of ``name`` or raise ``ConfigurationError``."""
+    try:
+        return PARSEC_BENCHMARKS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; available: {sorted(PARSEC_BENCHMARKS)}"
+        ) from exc
+
+
+def worst_case_benchmark() -> BenchmarkCharacteristics:
+    """The most power-hungry benchmark (used for worst-case design sizing)."""
+    return max(PARSEC_BENCHMARKS.values(), key=lambda b: b.core_dynamic_power_fmax_w)

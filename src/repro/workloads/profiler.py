@@ -1,0 +1,158 @@
+"""Workload profiling: the ``P`` and ``Q`` vectors consumed by Algorithm 1.
+
+The paper profiles every benchmark once, offline, across the configuration
+space and stores two vectors per application: ``P_i`` (package power of each
+configuration) and ``Q_i`` (the QoS each configuration delivers).  This
+module reproduces that step against the analytical benchmark and power
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.cstates import CState
+from repro.power.power_model import CoreActivity, ServerPowerModel
+from repro.workloads.benchmark import BenchmarkCharacteristics
+from repro.workloads.configuration import Configuration, default_configuration_space
+from repro.workloads.qos import QoSConstraint
+
+
+@dataclass(frozen=True)
+class ProfiledConfiguration:
+    """Profiling record of one (benchmark, configuration) pair."""
+
+    configuration: Configuration
+    execution_time_s: float
+    normalized_time: float
+    package_power_w: float
+    energy_j: float
+
+    @property
+    def qos_value(self) -> float:
+        """Relative performance ``Q`` (1.0 = baseline, smaller is slower)."""
+        return 1.0 / self.normalized_time
+
+    def satisfies(self, constraint: QoSConstraint) -> bool:
+        """True if this configuration meets the given QoS constraint."""
+        return self.qos_value >= constraint.minimum_qos - 1e-9
+
+
+class WorkloadProfiler:
+    """Profiles benchmarks across the configuration space.
+
+    Parameters
+    ----------
+    power_model:
+        The server power model used to evaluate package power.  Profiling
+        assumes the threads occupy the first ``Nc`` cores; the package power
+        of a configuration is independent of *which* cores are chosen, so
+        this does not bias the later mapping step.
+    idle_cstate:
+        C-state assumed for the cores not used by the configuration.
+    """
+
+    def __init__(
+        self,
+        power_model: ServerPowerModel,
+        *,
+        idle_cstate: CState = CState.POLL,
+    ) -> None:
+        self.power_model = power_model
+        self.idle_cstate = idle_cstate
+
+    # ------------------------------------------------------------------ #
+    # Profiling
+    # ------------------------------------------------------------------ #
+    def profile_configuration(
+        self, benchmark: BenchmarkCharacteristics, configuration: Configuration
+    ) -> ProfiledConfiguration:
+        """Profile a single (benchmark, configuration) pair."""
+        n_cpu_cores = self.power_model.floorplan.n_cores
+        active_indices = [
+            core.core_index for core in self.power_model.floorplan.cores
+        ][: configuration.n_cores]
+
+        activities = []
+        params = benchmark.core_power_parameters()
+        for core in self.power_model.floorplan.cores:
+            if core.core_index in active_indices:
+                activities.append(
+                    CoreActivity.running(
+                        core.core_index, params, configuration.threads_per_core
+                    )
+                )
+            else:
+                activities.append(CoreActivity.idle(core.core_index, self.idle_cstate))
+
+        breakdown = self.power_model.evaluate(
+            activities,
+            configuration.frequency_ghz,
+            memory_intensity=benchmark.memory_intensity,
+        )
+        execution_time = benchmark.execution_time_s(
+            configuration.n_cores,
+            configuration.threads_per_core,
+            configuration.frequency_ghz,
+            baseline_cores=n_cpu_cores,
+        )
+        normalized = execution_time / benchmark.baseline_time_s
+        return ProfiledConfiguration(
+            configuration=configuration,
+            execution_time_s=execution_time,
+            normalized_time=normalized,
+            package_power_w=breakdown.package_power_w,
+            energy_j=breakdown.package_power_w * execution_time,
+        )
+
+    def profile(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        configurations: tuple[Configuration, ...] | None = None,
+    ) -> tuple[ProfiledConfiguration, ...]:
+        """Profile a benchmark across a configuration space.
+
+        Returns the records in the order the configurations were given; use
+        :meth:`sorted_by_power` for the power-ascending order Algorithm 1
+        consumes.
+        """
+        if configurations is None:
+            configurations = default_configuration_space(
+                n_cpu_cores=self.power_model.floorplan.n_cores
+            )
+        return tuple(
+            self.profile_configuration(benchmark, configuration)
+            for configuration in configurations
+        )
+
+    @staticmethod
+    def sorted_by_power(
+        profiles: tuple[ProfiledConfiguration, ...]
+    ) -> tuple[ProfiledConfiguration, ...]:
+        """The ``Sort_asc(P_i)`` step of Algorithm 1."""
+        return tuple(sorted(profiles, key=lambda record: record.package_power_w))
+
+    @staticmethod
+    def feasible(
+        profiles: tuple[ProfiledConfiguration, ...], constraint: QoSConstraint
+    ) -> tuple[ProfiledConfiguration, ...]:
+        """All records that satisfy the QoS constraint."""
+        return tuple(record for record in profiles if record.satisfies(constraint))
+
+    def power_range_w(
+        self,
+        benchmarks: tuple[BenchmarkCharacteristics, ...],
+        configurations: tuple[Configuration, ...] | None = None,
+    ) -> tuple[float, float]:
+        """Minimum and maximum package power across benchmarks and configurations.
+
+        The paper reports a 40.5-79.3 W span for the target platform; the
+        thermosyphon worst-case design uses the upper end.
+        """
+        minimum = float("inf")
+        maximum = float("-inf")
+        for benchmark in benchmarks:
+            for record in self.profile(benchmark, configurations):
+                minimum = min(minimum, record.package_power_w)
+                maximum = max(maximum, record.package_power_w)
+        return minimum, maximum

@@ -1,0 +1,91 @@
+"""Quality-of-Service constraints expressed as execution-time degradation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive
+from repro.workloads.benchmark import BenchmarkCharacteristics
+from repro.workloads.configuration import Configuration
+
+
+@dataclass(frozen=True)
+class QoSConstraint:
+    """Maximum allowed execution-time degradation relative to the baseline.
+
+    The paper uses 1x (no degradation), 2x and 3x.  A configuration satisfies
+    the constraint if its execution time does not exceed
+    ``degradation_factor`` times the baseline execution time (8 cores,
+    16 threads, nominal frequency).
+    """
+
+    degradation_factor: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.degradation_factor, "degradation_factor")
+        if self.degradation_factor < 1.0:
+            raise ConfigurationError(
+                "degradation_factor below 1.0 would require running faster than "
+                f"the baseline, got {self.degradation_factor}"
+            )
+
+    @property
+    def minimum_qos(self) -> float:
+        """The ``q_i`` threshold of Algorithm 1 (relative performance floor)."""
+        return 1.0 / self.degradation_factor
+
+    def time_limit_s(self, baseline_time_s: float) -> float:
+        """Absolute execution-time limit for a given baseline time."""
+        check_positive(baseline_time_s, "baseline_time_s")
+        return self.degradation_factor * baseline_time_s
+
+    def is_satisfied_by_time(self, execution_time_s: float, baseline_time_s: float) -> bool:
+        """True if an execution time meets the constraint."""
+        return execution_time_s <= self.time_limit_s(baseline_time_s) * (1.0 + 1e-9)
+
+    def is_satisfied_by(
+        self, benchmark: BenchmarkCharacteristics, configuration: Configuration
+    ) -> bool:
+        """True if running ``benchmark`` under ``configuration`` meets the constraint."""
+        execution_time = benchmark.execution_time_s(
+            configuration.n_cores,
+            configuration.threads_per_core,
+            configuration.frequency_ghz,
+        )
+        return self.is_satisfied_by_time(execution_time, benchmark.baseline_time_s)
+
+    def label(self) -> str:
+        """Human-readable name, e.g. ``"2x"``."""
+        if abs(self.degradation_factor - round(self.degradation_factor)) < 1e-9:
+            return f"{int(round(self.degradation_factor))}x"
+        return f"{self.degradation_factor:.2f}x"
+
+
+#: The three QoS levels the paper evaluates.
+PAPER_QOS_LEVELS: tuple[QoSConstraint, ...] = (
+    QoSConstraint(1.0),
+    QoSConstraint(2.0),
+    QoSConstraint(3.0),
+)
+
+
+@dataclass(frozen=True)
+class QoSRequirement:
+    """An application together with its QoS constraint and idle-latency budget.
+
+    This is one element of the sets ``A``, ``QoS`` and ``D`` in Algorithm 1:
+    the application to run, the minimum QoS it requires, and the wakeup delay
+    its idle cores may incur (which determines the usable C-state).
+    """
+
+    benchmark: BenchmarkCharacteristics
+    constraint: QoSConstraint
+    tolerable_idle_latency_us: float | None = None
+
+    @property
+    def idle_latency_budget_us(self) -> float:
+        """The delay budget ``d_i`` used to pick the idle-core C-state."""
+        if self.tolerable_idle_latency_us is not None:
+            return self.tolerable_idle_latency_us
+        return self.benchmark.tolerable_idle_latency_us

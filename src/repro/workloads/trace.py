@@ -1,0 +1,143 @@
+"""Phase-based activity traces for transient simulation.
+
+Real PARSEC benchmarks alternate between compute-heavy and memory-heavy
+phases.  For transient thermal studies and the runtime controller tests we
+generate deterministic phase traces from the benchmark characterisation: a
+ramp-up phase, alternating steady compute/memory phases, and a cool-down
+phase.  The traces are reproducible (seeded by the benchmark name) so tests
+and benchmarks are stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_fraction, check_positive
+from repro.workloads.benchmark import BenchmarkCharacteristics
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One phase of a workload trace."""
+
+    duration_s: float
+    activity_factor: float
+    memory_intensity: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.duration_s, "duration_s")
+        check_fraction(self.memory_intensity, "memory_intensity")
+        if self.activity_factor < 0.0:
+            raise ConfigurationError(
+                f"activity_factor must be >= 0, got {self.activity_factor}"
+            )
+
+
+class PhasedTrace:
+    """A sequence of phases with lookup by time and resampling."""
+
+    def __init__(self, name: str, phases: tuple[TracePhase, ...]) -> None:
+        if not phases:
+            raise ConfigurationError("a trace needs at least one phase")
+        self.name = name
+        self.phases = tuple(phases)
+        self._boundaries = np.cumsum([phase.duration_s for phase in self.phases])
+
+    @property
+    def duration_s(self) -> float:
+        """Total trace duration in seconds."""
+        return float(self._boundaries[-1])
+
+    def phase_at(self, time_s: float) -> TracePhase:
+        """The phase active at ``time_s`` (clamped to the trace duration)."""
+        if time_s < 0.0:
+            raise ConfigurationError(f"time must be >= 0, got {time_s}")
+        index = int(np.searchsorted(self._boundaries, min(time_s, self.duration_s), side="right"))
+        index = min(index, len(self.phases) - 1)
+        return self.phases[index]
+
+    def activity_at(self, time_s: float) -> float:
+        """Activity factor at ``time_s``."""
+        return self.phase_at(time_s).activity_factor
+
+    def memory_intensity_at(self, time_s: float) -> float:
+        """Memory intensity at ``time_s``."""
+        return self.phase_at(time_s).memory_intensity
+
+    def resample(self, dt_s: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample the trace on a uniform grid.
+
+        Returns ``(times, activities, memory_intensities)`` arrays; the last
+        sample falls at or before the trace end.
+        """
+        check_positive(dt_s, "dt_s")
+        times = np.arange(0.0, self.duration_s, dt_s)
+        activities = np.array([self.activity_at(t) for t in times])
+        memory = np.array([self.memory_intensity_at(t) for t in times])
+        return times, activities, memory
+
+    def average_activity(self) -> float:
+        """Duration-weighted average activity factor."""
+        total = sum(phase.duration_s * phase.activity_factor for phase in self.phases)
+        return total / self.duration_s
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic 32-bit seed derived from a benchmark name."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def generate_trace(
+    benchmark: BenchmarkCharacteristics,
+    *,
+    n_steady_phases: int = 6,
+    total_duration_s: float | None = None,
+) -> PhasedTrace:
+    """Generate a deterministic phase trace for a benchmark.
+
+    The trace starts with a short low-activity ramp-up (program start,
+    input loading), alternates compute-heavy and memory-heavy steady phases
+    whose imbalance follows the benchmark's memory intensity, and ends with
+    a cool-down phase.
+    """
+    if n_steady_phases < 1:
+        raise ConfigurationError(f"n_steady_phases must be >= 1, got {n_steady_phases}")
+    duration = total_duration_s if total_duration_s is not None else benchmark.baseline_time_s
+    check_positive(duration, "total_duration_s")
+
+    rng = np.random.default_rng(_stable_seed(benchmark.name))
+    ramp = TracePhase(
+        duration_s=max(duration * 0.05, 1e-3),
+        activity_factor=0.4,
+        memory_intensity=min(benchmark.memory_intensity + 0.1, 1.0),
+    )
+    cooldown = TracePhase(
+        duration_s=max(duration * 0.05, 1e-3),
+        activity_factor=0.3,
+        memory_intensity=benchmark.memory_intensity,
+    )
+    steady_total = duration * 0.9
+    phase_duration = steady_total / n_steady_phases
+    phases: list[TracePhase] = [ramp]
+    for index in range(n_steady_phases):
+        jitter = float(rng.uniform(-0.08, 0.08))
+        if index % 2 == 0:
+            activity = min(max(1.0 + jitter, 0.0), 1.3)
+            memory = benchmark.memory_intensity * 0.7
+        else:
+            activity = min(max(0.8 + jitter, 0.0), 1.3)
+            memory = min(benchmark.memory_intensity * 1.2, 1.0)
+        phases.append(
+            TracePhase(
+                duration_s=phase_duration,
+                activity_factor=activity,
+                memory_intensity=memory,
+            )
+        )
+    phases.append(cooldown)
+    return PhasedTrace(benchmark.name, tuple(phases))

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Thermal solves dominate test runtime, so the shared platform uses a coarse
+2 mm grid (the full experiments default to 1 mm).  Fixtures are session
+scoped where the underlying objects are immutable or only read.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Platform, build_platform
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.power.power_model import ServerPowerModel
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.thermosyphon.loop import ThermosyphonLoop
+from repro.workloads.parsec import get_benchmark
+from repro.workloads.profiler import WorkloadProfiler
+
+
+@pytest.fixture(scope="session")
+def floorplan():
+    """The Xeon E5 v4 floorplan."""
+    return build_xeon_e5_v4_floorplan()
+
+
+@pytest.fixture(scope="session")
+def power_model(floorplan):
+    """Server power model on the shared floorplan."""
+    return ServerPowerModel(floorplan)
+
+
+@pytest.fixture(scope="session")
+def profiler(power_model):
+    """Workload profiler on the shared power model."""
+    return WorkloadProfiler(power_model)
+
+
+@pytest.fixture(scope="session")
+def coarse_thermal_simulator(floorplan):
+    """A coarse (2 mm cell) thermal simulator for fast tests."""
+    return ThermalSimulator(floorplan, cell_size_mm=2.0)
+
+
+@pytest.fixture(scope="session")
+def thermosyphon_loop():
+    """Thermosyphon loop with the paper's optimised design."""
+    return ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN)
+
+
+@pytest.fixture(scope="session")
+def coarse_platform(floorplan, power_model, profiler, coarse_thermal_simulator) -> Platform:
+    """Experiment platform reusing the coarse thermal simulator."""
+    return Platform(
+        floorplan=floorplan,
+        power_model=power_model,
+        thermal_simulator=coarse_thermal_simulator,
+        profiler=profiler,
+        cell_size_mm=2.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def x264():
+    """A compute-heavy, power-hungry benchmark."""
+    return get_benchmark("x264")
+
+
+@pytest.fixture(scope="session")
+def canneal():
+    """A memory-bound, poorly-scaling benchmark."""
+    return get_benchmark("canneal")

@@ -1,0 +1,76 @@
+"""Reporting and comparison helper tests."""
+
+import pytest
+
+from repro.analysis.comparison import ApproachComparison, ComparisonRow
+from repro.analysis.reporting import (
+    format_degrees,
+    format_markdown_table,
+    format_table,
+    percentage_reduction,
+)
+from repro.exceptions import ValidationError
+
+
+class TestFormatting:
+    def test_format_table_alignment_and_content(self):
+        text = format_table(("A", "Bee"), [("x", 1.5), ("yy", 20.0)], title="Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        assert "1.50" in text and "20.00" in text
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            format_table(("A", "B"), [("only-one",)])
+
+    def test_format_table_requires_headers(self):
+        with pytest.raises(ValidationError):
+            format_table((), [])
+
+    def test_markdown_table(self):
+        text = format_markdown_table(("A", "B"), [(1, 2)])
+        assert text.splitlines()[0] == "| A | B |"
+        assert "| 1 | 2 |" in text
+
+    def test_markdown_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            format_markdown_table(("A",), [(1, 2)])
+
+    def test_percentage_reduction(self):
+        assert percentage_reduction(10.0, 5.0) == pytest.approx(50.0)
+        assert percentage_reduction(10.0, 12.0) == pytest.approx(-20.0)
+        assert percentage_reduction(0.0, 5.0) == 0.0
+
+    def test_format_degrees(self):
+        assert format_degrees(71.456) == "71.5"
+
+
+class TestApproachComparison:
+    def _comparison(self):
+        comparison = ApproachComparison()
+        comparison.add(ComparisonRow("proposed", "2x", 72.2, 1.03, 49.0, 0.24))
+        comparison.add(ComparisonRow("baseline", "2x", 79.5, 1.33, 51.4, 0.30))
+        return comparison
+
+    def test_lookup(self):
+        comparison = self._comparison()
+        assert comparison.row("proposed", "2x").die_theta_max_c == 72.2
+        with pytest.raises(ValidationError):
+            comparison.row("proposed", "5x")
+
+    def test_orderings(self):
+        comparison = self._comparison()
+        assert comparison.approaches == ("proposed", "baseline")
+        assert comparison.qos_labels == ("2x",)
+
+    def test_improvement_over(self):
+        comparison = self._comparison()
+        improvement = comparison.improvement_over("baseline", "proposed", "2x")
+        assert improvement["die_theta_max_reduction_c"] == pytest.approx(7.3)
+        assert improvement["die_grad_reduction_pct"] == pytest.approx(22.6, abs=0.2)
+        assert improvement["package_theta_max_reduction_c"] == pytest.approx(2.4)
+
+    def test_as_table_contains_rows(self):
+        text = self._comparison().as_table()
+        assert "proposed" in text and "baseline" in text and "2x" in text

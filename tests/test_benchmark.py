@@ -1,0 +1,111 @@
+"""Benchmark scaling-model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.benchmark import BenchmarkCharacteristics
+
+
+def make_benchmark(**overrides):
+    defaults = dict(
+        name="synthetic",
+        parallel_fraction=0.85,
+        memory_intensity=0.4,
+        smt_gain=0.25,
+        core_dynamic_power_fmax_w=4.5,
+        baseline_time_s=60.0,
+    )
+    defaults.update(overrides)
+    return BenchmarkCharacteristics(**defaults)
+
+
+class TestConstruction:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            make_benchmark(name="")
+
+    def test_rejects_invalid_fractions(self):
+        with pytest.raises(Exception):
+            make_benchmark(parallel_fraction=1.2)
+        with pytest.raises(Exception):
+            make_benchmark(memory_intensity=-0.1)
+
+
+class TestSpeedupModel:
+    def test_single_core_speedup_is_one(self):
+        assert make_benchmark().speedup(1, 1) == pytest.approx(1.0)
+
+    def test_speedup_increases_with_cores(self):
+        benchmark = make_benchmark()
+        speedups = [benchmark.speedup(n, 1) for n in (1, 2, 4, 8)]
+        assert speedups == sorted(speedups)
+
+    def test_speedup_bounded_by_amdahl_limit(self):
+        benchmark = make_benchmark(parallel_fraction=0.85)
+        limit = 1.0 / (1.0 - 0.85)
+        assert benchmark.speedup(8, 2) < limit
+
+    def test_smt_helps_but_less_than_second_core(self):
+        benchmark = make_benchmark()
+        assert benchmark.speedup(2, 2) > benchmark.speedup(2, 1)
+        assert benchmark.speedup(2, 2) < benchmark.speedup(4, 1)
+
+    def test_invalid_thread_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_benchmark().speedup(2, 3)
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_benchmark().speedup(0, 1)
+
+
+class TestExecutionTime:
+    def test_baseline_configuration_matches_reference_time(self):
+        benchmark = make_benchmark(baseline_time_s=60.0)
+        time = benchmark.execution_time_s(8, 2, 3.2)
+        assert time == pytest.approx(60.0)
+
+    def test_fewer_cores_take_longer(self):
+        benchmark = make_benchmark()
+        assert benchmark.execution_time_s(2, 2, 3.2) > benchmark.execution_time_s(8, 2, 3.2)
+
+    def test_lower_frequency_takes_longer(self):
+        benchmark = make_benchmark()
+        assert benchmark.execution_time_s(4, 2, 2.6) > benchmark.execution_time_s(4, 2, 3.2)
+
+    def test_memory_bound_workload_less_frequency_sensitive(self):
+        compute = make_benchmark(memory_intensity=0.1)
+        memory = make_benchmark(memory_intensity=0.9)
+        compute_slowdown = compute.execution_time_s(8, 2, 2.6) / compute.execution_time_s(8, 2, 3.2)
+        memory_slowdown = memory.execution_time_s(8, 2, 2.6) / memory.execution_time_s(8, 2, 3.2)
+        assert compute_slowdown > memory_slowdown
+
+    def test_normalized_time_of_baseline_is_one(self):
+        assert make_benchmark().normalized_execution_time(8, 2, 3.2) == pytest.approx(1.0)
+
+    def test_frequency_time_factor_at_nominal_is_one(self):
+        assert make_benchmark().frequency_time_factor(3.2, 3.2) == pytest.approx(1.0)
+
+    @given(
+        n_cores=st.integers(min_value=1, max_value=8),
+        threads=st.sampled_from([1, 2]),
+        frequency=st.sampled_from([2.6, 2.9, 3.2]),
+    )
+    def test_no_configuration_beats_the_baseline(self, n_cores, threads, frequency):
+        """The baseline (8 cores, 16 threads, fmax) is the fastest configuration."""
+        benchmark = make_benchmark()
+        assert benchmark.normalized_execution_time(n_cores, threads, frequency) >= 1.0 - 1e-9
+
+    @given(parallel=st.floats(min_value=0.1, max_value=0.99))
+    def test_more_parallel_benchmarks_scale_better(self, parallel):
+        benchmark = make_benchmark(parallel_fraction=parallel)
+        assert benchmark.speedup(8, 2) >= benchmark.speedup(4, 2) - 1e-12
+
+
+class TestPowerParameters:
+    def test_power_parameters_roundtrip(self):
+        benchmark = make_benchmark(core_dynamic_power_fmax_w=5.5)
+        params = benchmark.core_power_parameters(activity_factor=0.8)
+        assert params.dynamic_power_fmax_w == 5.5
+        assert params.activity_factor == 0.8

@@ -1,0 +1,72 @@
+"""Algorithm 1 configuration-selection tests."""
+
+import pytest
+
+from repro.core.config_selection import QoSAwareConfigSelector
+from repro.exceptions import QoSViolationError
+from repro.workloads.configuration import Configuration, baseline_configuration
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+from repro.workloads.qos import QoSConstraint
+
+
+@pytest.fixture(scope="module")
+def selector(profiler):
+    return QoSAwareConfigSelector(profiler)
+
+
+class TestSelection:
+    def test_selection_satisfies_constraint(self, selector, x264):
+        for factor in (1.0, 2.0, 3.0):
+            constraint = QoSConstraint(factor)
+            selection = selector.select(x264, constraint)
+            assert selection.selected.satisfies(constraint)
+
+    def test_selection_is_minimum_power_feasible(self, selector, profiler, x264):
+        constraint = QoSConstraint(2.0)
+        selection = selector.select(x264, constraint)
+        feasible = [
+            record
+            for record in profiler.profile(x264)
+            if record.satisfies(constraint)
+        ]
+        assert selection.package_power_w == pytest.approx(
+            min(record.package_power_w for record in feasible)
+        )
+
+    def test_1x_requires_full_configuration(self, selector, x264):
+        selection = selector.select(x264, QoSConstraint(1.0))
+        assert selection.configuration == baseline_configuration()
+
+    def test_relaxed_qos_never_increases_power(self, selector):
+        for benchmark in PARSEC_BENCHMARKS.values():
+            powers = [
+                selector.select(benchmark, QoSConstraint(factor)).package_power_w
+                for factor in (1.0, 2.0, 3.0)
+            ]
+            assert powers[0] >= powers[1] >= powers[2]
+
+    def test_relaxed_qos_uses_fewer_or_equal_cores(self, selector, x264):
+        cores = [
+            selector.select(x264, QoSConstraint(factor)).configuration.n_cores
+            for factor in (1.0, 3.0)
+        ]
+        assert cores[1] <= cores[0]
+
+    def test_select_all_covers_benchmarks(self, selector):
+        benchmarks = tuple(PARSEC_BENCHMARKS.values())[:4]
+        selections = selector.select_all(benchmarks, QoSConstraint(2.0))
+        assert set(selections) == {benchmark.name for benchmark in benchmarks}
+
+    def test_infeasible_space_raises(self, profiler, x264):
+        restricted = QoSAwareConfigSelector(
+            profiler, configurations=(Configuration(1, 1, 2.6),)
+        )
+        with pytest.raises(QoSViolationError):
+            restricted.select(x264, QoSConstraint(1.0))
+
+    def test_power_savings_vs_baseline(self, selector, x264):
+        savings = selector.power_savings_vs_baseline(x264, QoSConstraint(3.0))
+        assert 0.0 < savings < 1.0
+        assert selector.power_savings_vs_baseline(x264, QoSConstraint(1.0)) == pytest.approx(
+            0.0, abs=1e-9
+        )

@@ -1,0 +1,69 @@
+"""Configuration and configuration-space tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.configuration import (
+    Configuration,
+    baseline_configuration,
+    default_configuration_space,
+    figure3_configuration_space,
+)
+
+
+class TestConfiguration:
+    def test_total_threads(self):
+        assert Configuration(4, 2, 3.2).total_threads == 8
+        assert Configuration(4, 1, 3.2).total_threads == 4
+
+    def test_label_format(self):
+        assert Configuration(4, 2, 3.2).label() == "(4, 8, 3.2GHz)"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(0, 1, 3.2)
+        with pytest.raises(ConfigurationError):
+            Configuration(4, 3, 3.2)
+        with pytest.raises(ConfigurationError):
+            Configuration(4, 1, 0.0)
+
+    def test_configurations_are_hashable_and_comparable(self):
+        a = Configuration(2, 1, 2.6)
+        b = Configuration(2, 1, 2.6)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestBaseline:
+    def test_baseline_is_full_machine_at_fmax(self):
+        baseline = baseline_configuration()
+        assert baseline.n_cores == 8
+        assert baseline.total_threads == 16
+        assert baseline.frequency_ghz == 3.2
+
+
+class TestConfigurationSpace:
+    def test_default_space_size(self):
+        space = default_configuration_space()
+        # 8 core counts x 2 thread levels x 3 frequencies.
+        assert len(space) == 8 * 2 * 3
+        assert len(set(space)) == len(space)
+
+    def test_space_includes_baseline(self):
+        assert baseline_configuration() in default_configuration_space()
+
+    def test_min_cores_filter(self):
+        space = default_configuration_space(min_cores=4)
+        assert all(configuration.n_cores >= 4 for configuration in space)
+
+    def test_invalid_min_cores(self):
+        with pytest.raises(ConfigurationError):
+            default_configuration_space(min_cores=0)
+        with pytest.raises(ConfigurationError):
+            default_configuration_space(min_cores=9)
+
+    def test_figure3_space_matches_paper(self):
+        space = figure3_configuration_space()
+        labels = [(c.n_cores, c.total_threads) for c in space]
+        assert labels == [(2, 4), (4, 4), (4, 8), (8, 8), (8, 16)]
+        assert all(c.frequency_ghz == 3.2 for c in space)

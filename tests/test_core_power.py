@@ -1,0 +1,97 @@
+"""Per-core dynamic power model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.power.core_power import (
+    CorePowerModel,
+    CorePowerParameters,
+    leakage_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CorePowerModel()
+
+
+@pytest.fixture(scope="module")
+def params():
+    return CorePowerParameters(dynamic_power_fmax_w=5.0)
+
+
+class TestParameters:
+    def test_rejects_non_positive_power(self):
+        with pytest.raises(ValidationError):
+            CorePowerParameters(dynamic_power_fmax_w=0.0)
+
+    def test_rejects_negative_activity(self):
+        with pytest.raises(ValidationError):
+            CorePowerParameters(dynamic_power_fmax_w=5.0, activity_factor=-0.1)
+
+
+class TestActivePower:
+    def test_power_increases_with_frequency(self, model, params):
+        powers = [model.active_power_w(params, f) for f in (2.6, 2.9, 3.2)]
+        assert powers == sorted(powers)
+        assert powers[0] < powers[-1]
+
+    def test_smt_thread_adds_power(self, model, params):
+        single = model.active_power_w(params, 3.2, threads_on_core=1)
+        dual = model.active_power_w(params, 3.2, threads_on_core=2)
+        assert dual > single
+        # The second hardware thread costs much less than a full core.
+        assert dual < 2.0 * single
+
+    def test_activity_factor_scales_dynamic_power(self, model):
+        full = model.active_power_w(CorePowerParameters(5.0, 1.0), 3.2)
+        half = model.active_power_w(CorePowerParameters(5.0, 0.5), 3.2)
+        assert half < full
+
+    def test_magnitude_plausible_for_server_core(self, model, params):
+        power = model.active_power_w(params, 3.2, threads_on_core=2)
+        assert 3.0 < power < 12.0
+
+    def test_invalid_thread_count(self, model, params):
+        with pytest.raises(ConfigurationError):
+            model.active_power_w(params, 3.2, threads_on_core=3)
+
+    def test_invalid_frequency(self, model, params):
+        with pytest.raises(ConfigurationError):
+            model.active_power_w(params, 2.0)
+
+    @given(st.floats(min_value=1.0, max_value=8.0), st.floats(min_value=0.1, max_value=1.2))
+    def test_power_positive_and_monotone_in_base_power(self, base, activity):
+        model = CorePowerModel()
+        low = model.active_power_w(CorePowerParameters(base, activity), 2.6)
+        high = model.active_power_w(CorePowerParameters(base * 1.5, activity), 2.6)
+        assert 0.0 < low < high
+
+
+class TestFrequencyForBudget:
+    def test_large_budget_gives_fmax(self, model, params):
+        assert model.frequency_for_power_budget(params, 50.0, (2.6, 2.9, 3.2)) == 3.2
+
+    def test_tiny_budget_gives_none(self, model, params):
+        assert model.frequency_for_power_budget(params, 0.5, (2.6, 2.9, 3.2)) is None
+
+    def test_intermediate_budget(self, model, params):
+        p_26 = model.active_power_w(params, 2.6)
+        p_32 = model.active_power_w(params, 3.2)
+        budget = 0.5 * (p_26 + p_32)
+        chosen = model.frequency_for_power_budget(params, budget, (2.6, 2.9, 3.2))
+        assert chosen in (2.6, 2.9)
+
+
+class TestLeakageScaling:
+    def test_reference_temperature_gives_unity(self):
+        assert leakage_scaling(60.0) == pytest.approx(1.0)
+
+    def test_hotter_means_more_leakage(self):
+        assert leakage_scaling(80.0) > 1.0
+        assert leakage_scaling(40.0) < 1.0
+
+    def test_monotone(self):
+        values = [leakage_scaling(t) for t in (40.0, 60.0, 80.0, 100.0)]
+        assert values == sorted(values)

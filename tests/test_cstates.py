@@ -1,0 +1,88 @@
+"""C-state table tests (Table I of the paper)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.cstates import CState, XEON_E5_V4_CSTATE_TABLE
+
+
+class TestTableIValues:
+    """The measured values must match the paper's Table I exactly."""
+
+    @pytest.mark.parametrize(
+        "state, frequency, expected",
+        [
+            (CState.POLL, 2.6, 27.0),
+            (CState.POLL, 2.9, 32.0),
+            (CState.POLL, 3.2, 40.0),
+            (CState.C1, 2.6, 14.0),
+            (CState.C1, 2.9, 15.0),
+            (CState.C1, 3.2, 17.0),
+            (CState.C1E, 2.6, 9.0),
+            (CState.C1E, 2.9, 9.0),
+            (CState.C1E, 3.2, 9.0),
+        ],
+    )
+    def test_all_core_power(self, state, frequency, expected):
+        entry = XEON_E5_V4_CSTATE_TABLE.entry(state)
+        assert entry.power_all_cores_w[frequency] == pytest.approx(expected)
+
+    def test_per_core_power_is_one_eighth(self):
+        assert XEON_E5_V4_CSTATE_TABLE.idle_core_power_w(CState.POLL, 3.2) == pytest.approx(5.0)
+        assert XEON_E5_V4_CSTATE_TABLE.idle_core_power_w(CState.C1E, 2.6) == pytest.approx(9.0 / 8.0)
+
+    def test_latencies_match_paper(self):
+        assert XEON_E5_V4_CSTATE_TABLE.wakeup_latency_us(CState.POLL) == 0.0
+        assert XEON_E5_V4_CSTATE_TABLE.wakeup_latency_us(CState.C1) == 2.0
+        assert XEON_E5_V4_CSTATE_TABLE.wakeup_latency_us(CState.C1E) == 10.0
+
+    def test_extrapolated_states_marked(self):
+        assert XEON_E5_V4_CSTATE_TABLE.entry(CState.C3).measured is False
+        assert XEON_E5_V4_CSTATE_TABLE.entry(CState.C6).measured is False
+        assert XEON_E5_V4_CSTATE_TABLE.entry(CState.POLL).measured is True
+
+
+class TestOrderingInvariants:
+    def test_deeper_states_use_less_power(self):
+        for frequency in (2.6, 2.9, 3.2):
+            powers = [
+                XEON_E5_V4_CSTATE_TABLE.idle_core_power_w(state, frequency)
+                for state in XEON_E5_V4_CSTATE_TABLE.states
+            ]
+            assert powers == sorted(powers, reverse=True)
+
+    def test_deeper_states_have_longer_latency(self):
+        latencies = [
+            XEON_E5_V4_CSTATE_TABLE.wakeup_latency_us(state)
+            for state in XEON_E5_V4_CSTATE_TABLE.states
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_depth_comparison(self):
+        assert CState.C1.is_deeper_than(CState.POLL)
+        assert CState.C6.is_deeper_than(CState.C1E)
+        assert not CState.POLL.is_deeper_than(CState.C1)
+
+
+class TestLatencyBudgetSelection:
+    def test_zero_budget_gives_poll(self):
+        assert XEON_E5_V4_CSTATE_TABLE.deepest_state_within_latency(0.0) is CState.POLL
+
+    def test_small_budget_gives_c1(self):
+        assert XEON_E5_V4_CSTATE_TABLE.deepest_state_within_latency(5.0) is CState.C1
+
+    def test_moderate_budget_gives_c1e(self):
+        assert XEON_E5_V4_CSTATE_TABLE.deepest_state_within_latency(20.0) is CState.C1E
+
+    def test_huge_budget_gives_deepest(self):
+        assert XEON_E5_V4_CSTATE_TABLE.deepest_state_within_latency(1e6) is CState.C6
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XEON_E5_V4_CSTATE_TABLE.deepest_state_within_latency(-1.0)
+
+
+class TestErrorHandling:
+    def test_unknown_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XEON_E5_V4_CSTATE_TABLE.idle_core_power_w(CState.POLL, 2.0)

@@ -1,0 +1,71 @@
+"""DVFS operating point tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.dvfs import (
+    CORE_FREQUENCIES_GHZ,
+    FMAX_GHZ,
+    FMIN_GHZ,
+    UNCORE_FMAX_GHZ,
+    UNCORE_FMIN_GHZ,
+    VoltageFrequencyTable,
+    uncore_frequency_for,
+    validate_core_frequency,
+)
+
+
+class TestFrequencyLevels:
+    def test_paper_levels(self):
+        assert CORE_FREQUENCIES_GHZ == (2.6, 2.9, 3.2)
+        assert FMIN_GHZ == 2.6
+        assert FMAX_GHZ == 3.2
+
+    def test_validate_accepts_supported_levels(self):
+        for level in CORE_FREQUENCIES_GHZ:
+            assert validate_core_frequency(level) == level
+
+    def test_validate_rejects_unsupported(self):
+        with pytest.raises(ConfigurationError):
+            validate_core_frequency(2.0)
+
+
+class TestVoltageFrequencyTable:
+    def test_voltage_monotone_with_frequency(self):
+        table = VoltageFrequencyTable()
+        voltages = [table.voltage(f) for f in (1.2, 2.0, 2.6, 2.9, 3.2)]
+        assert voltages == sorted(voltages)
+
+    def test_dynamic_scale_reference_is_one(self):
+        table = VoltageFrequencyTable()
+        assert table.dynamic_scale(FMAX_GHZ) == pytest.approx(1.0)
+
+    def test_dynamic_scale_below_one_for_lower_frequencies(self):
+        table = VoltageFrequencyTable()
+        assert table.dynamic_scale(2.6) < 1.0
+        assert table.dynamic_scale(2.9) < 1.0
+        assert table.dynamic_scale(2.6) < table.dynamic_scale(2.9)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            VoltageFrequencyTable().voltage(0.0)
+
+    def test_rejects_single_point_table(self):
+        from repro.power.dvfs import OperatingPoint
+
+        with pytest.raises(ConfigurationError):
+            VoltageFrequencyTable((OperatingPoint(2.0, 1.0),))
+
+
+class TestUncoreFrequency:
+    def test_range(self):
+        for core_frequency in CORE_FREQUENCIES_GHZ:
+            uncore = uncore_frequency_for(core_frequency)
+            assert UNCORE_FMIN_GHZ <= uncore <= UNCORE_FMAX_GHZ
+
+    def test_monotone_with_core_frequency(self):
+        values = [uncore_frequency_for(f) for f in CORE_FREQUENCIES_GHZ]
+        assert values == sorted(values)
+
+    def test_maximum_core_frequency_gives_maximum_uncore(self):
+        assert uncore_frequency_for(FMAX_GHZ) == pytest.approx(UNCORE_FMAX_GHZ)

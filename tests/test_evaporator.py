@@ -1,0 +1,117 @@
+"""Evaporator geometry and flow-boiling model tests."""
+
+import numpy as np
+import pytest
+
+from repro.thermosyphon.evaporator import (
+    EvaporatorGeometry,
+    EvaporatorModel,
+    VAPOR_PHASE_HTC_W_M2K,
+)
+from repro.thermosyphon.refrigerant import get_refrigerant
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EvaporatorModel(get_refrigerant("R236fa"))
+
+
+class TestGeometry:
+    def test_defaults_cover_spreader(self):
+        geometry = EvaporatorGeometry()
+        assert geometry.base_width_mm == pytest.approx(38.0)
+        assert geometry.channel_pitch_mm == pytest.approx(1.0)
+        assert geometry.n_channels(38.0) == 38
+
+    def test_hydraulic_diameter(self):
+        geometry = EvaporatorGeometry()
+        w, d = 0.5e-3, 1.5e-3
+        assert geometry.hydraulic_diameter_m == pytest.approx(4 * w * d / (2 * (w + d)))
+
+    def test_area_enhancement_greater_than_one(self):
+        assert EvaporatorGeometry().area_enhancement > 1.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(Exception):
+            EvaporatorGeometry(channel_width_mm=0.0)
+
+
+class TestLocalHeatTransfer:
+    def test_nucleate_boiling_increases_with_flux(self, model):
+        low = model.nucleate_boiling_htc_w_m2k(5e4, 40.0)
+        high = model.nucleate_boiling_htc_w_m2k(2e5, 40.0)
+        assert high > low
+
+    def test_two_phase_beats_single_phase(self, model):
+        single = model.single_phase_htc_w_m2k(50.0)
+        two_phase = model.two_phase_htc_w_m2k(0.1, 50.0, 1e5, 40.0)
+        assert two_phase > single
+
+    def test_htc_degrades_towards_dryout(self, model):
+        """Quality degradation: the paper's 'inlet cools better than outlet'."""
+        early = model.two_phase_htc_w_m2k(0.1, 50.0, 1e5, 40.0)
+        late = model.two_phase_htc_w_m2k(0.7, 50.0, 1e5, 40.0)
+        assert late < early
+
+    def test_post_dryout_collapse(self, model):
+        wet = model.two_phase_htc_w_m2k(0.5, 50.0, 1e5, 40.0)
+        dry = model.two_phase_htc_w_m2k(0.99, 50.0, 1e5, 40.0)
+        assert dry < 0.3 * wet
+        assert dry >= VAPOR_PHASE_HTC_W_M2K * 0.5
+
+    def test_base_htc_includes_fin_enhancement(self, model):
+        wall = model.two_phase_htc_w_m2k(0.2, 50.0, 1e5, 40.0)
+        base = model.base_htc_w_m2k(0.2, 50.0, 1e5, 40.0)
+        assert base == pytest.approx(wall * model.geometry.area_enhancement)
+
+
+class TestChannelMarching:
+    def _solve(self, model, heats, mass_flow=6e-5, subcooling=3.0, inlet_quality=0.0):
+        return model.solve_channel(
+            np.asarray(heats, dtype=float),
+            mass_flow,
+            41.0,
+            inlet_subcooling_c=subcooling,
+            inlet_quality=inlet_quality,
+            cell_base_area_m2=1e-6,
+        )
+
+    def test_quality_monotone_along_channel(self, model):
+        solution = self._solve(model, [0.5] * 20)
+        assert (np.diff(solution.quality) >= -1e-12).all()
+
+    def test_energy_balance_sets_outlet_quality(self, model):
+        heats = [0.4] * 25
+        mass_flow = 8e-5
+        solution = self._solve(model, heats, mass_flow=mass_flow, subcooling=0.0)
+        latent = model.refrigerant.latent_heat_j_kg(41.0)
+        expected = min(sum(heats) / (mass_flow * latent), 1.0)
+        assert solution.outlet_quality == pytest.approx(expected, rel=1e-6)
+
+    def test_subcooled_inlet_region_below_saturation(self, model):
+        solution = self._solve(model, [0.2] * 30, subcooling=4.0)
+        assert solution.fluid_temperature_c[0] < 41.0
+        assert solution.fluid_temperature_c[-1] <= 41.0
+        assert solution.quality[0] == 0.0
+
+    def test_dryout_flag_when_overloaded(self, model):
+        solution = self._solve(model, [2.0] * 30, mass_flow=3e-5, subcooling=0.0)
+        assert solution.dryout
+        assert solution.outlet_quality == pytest.approx(1.0)
+
+    def test_no_dryout_for_light_load(self, model):
+        solution = self._solve(model, [0.1] * 30)
+        assert not solution.dryout
+
+    def test_inlet_quality_offsets_capacity(self, model):
+        clean = self._solve(model, [0.4] * 20, subcooling=0.0)
+        preloaded = self._solve(model, [0.4] * 20, subcooling=0.0, inlet_quality=0.2)
+        assert preloaded.outlet_quality > clean.outlet_quality
+
+    def test_rejects_bad_inputs(self, model):
+        with pytest.raises(Exception):
+            model.solve_channel(
+                np.ones((3, 3)), 1e-4, 41.0, cell_base_area_m2=1e-6
+            )
+        with pytest.raises(Exception):
+            model.solve_channel(np.ones(5), -1.0, 41.0, cell_base_area_m2=1e-6)

@@ -1,0 +1,58 @@
+"""Exception hierarchy and Seuret uniform-heat-flux baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions
+from repro.baselines.seuret_design import uniform_heat_flux_boundary
+from repro.thermosyphon.design import SEURET_REFERENCE_DESIGN
+from repro.thermosyphon.loop import ThermosyphonLoop
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            exceptions.ValidationError,
+            exceptions.ConfigurationError,
+            exceptions.FloorplanError,
+            exceptions.ConvergenceError,
+            exceptions.DryoutError,
+            exceptions.ThermalEmergencyError,
+            exceptions.QoSViolationError,
+            exceptions.MappingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, exceptions.ReproError)
+
+    def test_validation_error_is_also_value_error(self):
+        assert issubclass(exceptions.ValidationError, ValueError)
+
+    def test_catching_base_class_catches_specifics(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.DryoutError("channel dried out")
+
+
+class TestUniformHeatFluxBoundary:
+    def test_boundary_is_spatially_uniform(self):
+        loop = ThermosyphonLoop(SEURET_REFERENCE_DESIGN)
+        boundary = uniform_heat_flux_boundary(loop, 70.0, (12, 12), (3.0, 3.0))
+        assert boundary.shape == (12, 12)
+        # Uniform flux: every lane sees the same profile, so the HTC field is
+        # constant along the direction perpendicular to the flow.
+        htc = boundary.htc_w_m2k
+        if SEURET_REFERENCE_DESIGN.orientation.channels_run_north_south:
+            assert np.allclose(htc, htc[:, :1], rtol=1e-6)
+        else:
+            assert np.allclose(htc, htc[:1, :], rtol=1e-6)
+
+    def test_zero_power_gives_saturation_temperature_fluid(self):
+        loop = ThermosyphonLoop(SEURET_REFERENCE_DESIGN)
+        boundary = uniform_heat_flux_boundary(loop, 0.0, (6, 6), (3.0, 3.0))
+        assert np.all(boundary.fluid_temperature_c <= 31.0)
+
+    def test_negative_power_rejected(self):
+        loop = ThermosyphonLoop(SEURET_REFERENCE_DESIGN)
+        with pytest.raises(Exception):
+            uniform_heat_flux_boundary(loop, -1.0, (6, 6), (3.0, 3.0))

@@ -1,0 +1,141 @@
+"""Experiment runner tests (shapes and key orderings of every table/figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cooling_power import run_cooling_power
+from repro.experiments.fig2_motivation import run_fig2
+from repro.experiments.fig3_qos_exec_time import run_fig3
+from repro.experiments.fig5_orientation import run_fig5
+from repro.experiments.fig6_mapping_scenarios import SCENARIO_CORE_SETS, run_fig6
+from repro.experiments.fig7_thermal_maps import run_fig7
+from repro.experiments.table1_cstates import run_table1
+from repro.experiments.table2_hotspots import run_table2
+from repro.experiments.common import paper_approaches
+from repro.power.cstates import CState
+
+QUICK = ("x264", "swaptions", "canneal")
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        result = run_table1()
+        states = [row.state for row in result.rows]
+        assert CState.POLL in states and CState.C1 in states and CState.C1E in states
+        text = result.as_table()
+        assert "POLL" in text and "27.00" in text and "40.00" in text
+
+
+class TestFig3:
+    def test_series_shapes_and_qos_violations(self):
+        result = run_fig3(QUICK)
+        assert set(result.normalized_times) == set(QUICK)
+        assert all(len(series) == 5 for series in result.normalized_times.values())
+        # The baseline configuration (last column) is always 1.0.
+        for series in result.normalized_times.values():
+            assert series[-1] == pytest.approx(1.0)
+            assert all(value >= 1.0 - 1e-9 for value in series)
+        # swaptions scales almost linearly, so dropping to 2 cores slows it
+        # far more (relative to its own baseline) than poorly-scaling canneal.
+        assert result.normalized_times["swaptions"][0] > result.normalized_times["canneal"][0]
+        assert "canneal" in result.as_table()
+
+
+class TestFig2:
+    def test_die_hotter_and_steeper_than_package(self, coarse_platform):
+        result = run_fig2(coarse_platform)
+        assert result.die.theta_max_c > result.package.theta_max_c
+        assert result.die.grad_max_c_per_mm > result.package.grad_max_c_per_mm
+        assert result.die_package_hot_spot_ratio > 1.0
+        # The uniform-flux assumption of [8] underestimates the hot spot.
+        assert result.die.theta_max_c >= result.die_uniform_assumption.theta_max_c - 0.5
+        assert "Die" in result.as_table()
+
+
+class TestFig5:
+    def test_orientation_comparison_structure(self, coarse_platform):
+        result = run_fig5(coarse_platform)
+        assert result.design1.orientation.channels_run_east_west
+        assert result.design2.orientation.channels_run_north_south
+        # The two designs must be close; neither may be catastrophically worse.
+        assert abs(result.design1.die.theta_max_c - result.design2.die.theta_max_c) < 5.0
+        assert "Design 1" in result.as_table()
+
+
+class TestFig6:
+    def test_scenarios_and_cstates_covered(self, coarse_platform):
+        result = run_fig6(coarse_platform)
+        assert len(result.results) == len(SCENARIO_CORE_SETS) * 2
+        for cstate in (CState.POLL, CState.C1):
+            for scenario in SCENARIO_CORE_SETS:
+                assert result.result(scenario, cstate).die.theta_max_c > 40.0
+
+    def test_clustered_mapping_is_never_best(self, coarse_platform):
+        result = run_fig6(coarse_platform)
+        for cstate in (CState.POLL, CState.C1):
+            assert result.best_scenario(cstate) != "scenario3_clustered"
+
+    def test_c1_idle_runs_cooler_than_poll(self, coarse_platform):
+        result = run_fig6(coarse_platform)
+        for scenario in SCENARIO_CORE_SETS:
+            assert (
+                result.result(scenario, CState.C1).die.theta_max_c
+                < result.result(scenario, CState.POLL).die.theta_max_c
+            )
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table2(self, coarse_platform):
+        return run_table2(coarse_platform, benchmark_names=QUICK)
+
+    def test_all_approaches_and_qos_levels_present(self, table2):
+        approaches = {a.name for a in paper_approaches()}
+        assert set(table2.comparison.approaches) == approaches
+        assert set(table2.comparison.qos_labels) == {"1x", "2x", "3x"}
+
+    def test_proposed_wins_under_relaxed_qos(self, table2):
+        """The paper's headline: the proposed stack reduces hot spots at 2x/3x."""
+        for qos in ("2x", "3x"):
+            proposed = table2.comparison.row("proposed", qos)
+            for baseline in ("[8]+[27]+[9]", "[8]+[27]+[7]"):
+                other = table2.comparison.row(baseline, qos)
+                assert proposed.die_theta_max_c < other.die_theta_max_c
+                assert proposed.die_grad_max_c_per_mm < other.die_grad_max_c_per_mm
+                assert proposed.package_theta_max_c < other.package_theta_max_c
+
+    def test_proposed_improves_with_relaxed_qos(self, table2):
+        rows = [table2.comparison.row("proposed", qos) for qos in ("1x", "2x", "3x")]
+        values = [row.die_theta_max_c for row in rows]
+        assert values[0] > values[1] >= values[2]
+
+    def test_per_benchmark_cells_recorded(self, table2):
+        assert len(table2.cells) == 3 * 3 * len(QUICK)
+
+    def test_improvement_summary_positive_at_2x(self, table2):
+        summary = table2.improvement_summary()
+        for key, values in summary.items():
+            if "2x" in key:
+                assert values["die_theta_max_reduction_c"] > 0.0
+
+
+class TestFig7:
+    def test_maps_and_hot_spot_reduction(self, coarse_platform):
+        result = run_fig7(coarse_platform, benchmark_name="fluidanimate")
+        assert result.proposed.die_map_c.shape == result.state_of_the_art.die_map_c.shape
+        assert result.hot_spot_reduction_c > 0.0
+        text = result.as_text()
+        assert "proposed" in text and "hot spot" in text
+
+
+class TestCoolingPower:
+    def test_chiller_power_reduced(self, coarse_platform):
+        result = run_cooling_power(coarse_platform, benchmark_names=QUICK)
+        assert result.proposed.chiller_power_w < result.state_of_the_art.chiller_power_w
+        assert result.chiller_power_reduction_pct > 20.0
+        # The baseline needs colder water to reach the same hot spot.
+        assert (
+            result.state_of_the_art.water_inlet_temperature_c
+            <= result.proposed.water_inlet_temperature_c
+        )
+        assert "Chiller power reduction" in result.as_table()

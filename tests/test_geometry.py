@@ -1,0 +1,102 @@
+"""Rect geometry tests, including property-based overlap invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.utils.geometry import Rect
+
+finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+size = st.floats(min_value=0.1, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+def rects():
+    return st.builds(Rect, x=finite, y=finite, width=size, height=size)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0)
+        assert rect.x2 == pytest.approx(4.0)
+        assert rect.y2 == pytest.approx(6.0)
+        assert rect.area == pytest.approx(12.0)
+        assert rect.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValidationError):
+            Rect(0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            Rect(0.0, 0.0, 1.0, -1.0)
+
+
+class TestContainmentAndOverlap:
+    def test_contains_point(self):
+        rect = Rect(0.0, 0.0, 2.0, 2.0)
+        assert rect.contains_point(1.0, 1.0)
+        assert rect.contains_point(0.0, 2.0)
+        assert not rect.contains_point(2.1, 1.0)
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 10.0, 10.0)
+        inner = Rect(1.0, 1.0, 2.0, 2.0)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_overlap_area_partial(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 2.0, 2.0)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.intersects(b)
+
+    def test_disjoint_rects_do_not_intersect(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(5.0, 5.0, 1.0, 1.0)
+        assert a.overlap_area(b) == 0.0
+        assert not a.intersects(b)
+
+    def test_touching_edges_have_zero_overlap(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.0, 0.0, 1.0, 1.0)
+        assert a.overlap_area(b) == 0.0
+
+
+class TestTransforms:
+    def test_translated(self):
+        rect = Rect(1.0, 1.0, 2.0, 3.0).translated(2.0, -1.0)
+        assert (rect.x, rect.y) == (3.0, 0.0)
+        assert (rect.width, rect.height) == (2.0, 3.0)
+
+    def test_scaled(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0).scaled(2.0)
+        assert rect.area == pytest.approx(48.0)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            Rect(0.0, 0.0, 1.0, 1.0).scaled(0.0)
+
+    def test_distance_to_self_is_zero(self):
+        rect = Rect(0.0, 0.0, 4.0, 4.0)
+        assert rect.distance_to(rect) == 0.0
+
+
+class TestOverlapProperties:
+    @given(rects(), rects())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    @given(rects(), rects())
+    def test_overlap_bounded_by_smaller_area(self, a, b):
+        overlap = a.overlap_area(b)
+        assert 0.0 <= overlap <= min(a.area, b.area) + 1e-9
+
+    @given(rects())
+    def test_self_overlap_equals_area(self, rect):
+        assert rect.overlap_area(rect) == pytest.approx(rect.area)
+
+    @given(rects(), finite, finite)
+    def test_translation_preserves_area(self, rect, dx, dy):
+        assert rect.translated(dx, dy).area == pytest.approx(rect.area)
+
+    @given(rects(), rects())
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))

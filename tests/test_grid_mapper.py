@@ -1,0 +1,82 @@
+"""Grid mapper (power rasterisation) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import FloorplanError, ValidationError
+from repro.floorplan.grid_mapper import GridMapper
+
+
+@pytest.fixture(scope="module")
+def mapper(floorplan):
+    return GridMapper(floorplan, floorplan.spreader_outline, 19, 19)
+
+
+class TestPowerConservation:
+    def test_total_power_preserved(self, mapper):
+        powers = {"core0": 5.0, "core4": 7.0, "llc": 2.0, "memory_controller": 9.0}
+        grid = mapper.power_map(powers)
+        assert grid.sum() == pytest.approx(sum(powers.values()), rel=1e-9)
+
+    def test_component_mask_sums_to_one(self, mapper, floorplan):
+        for component in floorplan:
+            mask = mapper.component_mask(component.name)
+            assert mask.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        core_power=st.floats(0.0, 20.0),
+        llc_power=st.floats(0.0, 5.0),
+        uncore_power=st.floats(0.0, 20.0),
+    )
+    def test_power_conservation_property(self, mapper, core_power, llc_power, uncore_power):
+        powers = {"core2": core_power, "llc": llc_power, "uncore_io": uncore_power}
+        grid = mapper.power_map(powers)
+        assert grid.sum() == pytest.approx(core_power + llc_power + uncore_power, abs=1e-9)
+        assert (grid >= 0.0).all()
+
+
+class TestErrorHandling:
+    def test_unknown_component_rejected(self, mapper):
+        with pytest.raises(FloorplanError):
+            mapper.power_map({"gpu": 10.0})
+
+    def test_negative_power_rejected(self, mapper):
+        with pytest.raises(ValidationError):
+            mapper.power_map({"core0": -1.0})
+
+    def test_cell_rect_out_of_range(self, mapper):
+        with pytest.raises(ValidationError):
+            mapper.cell_rect(100, 0)
+
+
+class TestGeometry:
+    def test_power_lands_inside_component_footprint(self, mapper, floorplan):
+        core = floorplan.component("core0")
+        grid = mapper.power_map({"core0": 10.0})
+        rows, columns = np.nonzero(grid)
+        for row, column in zip(rows, columns):
+            cell = mapper.cell_rect(row, column)
+            assert cell.overlap_area(core.rect) > 0.0
+
+    def test_die_mask_covers_die_area(self, mapper, floorplan):
+        mask = mapper.die_mask()
+        cell_area = mapper.cell_width * mapper.cell_height
+        covered = mask.sum() * cell_area
+        assert covered == pytest.approx(floorplan.die_outline.area, rel=0.15)
+
+    def test_heat_flux_map_scaling(self, mapper):
+        powers = {"core0": 10.0}
+        power_map = mapper.power_map(powers)
+        flux_map = mapper.heat_flux_map(powers)
+        cell_area_m2 = (mapper.cell_width * 1e-3) * (mapper.cell_height * 1e-3)
+        assert np.allclose(flux_map * cell_area_m2, power_map)
+
+    def test_cell_centres_monotone(self, mapper):
+        xs, ys = mapper.cell_centres_mm()
+        assert (np.diff(xs) > 0).all()
+        assert (np.diff(ys) > 0).all()
+
+    def test_total_power_helper(self, mapper):
+        assert mapper.total_power({"core1": 4.0, "core5": 6.0}) == pytest.approx(10.0)

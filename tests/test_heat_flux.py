@@ -1,0 +1,56 @@
+"""Per-component heat-flux estimation tests."""
+
+import pytest
+
+from repro.core.heat_flux import (
+    estimate_component_heat_flux,
+    peak_core_heat_flux_w_cm2,
+)
+from repro.exceptions import FloorplanError, ValidationError
+
+
+class TestEstimation:
+    def test_flux_is_power_over_area(self, floorplan):
+        core = floorplan.component("core0")
+        fluxes = estimate_component_heat_flux(floorplan, {"core0": 7.0})
+        assert fluxes["core0"].heat_flux_w_cm2 == pytest.approx(7.0 / (core.area_mm2 / 100.0))
+        assert fluxes["core0"].heat_flux_w_m2 == pytest.approx(7.0 / (core.area_mm2 * 1e-6))
+
+    def test_unmentioned_components_have_zero_flux(self, floorplan):
+        fluxes = estimate_component_heat_flux(floorplan, {"core0": 7.0})
+        assert fluxes["llc"].power_w == 0.0
+        assert fluxes["llc"].heat_flux_w_cm2 == 0.0
+
+    def test_all_components_present(self, floorplan):
+        fluxes = estimate_component_heat_flux(floorplan, {})
+        assert set(fluxes) == {component.name for component in floorplan}
+
+    def test_unknown_component_rejected(self, floorplan):
+        with pytest.raises(FloorplanError):
+            estimate_component_heat_flux(floorplan, {"gpu": 5.0})
+
+    def test_negative_power_rejected(self, floorplan):
+        with pytest.raises(ValidationError):
+            estimate_component_heat_flux(floorplan, {"core0": -1.0})
+
+
+class TestPeakCoreFlux:
+    def test_peak_picks_hottest_core(self, floorplan):
+        peak = peak_core_heat_flux_w_cm2(floorplan, {"core0": 5.0, "core3": 9.0, "llc": 2.0})
+        expected = 9.0 / (floorplan.component("core3").area_mm2 / 100.0)
+        assert peak == pytest.approx(expected)
+
+    def test_core_flux_higher_than_uncore_flux(self, floorplan, power_model, x264):
+        """Cores are the densest heat sources on the die, as the paper assumes."""
+        breakdown = power_model.all_cores_active(
+            x264.core_power_parameters(), 3.2, memory_intensity=x264.memory_intensity
+        )
+        fluxes = estimate_component_heat_flux(floorplan, breakdown.component_power_w)
+        core_flux = fluxes["core0"].heat_flux_w_cm2
+        assert core_flux > fluxes["llc"].heat_flux_w_cm2
+        assert core_flux > fluxes["memory_controller"].heat_flux_w_cm2
+
+    def test_no_cores_powered_gives_zero(self, floorplan):
+        assert peak_core_heat_flux_w_cm2(floorplan, {"llc": 2.0}) == pytest.approx(
+            0.0, abs=1e-12
+        )

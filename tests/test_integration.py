@@ -1,0 +1,106 @@
+"""Cross-module integration and invariant tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapping import ThreadMapper
+from repro.core.mapping_policies import ProposedThermalAwareMapping
+from repro.core.pipeline import CooledServerSimulation, ThermalAwarePipeline
+from repro.power.power_model import CoreActivity
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.workloads.configuration import Configuration
+from repro.workloads.parsec import PARSEC_BENCHMARKS, get_benchmark
+from repro.workloads.qos import QoSConstraint
+
+
+@pytest.fixture(scope="module")
+def simulation(floorplan, power_model, coarse_thermal_simulator):
+    return CooledServerSimulation(
+        floorplan,
+        design=PAPER_OPTIMIZED_DESIGN,
+        power_model=power_model,
+        thermal_simulator=coarse_thermal_simulator,
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline(simulation, profiler):
+    return ThermalAwarePipeline(simulation, profiler=profiler)
+
+
+class TestEndToEndSweep:
+    @pytest.mark.parametrize("benchmark_name", ["x264", "canneal", "swaptions", "ferret"])
+    @pytest.mark.parametrize("qos_factor", [1.0, 2.0, 3.0])
+    def test_pipeline_produces_physical_results(self, pipeline, benchmark_name, qos_factor):
+        benchmark = get_benchmark(benchmark_name)
+        result = pipeline.run(benchmark, QoSConstraint(qos_factor))
+        # Physical sanity: everything sits between the water temperature and
+        # an implausible silicon limit, die above package, case in between.
+        assert 30.0 < result.package_metrics.theta_avg_c < 100.0
+        assert result.die_metrics.theta_max_c < 120.0
+        assert result.die_metrics.theta_max_c >= result.package_metrics.theta_max_c
+        assert result.die_metrics.theta_max_c >= result.die_metrics.theta_avg_c
+        assert result.package_power_w < 85.0
+        assert result.operating_point.saturation_temperature_c > 30.0
+
+
+class TestMonotonicityInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n_cores=st.integers(min_value=1, max_value=8),
+        frequency=st.sampled_from([2.6, 2.9, 3.2]),
+    )
+    def test_more_water_flow_never_hurts(self, simulation, x264, n_cores, frequency):
+        mapper = ThreadMapper(simulation.floorplan)
+        mapping = mapper.map(
+            x264,
+            Configuration(n_cores, 2, frequency),
+            ProposedThermalAwareMapping(),
+        )
+        nominal = simulation.simulate_mapping(
+            x264, mapping, water_loop=PAPER_OPTIMIZED_DESIGN.water_loop()
+        )
+        boosted = simulation.simulate_mapping(
+            x264,
+            mapping,
+            water_loop=PAPER_OPTIMIZED_DESIGN.water_loop().with_flow_rate(20.0),
+        )
+        assert boosted.die_metrics.theta_max_c <= nominal.die_metrics.theta_max_c + 0.1
+
+    def test_colder_water_always_cools(self, simulation, x264):
+        mapper = ThreadMapper(simulation.floorplan)
+        mapping = mapper.map(x264, Configuration(8, 2, 3.2), ProposedThermalAwareMapping())
+        warm = simulation.simulate_mapping(
+            x264, mapping, water_loop=PAPER_OPTIMIZED_DESIGN.water_loop()
+        )
+        cold = simulation.simulate_mapping(
+            x264,
+            mapping,
+            water_loop=PAPER_OPTIMIZED_DESIGN.water_loop().with_inlet_temperature(20.0),
+        )
+        assert cold.die_metrics.theta_max_c < warm.die_metrics.theta_max_c
+
+    def test_energy_balance_water_side(self, simulation, x264):
+        """All package heat ends up in the condenser water (steady state)."""
+        activities = [
+            CoreActivity.running(i, x264.core_power_parameters(), 2) for i in range(8)
+        ]
+        result = simulation.simulate_activities(activities, 3.2, benchmark_name="x264")
+        water_loop = PAPER_OPTIMIZED_DESIGN.water_loop()
+        expected_delta_t = result.package_power_w / water_loop.heat_capacity_rate_w_per_k
+        assert result.water_delta_t_c == pytest.approx(expected_delta_t, rel=1e-6)
+
+
+class TestSuiteWideBehaviour:
+    def test_every_benchmark_runs_at_2x(self, pipeline):
+        constraint = QoSConstraint(2.0)
+        for benchmark in PARSEC_BENCHMARKS.values():
+            result = pipeline.run(benchmark, constraint)
+            assert result.within_case_limit
+
+    def test_memory_bound_benchmarks_use_fewer_cores_at_2x(self, pipeline):
+        """Poorly-scaling workloads can't shed cores as easily as scalable ones."""
+        constraint = QoSConstraint(3.0)
+        swaptions = pipeline.run(get_benchmark("swaptions"), constraint)
+        canneal = pipeline.run(get_benchmark("canneal"), constraint)
+        assert swaptions.configuration.n_cores <= canneal.configuration.n_cores + 2

@@ -1,0 +1,85 @@
+"""LinearTable1D and clamp tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.utils.interpolation import LinearTable1D, clamp
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamps_low_and_high(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            clamp(0.5, 1.0, 0.0)
+
+    @given(st.floats(-1e6, 1e6), st.floats(-100, 0), st.floats(0, 100))
+    def test_result_always_within_bounds(self, value, low, high):
+        result = clamp(value, low, high)
+        assert low <= result <= high
+
+
+class TestLinearTable1D:
+    def test_interpolates_between_points(self):
+        table = LinearTable1D([0.0, 10.0], [0.0, 100.0])
+        assert table(5.0) == pytest.approx(50.0)
+
+    def test_clamps_outside_range(self):
+        table = LinearTable1D([0.0, 10.0], [5.0, 15.0])
+        assert table(-100.0) == pytest.approx(5.0)
+        assert table(100.0) == pytest.approx(15.0)
+
+    def test_exact_knot_values(self):
+        xs = [0.0, 1.0, 4.0]
+        ys = [2.0, 3.0, 10.0]
+        table = LinearTable1D(xs, ys)
+        for x, y in zip(xs, ys):
+            assert table(x) == pytest.approx(y)
+
+    def test_inverse_increasing(self):
+        table = LinearTable1D([0.0, 10.0], [100.0, 200.0])
+        assert table.inverse(150.0) == pytest.approx(5.0)
+
+    def test_inverse_decreasing(self):
+        table = LinearTable1D([0.0, 10.0], [200.0, 100.0])
+        assert table.inverse(150.0) == pytest.approx(5.0)
+
+    def test_inverse_rejects_non_monotone(self):
+        table = LinearTable1D([0.0, 1.0, 2.0], [0.0, 5.0, 0.0])
+        with pytest.raises(ValidationError):
+            table.inverse(2.0)
+
+    def test_sample_vectorised(self):
+        table = LinearTable1D([0.0, 1.0], [0.0, 2.0])
+        values = table.sample([0.0, 0.25, 0.5, 1.0])
+        assert np.allclose(values, [0.0, 0.5, 1.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            LinearTable1D([0.0, 1.0], [1.0])
+
+    def test_rejects_non_increasing_xs(self):
+        with pytest.raises(ValidationError):
+            LinearTable1D([0.0, 0.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValidationError):
+            LinearTable1D([0.0], [1.0])
+
+    def test_bounds_properties(self):
+        table = LinearTable1D([2.0, 8.0], [1.0, 2.0])
+        assert table.x_min == 2.0
+        assert table.x_max == 8.0
+
+    @given(st.floats(min_value=-50.0, max_value=150.0))
+    def test_interpolation_stays_within_y_range(self, x):
+        table = LinearTable1D([0.0, 25.0, 50.0, 100.0], [1.0, 4.0, 2.0, 8.0])
+        value = table(x)
+        assert 1.0 - 1e-9 <= value <= 8.0 + 1e-9

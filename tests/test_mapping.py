@@ -1,0 +1,77 @@
+"""Thread mapper tests (C-state choice plus activity construction)."""
+
+import pytest
+
+from repro.baselines.coskun_balancing import CoskunBalancingMapping
+from repro.core.mapping import ThreadMapper
+from repro.core.mapping_policies import ProposedThermalAwareMapping
+from repro.exceptions import MappingError
+from repro.power.cstates import CState
+from repro.workloads.configuration import Configuration
+
+
+@pytest.fixture(scope="module")
+def mapper(floorplan):
+    return ThreadMapper(floorplan)
+
+
+class TestIdleCStateSelection:
+    def test_proposed_policy_uses_latency_budget(self, mapper):
+        policy = ProposedThermalAwareMapping()
+        assert mapper.idle_cstate_for(policy, 0.0) is CState.POLL
+        assert mapper.idle_cstate_for(policy, 5.0) is CState.C1
+        assert mapper.idle_cstate_for(policy, 1000.0) is CState.C6
+
+    def test_cstate_unaware_policy_always_poll(self, mapper):
+        policy = CoskunBalancingMapping()
+        assert mapper.idle_cstate_for(policy, 1000.0) is CState.POLL
+
+
+class TestMapping:
+    def test_mapping_structure(self, mapper, x264):
+        configuration = Configuration(4, 2, 2.9)
+        mapping = mapper.map(x264, configuration, ProposedThermalAwareMapping())
+        assert mapping.n_active_cores == 4
+        assert mapping.configuration == configuration
+        assert mapping.benchmark_name == "x264"
+        assert "x264" in mapping.describe()
+
+    def test_mapping_uses_benchmark_latency_budget(self, mapper, x264, canneal):
+        policy = ProposedThermalAwareMapping()
+        strict = mapper.map(x264, Configuration(2, 1, 2.6), policy)
+        relaxed = mapper.map(canneal, Configuration(2, 1, 2.6), policy)
+        # x264 tolerates only a few microseconds; canneal tolerates much more.
+        assert strict.idle_cstate.depth <= relaxed.idle_cstate.depth
+
+    def test_latency_override(self, mapper, x264):
+        mapping = mapper.map(
+            x264,
+            Configuration(2, 1, 2.6),
+            ProposedThermalAwareMapping(),
+            tolerable_idle_latency_us=0.0,
+        )
+        assert mapping.idle_cstate is CState.POLL
+
+    def test_too_many_cores_rejected(self, mapper, x264):
+        with pytest.raises(MappingError):
+            mapper.map(x264, Configuration(9, 1, 2.6), ProposedThermalAwareMapping())
+
+
+class TestActivities:
+    def test_activity_list_covers_every_core(self, mapper, x264):
+        mapping = mapper.map(x264, Configuration(4, 2, 3.2), ProposedThermalAwareMapping())
+        activities = mapper.activities(x264, mapping)
+        assert len(activities) == 8
+        active = [a for a in activities if a.active]
+        idle = [a for a in activities if not a.active]
+        assert len(active) == 4
+        assert len(idle) == 4
+        assert {a.core_index for a in active} == set(mapping.active_cores)
+        assert all(a.threads_on_core == 2 for a in active)
+        assert all(a.idle_cstate is mapping.idle_cstate for a in idle)
+
+    def test_activity_factor_passthrough(self, mapper, x264):
+        mapping = mapper.map(x264, Configuration(2, 1, 2.6), ProposedThermalAwareMapping())
+        activities = mapper.activities(x264, mapping, activity_factor=0.5)
+        active = next(a for a in activities if a.active)
+        assert active.power_params.activity_factor == 0.5

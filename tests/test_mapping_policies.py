@@ -1,0 +1,129 @@
+"""Mapping policy tests (proposed policy and baselines)."""
+
+import pytest
+
+from repro.baselines.coskun_balancing import CoskunBalancingMapping
+from repro.baselines.sabry_inlet_first import SabryInletFirstMapping
+from repro.core.mapping_policies import (
+    ClusteredMapping,
+    ProposedThermalAwareMapping,
+    corner_balanced_selection,
+)
+from repro.exceptions import MappingError
+from repro.power.cstates import CState
+from repro.thermosyphon.orientation import Orientation
+
+
+@pytest.fixture(scope="module")
+def proposed():
+    return ProposedThermalAwareMapping()
+
+
+class TestCommonPolicyBehaviour:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            ProposedThermalAwareMapping(),
+            CoskunBalancingMapping(),
+            SabryInletFirstMapping(),
+            ClusteredMapping(),
+        ],
+    )
+    @pytest.mark.parametrize("n_cores", [1, 2, 4, 6, 8])
+    def test_returns_requested_number_of_distinct_cores(self, policy, n_cores, floorplan):
+        selection = policy.select_cores(floorplan, n_cores, idle_cstate=CState.C1)
+        assert len(selection) == n_cores
+        assert len(set(selection)) == n_cores
+        assert all(0 <= index < 8 for index in selection)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [ProposedThermalAwareMapping(), CoskunBalancingMapping(), ClusteredMapping()],
+    )
+    def test_too_many_cores_rejected(self, policy, floorplan):
+        with pytest.raises(MappingError):
+            policy.select_cores(floorplan, 9)
+
+    def test_zero_cores_rejected(self, proposed, floorplan):
+        with pytest.raises(MappingError):
+            proposed.select_cores(floorplan, 0)
+
+
+class TestProposedPolicy:
+    def test_cstate_aware_flag(self, proposed):
+        assert proposed.cstate_aware is True
+        assert CoskunBalancingMapping().cstate_aware is False
+
+    def test_deep_cstate_gives_one_core_per_row(self, proposed, floorplan):
+        selection = proposed.select_cores(floorplan, 4, idle_cstate=CState.C1)
+        rows = [floorplan.core_row_of(index) for index in selection]
+        assert len(set(rows)) == 4, "each active core must sit on its own channel row"
+
+    def test_deep_cstate_spreads_two_cores_apart(self, proposed, floorplan):
+        """Two active cores land on different channel rows, far apart."""
+        selection = proposed.select_cores(
+            floorplan, 2, idle_cstate=CState.C1, orientation=Orientation.WEST_TO_EAST
+        )
+        first, second = selection
+        assert floorplan.core_row_of(first) != floorplan.core_row_of(second)
+        distance = floorplan.core(first).rect.distance_to(floorplan.core(second).rect)
+        assert distance > 5.0
+
+    def test_deep_cstate_four_cores_alternate_columns(self, proposed, floorplan):
+        """The 4-core selection reproduces the checkerboard of scenario #1."""
+        selection = proposed.select_cores(
+            floorplan, 4, idle_cstate=CState.C1, orientation=Orientation.WEST_TO_EAST
+        )
+        columns = [floorplan.core_column_of(index) for index in selection]
+        assert sorted(columns) == [0, 0, 1, 1]
+
+    def test_poll_falls_back_to_corner_balancing(self, proposed, floorplan):
+        selection = proposed.select_cores(floorplan, 4, idle_cstate=CState.POLL)
+        assert set(selection) == set(floorplan.corner_cores())
+
+    def test_more_than_rows_doubles_up_gracefully(self, proposed, floorplan):
+        selection = proposed.select_cores(floorplan, 6, idle_cstate=CState.C1E)
+        rows = [floorplan.core_row_of(index) for index in selection]
+        # With six cores on four rows, no row holds more than two actives.
+        assert max(rows.count(row) for row in set(rows)) == 2
+
+    def test_vertical_channel_orientation_uses_columns(self, proposed, floorplan):
+        selection = proposed.select_cores(
+            floorplan, 2, idle_cstate=CState.C1, orientation=Orientation.NORTH_TO_SOUTH
+        )
+        columns = [floorplan.core_column_of(index) for index in selection]
+        assert len(set(columns)) == 2, "one active core per vertical channel lane"
+
+    def test_full_machine_selection_uses_all_cores(self, proposed, floorplan):
+        assert set(proposed.select_cores(floorplan, 8, idle_cstate=CState.C1)) == set(range(8))
+
+
+class TestBaselinePolicies:
+    def test_coskun_starts_from_corners(self, floorplan):
+        selection = CoskunBalancingMapping().select_cores(floorplan, 4)
+        assert set(selection) == set(floorplan.corner_cores())
+
+    def test_coskun_matches_shared_helper(self, floorplan):
+        assert CoskunBalancingMapping().select_cores(floorplan, 5) == corner_balanced_selection(
+            floorplan, 5
+        )
+
+    def test_sabry_prefers_cores_near_inlet(self, floorplan):
+        selection = SabryInletFirstMapping().select_cores(
+            floorplan, 4, orientation=Orientation.WEST_TO_EAST
+        )
+        # All four cores of the western column are closest to the west inlet.
+        assert set(selection) == {0, 1, 2, 3}
+
+    def test_sabry_follows_orientation(self, floorplan):
+        selection = SabryInletFirstMapping().select_cores(
+            floorplan, 4, orientation=Orientation.EAST_TO_WEST
+        )
+        assert set(selection) == {4, 5, 6, 7}
+
+    def test_clustered_packs_in_index_order(self, floorplan):
+        assert ClusteredMapping().select_cores(floorplan, 3) == (0, 1, 2)
+
+    def test_corner_helper_spaces_remaining_cores(self, floorplan):
+        selection = corner_balanced_selection(floorplan, 6)
+        assert set(floorplan.corner_cores()) <= set(selection)

@@ -1,0 +1,52 @@
+"""Evaporator orientation tests."""
+
+import pytest
+
+from repro.thermosyphon.orientation import Orientation
+
+
+class TestChannelDirections:
+    def test_east_west_orientations(self):
+        assert Orientation.WEST_TO_EAST.channels_run_east_west
+        assert Orientation.EAST_TO_WEST.channels_run_east_west
+        assert not Orientation.WEST_TO_EAST.channels_run_north_south
+
+    def test_north_south_orientations(self):
+        assert Orientation.NORTH_TO_SOUTH.channels_run_north_south
+        assert Orientation.SOUTH_TO_NORTH.channels_run_north_south
+
+    def test_flow_reversal_flags(self):
+        assert not Orientation.WEST_TO_EAST.flow_reversed
+        assert Orientation.EAST_TO_WEST.flow_reversed
+        assert Orientation.NORTH_TO_SOUTH.flow_reversed
+        assert not Orientation.SOUTH_TO_NORTH.flow_reversed
+
+
+class TestLaneCounts:
+    def test_channel_count_follows_axis(self):
+        assert Orientation.WEST_TO_EAST.channel_count(10, 20) == 10
+        assert Orientation.NORTH_TO_SOUTH.channel_count(10, 20) == 20
+
+    def test_cells_per_channel(self):
+        assert Orientation.WEST_TO_EAST.cells_per_channel(10, 20) == 20
+        assert Orientation.NORTH_TO_SOUTH.cells_per_channel(10, 20) == 10
+
+
+class TestInletGeometry:
+    def test_inlet_edges(self):
+        assert Orientation.WEST_TO_EAST.inlet_edge() == "west"
+        assert Orientation.EAST_TO_WEST.inlet_edge() == "east"
+        assert Orientation.NORTH_TO_SOUTH.inlet_edge() == "north"
+        assert Orientation.SOUTH_TO_NORTH.inlet_edge() == "south"
+
+    @pytest.mark.parametrize("orientation", list(Orientation))
+    def test_inlet_point_on_outline_boundary(self, orientation):
+        x, y = orientation.inlet_point_mm(0.0, 0.0, 38.0, 38.0)
+        assert 0.0 <= x <= 38.0
+        assert 0.0 <= y <= 38.0
+        # The inlet sits on an edge, not strictly inside.
+        assert x in (0.0, 19.0, 38.0)
+        assert y in (0.0, 19.0, 38.0)
+
+    def test_west_inlet_point(self):
+        assert Orientation.WEST_TO_EAST.inlet_point_mm(0.0, 0.0, 38.0, 38.0) == (0.0, 19.0)

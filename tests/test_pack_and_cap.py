@@ -1,0 +1,53 @@
+"""Pack & Cap baseline configuration-selection tests."""
+
+import pytest
+
+from repro.baselines.pack_and_cap import PackAndCapSelector
+from repro.exceptions import QoSViolationError
+from repro.workloads.configuration import Configuration, baseline_configuration
+from repro.workloads.qos import QoSConstraint
+
+
+class TestSelection:
+    def test_unconstrained_cap_picks_fastest_configuration(self, profiler, x264):
+        selector = PackAndCapSelector(profiler, power_cap_w=200.0)
+        selection = selector.select(x264)
+        assert selection.configuration == baseline_configuration()
+        assert selection.cap_satisfied
+
+    def test_qos_filter_keeps_fast_configurations(self, profiler, x264):
+        selector = PackAndCapSelector(profiler, power_cap_w=200.0)
+        selection = selector.select(x264, QoSConstraint(2.0))
+        assert selection.selected.satisfies(QoSConstraint(2.0))
+
+    def test_tight_cap_forces_cheaper_configuration(self, profiler, x264):
+        unlimited = PackAndCapSelector(profiler, power_cap_w=200.0).select(x264)
+        capped = PackAndCapSelector(profiler, power_cap_w=55.0).select(x264)
+        assert capped.selected.package_power_w <= 55.0 + 1e-9
+        assert capped.selected.package_power_w < unlimited.selected.package_power_w
+
+    def test_impossible_cap_still_returns_least_power(self, profiler, x264):
+        selector = PackAndCapSelector(profiler, power_cap_w=10.0)
+        selection = selector.select(x264)
+        assert not selection.cap_satisfied
+        assert selection.selected.package_power_w > 10.0
+
+    def test_infeasible_qos_raises(self, profiler, x264):
+        selector = PackAndCapSelector(
+            profiler, configurations=(Configuration(1, 1, 2.6),)
+        )
+        with pytest.raises(QoSViolationError):
+            selector.select(x264, QoSConstraint(1.0))
+
+    def test_invalid_cap_rejected(self, profiler):
+        with pytest.raises(Exception):
+            PackAndCapSelector(profiler, power_cap_w=0.0)
+
+    def test_pack_and_cap_never_cooler_than_algorithm1(self, profiler, x264):
+        """The paper's selector minimises power; Pack & Cap maximises speed."""
+        from repro.core.config_selection import QoSAwareConfigSelector
+
+        constraint = QoSConstraint(2.0)
+        algorithm1 = QoSAwareConfigSelector(profiler).select(x264, constraint)
+        pack_and_cap = PackAndCapSelector(profiler).select(x264, constraint)
+        assert pack_and_cap.selected.package_power_w >= algorithm1.package_power_w - 1e-9

@@ -1,0 +1,68 @@
+"""PARSEC benchmark database tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.parsec import (
+    PARSEC_BENCHMARKS,
+    PARSEC_BENCHMARK_NAMES,
+    get_benchmark,
+    worst_case_benchmark,
+)
+
+
+class TestDatabase:
+    def test_thirteen_benchmarks(self):
+        assert len(PARSEC_BENCHMARKS) == 13
+        assert len(PARSEC_BENCHMARK_NAMES) == 13
+        assert set(PARSEC_BENCHMARK_NAMES) == set(PARSEC_BENCHMARKS)
+
+    def test_expected_names_present(self):
+        for name in ("blackscholes", "canneal", "streamcluster", "x264", "swaptions"):
+            assert name in PARSEC_BENCHMARKS
+
+    def test_get_benchmark(self):
+        benchmark = get_benchmark("ferret")
+        assert benchmark.name == "ferret"
+
+    def test_get_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            get_benchmark("spec2017")
+
+    def test_worst_case_benchmark_has_highest_core_power(self):
+        worst = worst_case_benchmark()
+        assert worst.core_dynamic_power_fmax_w == max(
+            benchmark.core_dynamic_power_fmax_w for benchmark in PARSEC_BENCHMARKS.values()
+        )
+
+
+class TestCharacterisationSanity:
+    def test_all_parameters_in_valid_ranges(self):
+        for benchmark in PARSEC_BENCHMARKS.values():
+            assert 0.0 < benchmark.parallel_fraction < 1.0
+            assert 0.0 <= benchmark.memory_intensity <= 1.0
+            assert 0.0 < benchmark.smt_gain < 1.0
+            assert 2.0 < benchmark.core_dynamic_power_fmax_w < 8.0
+            assert benchmark.baseline_time_s > 0.0
+
+    def test_memory_bound_benchmarks_flagged(self):
+        assert get_benchmark("canneal").memory_intensity > 0.7
+        assert get_benchmark("streamcluster").memory_intensity > 0.7
+        assert get_benchmark("swaptions").memory_intensity < 0.3
+
+    def test_benchmark_diversity(self):
+        """The suite must span scaling behaviours, not copies of one model."""
+        fractions = {round(b.parallel_fraction, 3) for b in PARSEC_BENCHMARKS.values()}
+        assert len(fractions) >= 8
+        powers = {round(b.core_dynamic_power_fmax_w, 2) for b in PARSEC_BENCHMARKS.values()}
+        assert len(powers) >= 8
+
+    def test_normalized_time_spread_matches_fig3_shape(self):
+        """At (2 cores, 4 threads, fmax) the suite spans roughly 1.3x-3x."""
+        values = [
+            benchmark.normalized_execution_time(2, 2, 3.2)
+            for benchmark in PARSEC_BENCHMARKS.values()
+        ]
+        assert min(values) > 1.0
+        assert max(values) < 3.5
+        assert max(values) - min(values) > 0.5

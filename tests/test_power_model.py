@@ -1,0 +1,110 @@
+"""Whole-package server power model tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.cstates import CState
+from repro.power.power_model import CoreActivity, ServerPowerModel
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def x264_params(x264):
+    return x264.core_power_parameters()
+
+
+class TestCoreActivity:
+    def test_running_constructor(self, x264_params):
+        activity = CoreActivity.running(3, x264_params, 2)
+        assert activity.active and activity.core_index == 3 and activity.threads_on_core == 2
+
+    def test_idle_constructor(self):
+        activity = CoreActivity.idle(5, CState.C1E)
+        assert not activity.active
+        assert activity.idle_cstate is CState.C1E
+
+    def test_active_requires_power_params(self):
+        with pytest.raises(ConfigurationError):
+            CoreActivity(core_index=0, active=True)
+
+    def test_invalid_thread_count(self, x264_params):
+        with pytest.raises(ConfigurationError):
+            CoreActivity(core_index=0, active=True, power_params=x264_params, threads_on_core=4)
+
+
+class TestEvaluation:
+    def test_unlisted_cores_default_to_idle_poll(self, power_model, x264_params):
+        breakdown = power_model.evaluate(
+            [CoreActivity.running(0, x264_params, 1)], 3.2, memory_intensity=0.5
+        )
+        # 7 idle cores in POLL at 3.2 GHz contribute 7 * 5 W.
+        assert breakdown.core_power_w > 7 * 5.0
+
+    def test_unknown_core_rejected(self, power_model, x264_params):
+        with pytest.raises(ConfigurationError):
+            power_model.evaluate(
+                [CoreActivity.running(42, x264_params, 1)], 3.2
+            )
+
+    def test_breakdown_covers_all_power_components(self, power_model, x264_params):
+        breakdown = power_model.all_cores_active(x264_params, 3.2)
+        names = set(breakdown.component_power_w)
+        assert {"llc", "memory_controller", "uncore_io"} <= names
+        assert {f"core{i}" for i in range(8)} <= names
+        assert breakdown.package_power_w == pytest.approx(
+            sum(breakdown.component_power_w.values())
+        )
+
+    def test_more_active_cores_more_power(self, power_model, x264_params):
+        def package(n_active):
+            activities = [
+                CoreActivity.running(i, x264_params, 2) if i < n_active else CoreActivity.idle(i, CState.C1)
+                for i in range(8)
+            ]
+            return power_model.evaluate(activities, 3.2, memory_intensity=0.5).package_power_w
+
+        powers = [package(n) for n in (2, 4, 6, 8)]
+        assert powers == sorted(powers)
+
+    def test_deeper_idle_state_saves_power(self, power_model, x264_params):
+        def package(cstate):
+            activities = [
+                CoreActivity.running(i, x264_params, 2) if i < 4 else CoreActivity.idle(i, cstate)
+                for i in range(8)
+            ]
+            return power_model.evaluate(activities, 3.2, memory_intensity=0.5).package_power_w
+
+        assert package(CState.POLL) > package(CState.C1) > package(CState.C1E)
+
+    def test_higher_frequency_more_power(self, power_model, x264_params):
+        low = power_model.all_cores_active(x264_params, 2.6).package_power_w
+        high = power_model.all_cores_active(x264_params, 3.2).package_power_w
+        assert high > low
+
+    def test_leakage_coupling_increases_idle_power(self, floorplan, x264_params):
+        coupled = ServerPowerModel(floorplan, leakage_coefficient=0.012)
+        activities = [CoreActivity.idle(i, CState.C1) for i in range(8)]
+        cold = coupled.evaluate(
+            activities, 3.2, core_temperatures_c={i: 45.0 for i in range(8)}
+        ).package_power_w
+        hot = coupled.evaluate(
+            activities, 3.2, core_temperatures_c={i: 85.0 for i in range(8)}
+        ).package_power_w
+        assert hot > cold
+
+
+class TestPaperPowerRange:
+    def test_package_power_spans_paper_range(self, profiler):
+        """The paper reports 40.5-79.3 W across configurations and workloads."""
+        low, high = profiler.power_range_w(tuple(PARSEC_BENCHMARKS.values()))
+        assert 30.0 < low < 50.0
+        assert 70.0 < high < 90.0
+
+    def test_worst_case_close_to_paper_maximum(self, power_model):
+        worst = max(
+            PARSEC_BENCHMARKS.values(), key=lambda b: b.core_dynamic_power_fmax_w
+        )
+        breakdown = power_model.all_cores_active(
+            worst.core_power_parameters(), 3.2, memory_intensity=worst.memory_intensity
+        )
+        assert 70.0 <= breakdown.package_power_w <= 90.0

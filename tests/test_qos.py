@@ -1,0 +1,65 @@
+"""QoS constraint tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.configuration import Configuration, baseline_configuration
+from repro.workloads.qos import PAPER_QOS_LEVELS, QoSConstraint, QoSRequirement
+
+
+class TestQoSConstraint:
+    def test_paper_levels(self):
+        assert [c.degradation_factor for c in PAPER_QOS_LEVELS] == [1.0, 2.0, 3.0]
+
+    def test_labels(self):
+        assert QoSConstraint(2.0).label() == "2x"
+        assert QoSConstraint(1.5).label() == "1.50x"
+
+    def test_minimum_qos_is_inverse_of_degradation(self):
+        assert QoSConstraint(2.0).minimum_qos == pytest.approx(0.5)
+
+    def test_rejects_factors_below_one(self):
+        with pytest.raises(ConfigurationError):
+            QoSConstraint(0.5)
+
+    def test_time_limit(self):
+        assert QoSConstraint(2.0).time_limit_s(30.0) == pytest.approx(60.0)
+
+    def test_satisfaction_by_time(self):
+        constraint = QoSConstraint(2.0)
+        assert constraint.is_satisfied_by_time(59.0, 30.0)
+        assert constraint.is_satisfied_by_time(60.0, 30.0)
+        assert not constraint.is_satisfied_by_time(61.0, 30.0)
+
+
+class TestBenchmarkSatisfaction:
+    def test_baseline_always_satisfies_1x(self, x264):
+        constraint = QoSConstraint(1.0)
+        assert constraint.is_satisfied_by(x264, baseline_configuration())
+
+    def test_tiny_configuration_fails_1x(self, x264):
+        constraint = QoSConstraint(1.0)
+        assert not constraint.is_satisfied_by(x264, Configuration(1, 1, 2.6))
+
+    def test_relaxed_constraints_admit_more_configurations(self, x264):
+        from repro.workloads.configuration import default_configuration_space
+
+        space = default_configuration_space()
+        counts = [
+            sum(1 for c in space if QoSConstraint(factor).is_satisfied_by(x264, c))
+            for factor in (1.0, 2.0, 3.0)
+        ]
+        assert counts[0] <= counts[1] <= counts[2]
+        assert counts[0] >= 1
+
+
+class TestQoSRequirement:
+    def test_latency_budget_defaults_to_benchmark(self, x264):
+        requirement = QoSRequirement(benchmark=x264, constraint=QoSConstraint(2.0))
+        assert requirement.idle_latency_budget_us == x264.tolerable_idle_latency_us
+
+    def test_latency_budget_override(self, x264):
+        requirement = QoSRequirement(
+            benchmark=x264, constraint=QoSConstraint(2.0), tolerable_idle_latency_us=500.0
+        )
+        assert requirement.idle_latency_budget_us == 500.0

@@ -1,0 +1,77 @@
+"""Simulated RAPL interface tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.rapl import RAPL_COUNTER_WRAP_UJ, RaplDomain, RaplSample, SimulatedRapl
+
+
+class TestEnergyAccumulation:
+    def test_energy_integrates_power(self):
+        rapl = SimulatedRapl()
+        rapl.advance(2.0, {RaplDomain.PACKAGE: 50.0})
+        assert rapl.read_energy_uj(RaplDomain.PACKAGE) == pytest.approx(100.0 * 1e6)
+
+    def test_domains_are_independent(self):
+        rapl = SimulatedRapl()
+        rapl.advance(1.0, {RaplDomain.PACKAGE: 60.0, RaplDomain.PP0: 40.0})
+        assert rapl.read_energy_uj(RaplDomain.PACKAGE) == pytest.approx(60e6)
+        assert rapl.read_energy_uj(RaplDomain.PP0) == pytest.approx(40e6)
+        assert rapl.read_energy_uj(RaplDomain.DRAM) == 0.0
+
+    def test_time_advances(self):
+        rapl = SimulatedRapl()
+        rapl.advance(0.5, {RaplDomain.PACKAGE: 10.0})
+        rapl.advance(0.5, {RaplDomain.PACKAGE: 10.0})
+        assert rapl.time_s == pytest.approx(1.0)
+
+    def test_counter_wraps(self):
+        rapl = SimulatedRapl()
+        # Enough energy to wrap the 2^32 uJ counter.
+        rapl.advance(1.0, {RaplDomain.PACKAGE: 5000.0})
+        assert rapl.read_energy_uj(RaplDomain.PACKAGE) < RAPL_COUNTER_WRAP_UJ
+
+    def test_last_power(self):
+        rapl = SimulatedRapl()
+        rapl.advance(1.0, {RaplDomain.PP0: 33.0})
+        assert rapl.last_power_w(RaplDomain.PP0) == 33.0
+
+
+class TestAveragePower:
+    def test_average_power_between_samples(self):
+        rapl = SimulatedRapl()
+        first = RaplSample(RaplDomain.PACKAGE, rapl.time_s, rapl.read_energy_uj(RaplDomain.PACKAGE))
+        rapl.advance(4.0, {RaplDomain.PACKAGE: 70.0})
+        second = RaplSample(RaplDomain.PACKAGE, rapl.time_s, rapl.read_energy_uj(RaplDomain.PACKAGE))
+        assert SimulatedRapl.average_power_w(first, second) == pytest.approx(70.0)
+
+    def test_average_power_handles_wraparound(self):
+        first = RaplSample(RaplDomain.PACKAGE, 0.0, RAPL_COUNTER_WRAP_UJ - 1e6)
+        second = RaplSample(RaplDomain.PACKAGE, 1.0, 1e6)
+        assert SimulatedRapl.average_power_w(first, second) == pytest.approx(2.0)
+
+    def test_mismatched_domains_rejected(self):
+        first = RaplSample(RaplDomain.PACKAGE, 0.0, 0.0)
+        second = RaplSample(RaplDomain.DRAM, 1.0, 1e6)
+        with pytest.raises(ConfigurationError):
+            SimulatedRapl.average_power_w(first, second)
+
+    def test_non_increasing_time_rejected(self):
+        first = RaplSample(RaplDomain.PACKAGE, 1.0, 0.0)
+        second = RaplSample(RaplDomain.PACKAGE, 1.0, 1e6)
+        with pytest.raises(ConfigurationError):
+            SimulatedRapl.average_power_w(first, second)
+
+
+class TestValidation:
+    def test_negative_power_rejected(self):
+        rapl = SimulatedRapl()
+        with pytest.raises(Exception):
+            rapl.advance(1.0, {RaplDomain.PACKAGE: -1.0})
+
+    def test_samples_recorded(self):
+        rapl = SimulatedRapl()
+        rapl.advance(1.0, {RaplDomain.PACKAGE: 10.0})
+        rapl.read_energy_uj(RaplDomain.PACKAGE)
+        rapl.read_energy_uj(RaplDomain.PP0)
+        assert len(rapl.samples) == 2

@@ -1,0 +1,114 @@
+"""Runtime thermosyphon controller tests."""
+
+import pytest
+
+from repro.core.mapping import ThreadMapper
+from repro.core.mapping_policies import ProposedThermalAwareMapping
+from repro.core.pipeline import CooledServerSimulation
+from repro.core.runtime_controller import (
+    ControllerAction,
+    ThermosyphonController,
+)
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.workloads.configuration import Configuration
+from repro.workloads.qos import QoSConstraint
+from repro.workloads.trace import PhasedTrace, TracePhase
+
+
+@pytest.fixture(scope="module")
+def simulation(floorplan, power_model, coarse_thermal_simulator):
+    return CooledServerSimulation(
+        floorplan,
+        design=PAPER_OPTIMIZED_DESIGN,
+        power_model=power_model,
+        thermal_simulator=coarse_thermal_simulator,
+    )
+
+
+@pytest.fixture(scope="module")
+def mapping(floorplan, x264):
+    mapper = ThreadMapper(floorplan)
+    return mapper.map(x264, Configuration(8, 2, 3.2), ProposedThermalAwareMapping())
+
+
+def _evaluate(simulation, x264, mapping, water_loop):
+    return simulation.simulate_mapping(x264, mapping, water_loop=water_loop)
+
+
+class TestDecisions:
+    def test_no_action_when_cool(self, simulation, x264, mapping):
+        controller = ThermosyphonController(simulation, t_case_max_c=85.0, relax_margin_c=100.0)
+        water_loop = PAPER_OPTIMIZED_DESIGN.water_loop()
+        result = _evaluate(simulation, x264, mapping, water_loop)
+        action, new_loop, frequency = controller.decide(
+            result, water_loop, x264, QoSConstraint(2.0)
+        )
+        assert action is ControllerAction.NONE
+        assert new_loop.flow_rate_kg_h == water_loop.flow_rate_kg_h
+        assert frequency == 3.2
+
+    def test_emergency_opens_valve_first(self, simulation, x264, mapping):
+        # An artificially low limit forces a thermal emergency.
+        controller = ThermosyphonController(simulation, t_case_max_c=40.0)
+        water_loop = PAPER_OPTIMIZED_DESIGN.water_loop()
+        result = _evaluate(simulation, x264, mapping, water_loop)
+        action, new_loop, frequency = controller.decide(
+            result, water_loop, x264, QoSConstraint(2.0)
+        )
+        assert action is ControllerAction.INCREASE_FLOW
+        assert new_loop.flow_rate_kg_h > water_loop.flow_rate_kg_h
+        assert frequency == 3.2
+
+    def test_valve_saturated_then_frequency_reduced_if_qos_allows(
+        self, simulation, x264, mapping
+    ):
+        controller = ThermosyphonController(simulation, t_case_max_c=40.0)
+        water_loop = PAPER_OPTIMIZED_DESIGN.water_loop().with_flow_rate(1000.0)
+        assert water_loop.at_maximum_flow
+        result = _evaluate(simulation, x264, mapping, water_loop)
+        action, _, frequency = controller.decide(result, water_loop, x264, QoSConstraint(3.0))
+        assert action is ControllerAction.LOWER_FREQUENCY
+        assert frequency < 3.2
+
+    def test_emergency_reported_when_qos_blocks_dvfs(self, simulation, x264, mapping):
+        controller = ThermosyphonController(simulation, t_case_max_c=40.0)
+        water_loop = PAPER_OPTIMIZED_DESIGN.water_loop().with_flow_rate(1000.0)
+        result = _evaluate(simulation, x264, mapping, water_loop)
+        # 1x QoS forbids any slowdown, so no frequency reduction is possible.
+        action, _, frequency = controller.decide(result, water_loop, x264, QoSConstraint(1.0))
+        assert action is ControllerAction.EMERGENCY
+        assert frequency == 3.2
+
+    def test_valve_relaxes_when_well_below_limit(self, simulation, x264, mapping):
+        controller = ThermosyphonController(simulation, t_case_max_c=85.0, relax_margin_c=5.0)
+        water_loop = PAPER_OPTIMIZED_DESIGN.water_loop().with_flow_rate(20.0)
+        result = _evaluate(simulation, x264, mapping, water_loop)
+        action, new_loop, _ = controller.decide(result, water_loop, x264, QoSConstraint(2.0))
+        assert action is ControllerAction.DECREASE_FLOW
+        assert new_loop.flow_rate_kg_h < 20.0
+
+
+class TestTraceExecution:
+    def test_run_trace_produces_decisions(self, simulation, x264, mapping):
+        controller = ThermosyphonController(simulation, control_period_s=5.0)
+        trace = PhasedTrace(
+            "synthetic",
+            (
+                TracePhase(10.0, 1.0, 0.5),
+                TracePhase(10.0, 0.6, 0.5),
+            ),
+        )
+        record = controller.run_trace(x264, mapping, QoSConstraint(2.0), trace)
+        assert len(record.decisions) == 4
+        assert record.emergencies == 0
+        assert record.peak_case_temperature_c > 30.0
+        # Activity drop in the second phase lowers the package power.
+        assert record.decisions[-1].package_power_w < record.decisions[0].package_power_w
+
+    def test_run_trace_counts_actions(self, simulation, x264, mapping):
+        controller = ThermosyphonController(
+            simulation, t_case_max_c=40.0, control_period_s=5.0
+        )
+        trace = PhasedTrace("hot", (TracePhase(15.0, 1.0, 0.5),))
+        record = controller.run_trace(x264, mapping, QoSConstraint(3.0), trace)
+        assert record.flow_increases >= 1

@@ -1,0 +1,58 @@
+"""Cooling / bottom boundary condition tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.thermal.boundary import BottomBoundary, CoolingBoundary, uniform_cooling_boundary
+
+
+class TestCoolingBoundary:
+    def test_uniform_helper(self):
+        boundary = uniform_cooling_boundary(4, 6, 12000.0, 41.0)
+        assert boundary.shape == (4, 6)
+        assert boundary.mean_htc() == pytest.approx(12000.0)
+        assert np.all(boundary.fluid_temperature_c == 41.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            CoolingBoundary(
+                htc_w_m2k=np.ones((3, 3)), fluid_temperature_c=np.ones((4, 3)) * 40.0
+            )
+
+    def test_negative_htc_rejected(self):
+        with pytest.raises(ValidationError):
+            CoolingBoundary(
+                htc_w_m2k=np.full((2, 2), -1.0), fluid_temperature_c=np.full((2, 2), 40.0)
+            )
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            CoolingBoundary(
+                htc_w_m2k=np.full((2, 2), np.nan), fluid_temperature_c=np.full((2, 2), 40.0)
+            )
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            CoolingBoundary(htc_w_m2k=np.ones(4), fluid_temperature_c=np.ones(4))
+
+    def test_mean_htc_ignores_inactive_cells(self):
+        htc = np.zeros((2, 2))
+        htc[0, 0] = 10000.0
+        boundary = CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=np.full((2, 2), 40.0))
+        assert boundary.mean_htc() == pytest.approx(10000.0)
+
+    def test_all_zero_htc_mean_is_zero(self):
+        boundary = uniform_cooling_boundary(2, 2, 0.0, 40.0)
+        assert boundary.mean_htc() == 0.0
+
+
+class TestBottomBoundary:
+    def test_defaults(self):
+        bottom = BottomBoundary()
+        assert bottom.htc_w_m2k > 0.0
+        assert 20.0 < bottom.ambient_temperature_c < 60.0
+
+    def test_negative_htc_rejected(self):
+        with pytest.raises(Exception):
+            BottomBoundary(htc_w_m2k=-5.0)

@@ -1,0 +1,64 @@
+"""Thermal grid indexing tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.layers import standard_thermosyphon_stack
+from repro.utils.geometry import Rect
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ThermalGrid(Rect(0.0, 0.0, 38.0, 38.0), standard_thermosyphon_stack(), 19, 19)
+
+
+class TestSizes:
+    def test_cell_counts(self, grid):
+        assert grid.cells_per_layer == 19 * 19
+        assert grid.n_cells == 19 * 19 * 5
+
+    def test_cell_dimensions(self, grid):
+        assert grid.cell_width_m == pytest.approx(0.002)
+        assert grid.cell_height_m == pytest.approx(0.002)
+        assert grid.cell_area_m2 == pytest.approx(4e-6)
+        assert grid.cell_pitch_mm() == (pytest.approx(2.0), pytest.approx(2.0))
+
+
+class TestIndexing:
+    def test_flat_index_roundtrip(self, grid):
+        for layer, row, column in [(0, 0, 0), (2, 10, 5), (4, 18, 18)]:
+            flat = grid.flat_index(layer, row, column)
+            assert grid.unflatten(flat) == (layer, row, column)
+
+    def test_flat_indices_unique(self, grid):
+        indices = {
+            grid.flat_index(layer, row, column)
+            for layer in range(grid.n_layers)
+            for row in range(0, grid.n_rows, 3)
+            for column in range(0, grid.n_columns, 3)
+        }
+        assert len(indices) == grid.n_layers * len(range(0, 19, 3)) ** 2
+
+    def test_out_of_range_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.flat_index(5, 0, 0)
+        with pytest.raises(ConfigurationError):
+            grid.flat_index(0, 19, 0)
+        with pytest.raises(ConfigurationError):
+            grid.unflatten(grid.n_cells)
+
+    def test_layer_slice_and_reshape(self, grid):
+        values = np.arange(grid.n_cells, dtype=float)
+        layer2 = grid.reshape_layer(values, 2)
+        assert layer2.shape == (19, 19)
+        assert layer2[0, 0] == grid.flat_index(2, 0, 0)
+
+    def test_cell_centre_positions(self, grid):
+        x, y = grid.cell_centre_mm(0, 0)
+        assert x == pytest.approx(1.0)
+        assert y == pytest.approx(1.0)
+        x, y = grid.cell_centre_mm(18, 18)
+        assert x == pytest.approx(37.0)
+        assert y == pytest.approx(37.0)

@@ -1,0 +1,91 @@
+"""Material library and layer stack tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.thermal.layers import Layer, LayerStack, standard_thermosyphon_stack
+from repro.thermal.materials import MATERIALS, Material, get_material
+
+
+class TestMaterials:
+    def test_known_materials_present(self):
+        for name in ("silicon", "copper", "solder_tim", "grease_tim", "sealant"):
+            assert name in MATERIALS
+
+    def test_get_material_unknown(self):
+        with pytest.raises(KeyError):
+            get_material("unobtainium")
+
+    def test_copper_conducts_better_than_silicon(self):
+        assert (
+            get_material("copper").thermal_conductivity_w_mk
+            > get_material("silicon").thermal_conductivity_w_mk
+        )
+
+    def test_tims_conduct_worse_than_bulk_metals(self):
+        assert (
+            get_material("grease_tim").thermal_conductivity_w_mk
+            < get_material("solder_tim").thermal_conductivity_w_mk
+            < get_material("copper").thermal_conductivity_w_mk
+        )
+
+    def test_volumetric_heat_capacity(self):
+        silicon = get_material("silicon")
+        assert silicon.volumetric_heat_capacity_j_m3k == pytest.approx(
+            silicon.density_kg_m3 * silicon.specific_heat_j_kgk
+        )
+
+    def test_invalid_material_rejected(self):
+        with pytest.raises(Exception):
+            Material("broken", -1.0, 1000.0, 700.0)
+
+
+class TestLayerStack:
+    def test_standard_stack_structure(self):
+        stack = standard_thermosyphon_stack()
+        names = [layer.name for layer in stack]
+        assert names == ["die", "tim1", "heat_spreader", "tim2", "evaporator_base"]
+        assert stack.heat_source_index == stack.index_of("die")
+
+    def test_total_thickness_plausible(self):
+        stack = standard_thermosyphon_stack()
+        assert 0.003 < stack.total_thickness_m < 0.008
+
+    def test_conductivity_depends_on_die_mask_for_die_layer(self):
+        stack = standard_thermosyphon_stack()
+        die_layer = stack[stack.index_of("die")]
+        assert die_layer.conductivity_at(True) > die_layer.conductivity_at(False)
+
+    def test_spreader_conductivity_independent_of_mask(self):
+        stack = standard_thermosyphon_stack()
+        spreader = stack[stack.index_of("heat_spreader")]
+        assert spreader.conductivity_at(True) == spreader.conductivity_at(False)
+
+    def test_unknown_layer_name(self):
+        with pytest.raises(ConfigurationError):
+            standard_thermosyphon_stack().index_of("vapor_chamber")
+
+    def test_duplicate_layer_names_rejected(self):
+        layer = Layer("x", get_material("copper"), 1e-3)
+        with pytest.raises(ConfigurationError):
+            LayerStack((layer, layer))
+
+    def test_single_layer_rejected(self):
+        layer = Layer("x", get_material("copper"), 1e-3)
+        with pytest.raises(ConfigurationError):
+            LayerStack((layer,))
+
+    def test_no_heat_source_raises(self):
+        stack = LayerStack(
+            (
+                Layer("a", get_material("copper"), 1e-3),
+                Layer("b", get_material("copper"), 1e-3),
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            _ = stack.heat_source_index
+
+    def test_aluminium_evaporator_variant(self):
+        stack = standard_thermosyphon_stack(evaporator_material="aluminium")
+        evaporator = stack[stack.index_of("evaporator_base")]
+        assert evaporator.material.name == "aluminium"

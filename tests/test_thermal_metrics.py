@@ -1,0 +1,104 @@
+"""Thermal metric tests (hot spot, average, spatial gradient)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ValidationError
+from repro.thermal.metrics import ThermalMetrics, compute_metrics, hot_spot_count, max_spatial_gradient
+
+
+class TestComputeMetrics:
+    def test_uniform_map_has_zero_gradient(self):
+        temperature = np.full((5, 5), 50.0)
+        metrics = compute_metrics(temperature, (1.0, 1.0))
+        assert metrics.theta_max_c == 50.0
+        assert metrics.theta_avg_c == 50.0
+        assert metrics.grad_max_c_per_mm == 0.0
+
+    def test_known_gradient(self):
+        temperature = np.array([[40.0, 50.0], [40.0, 40.0]])
+        metrics = compute_metrics(temperature, (2.0, 2.0))
+        assert metrics.theta_max_c == 50.0
+        assert metrics.grad_max_c_per_mm == pytest.approx(5.0)
+
+    def test_mask_excludes_cells(self):
+        temperature = np.array([[40.0, 90.0], [42.0, 44.0]])
+        mask = np.array([[True, False], [True, True]])
+        metrics = compute_metrics(temperature, (1.0, 1.0), mask)
+        assert metrics.theta_max_c == 44.0
+        # The 90 C cell is outside the mask so the 40->90 step is ignored.
+        assert metrics.grad_max_c_per_mm == pytest.approx(2.0)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValidationError):
+            compute_metrics(np.ones((3, 3)), (1.0, 1.0), np.zeros((3, 3), dtype=bool))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            compute_metrics(np.ones((3, 3)), (1.0, 1.0), np.ones((2, 2), dtype=bool))
+
+    def test_invalid_pitch_rejected(self):
+        with pytest.raises(ValidationError):
+            max_spatial_gradient(np.ones((3, 3)), (0.0, 1.0))
+
+    def test_as_row(self):
+        row = ThermalMetrics(70.0, 60.0, 2.0).as_row()
+        assert row == {
+            "theta_max_c": 70.0,
+            "theta_avg_c": 60.0,
+            "grad_max_c_per_mm": 2.0,
+        }
+
+
+class TestHotSpotCount:
+    def test_no_hot_spots(self):
+        assert hot_spot_count(np.full((4, 4), 50.0), threshold_c=60.0) == 0
+
+    def test_single_region(self):
+        temperature = np.full((5, 5), 50.0)
+        temperature[1:3, 1:3] = 80.0
+        assert hot_spot_count(temperature, threshold_c=70.0) == 1
+
+    def test_two_disjoint_regions(self):
+        temperature = np.full((6, 6), 50.0)
+        temperature[0, 0] = 80.0
+        temperature[5, 5] = 85.0
+        assert hot_spot_count(temperature, threshold_c=70.0) == 2
+
+    def test_diagonal_cells_are_separate_regions(self):
+        temperature = np.full((4, 4), 50.0)
+        temperature[0, 0] = 80.0
+        temperature[1, 1] = 80.0
+        assert hot_spot_count(temperature, threshold_c=70.0) == 2
+
+
+class TestMetricProperties:
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(2, 8), st.integers(2, 8)),
+            elements=st.floats(min_value=20.0, max_value=110.0),
+        )
+    )
+    def test_metrics_bounded_by_map(self, temperature):
+        metrics = compute_metrics(temperature, (1.0, 1.0))
+        assert metrics.theta_max_c == pytest.approx(temperature.max())
+        assert temperature.min() - 1e-9 <= metrics.theta_avg_c <= temperature.max() + 1e-9
+        assert metrics.grad_max_c_per_mm >= 0.0
+
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+            elements=st.floats(min_value=20.0, max_value=110.0),
+        ),
+        st.floats(min_value=0.1, max_value=20.0),
+    )
+    def test_adding_constant_shifts_max_and_avg_not_gradient(self, temperature, offset):
+        base = compute_metrics(temperature, (1.0, 1.0))
+        shifted = compute_metrics(temperature + offset, (1.0, 1.0))
+        assert shifted.theta_max_c == pytest.approx(base.theta_max_c + offset)
+        assert shifted.theta_avg_c == pytest.approx(base.theta_avg_c + offset)
+        assert shifted.grad_max_c_per_mm == pytest.approx(base.grad_max_c_per_mm, abs=1e-9)

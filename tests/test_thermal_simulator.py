@@ -1,0 +1,96 @@
+"""High-level thermal simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.boundary import uniform_cooling_boundary
+from repro.thermal.simulator import ThermalSimulator
+
+
+@pytest.fixture(scope="module")
+def boundary(coarse_thermal_simulator):
+    rows, columns = coarse_thermal_simulator.shape
+    return uniform_cooling_boundary(rows, columns, 1.8e4, 40.0)
+
+
+@pytest.fixture(scope="module")
+def full_load_result(coarse_thermal_simulator, boundary, x264):
+    powers = {f"core{i}": 7.0 for i in range(8)}
+    powers.update({"llc": 2.0, "memory_controller": 8.0, "uncore_io": 5.0})
+    return coarse_thermal_simulator.steady_state(powers, boundary)
+
+
+class TestResultAccessors:
+    def test_die_hotter_than_package(self, full_load_result):
+        die = full_load_result.die_metrics()
+        package = full_load_result.package_metrics()
+        assert die.theta_max_c > package.theta_max_c
+        assert die.theta_avg_c > package.theta_avg_c
+
+    def test_die_gradient_exceeds_package_gradient(self, full_load_result):
+        assert (
+            full_load_result.die_metrics().grad_max_c_per_mm
+            > full_load_result.package_metrics().grad_max_c_per_mm
+        )
+
+    def test_case_temperature_between_fluid_and_die(self, full_load_result):
+        case = full_load_result.case_temperature_c()
+        assert 40.0 < case < full_load_result.die_metrics().theta_max_c
+
+    def test_core_temperatures_cover_all_cores(self, full_load_result):
+        temperatures = full_load_result.core_temperatures_c()
+        assert set(temperatures) == set(range(8))
+        assert all(45.0 < value < 110.0 for value in temperatures.values())
+
+    def test_core_temperature_max_ge_mean(self, full_load_result):
+        for index in range(8):
+            maximum = full_load_result.core_temperature_c(index, reduce="max")
+            mean = full_load_result.core_temperature_c(index, reduce="mean")
+            assert maximum >= mean
+
+    def test_invalid_reduce_rejected(self, full_load_result):
+        with pytest.raises(ValueError):
+            full_load_result.core_temperature_c(0, reduce="median")
+
+    def test_component_temperature(self, full_load_result):
+        llc = full_load_result.component_temperature_c("llc")
+        assert 40.0 < llc < full_load_result.die_metrics().theta_max_c + 1e-9
+
+
+class TestSimulatorBehaviour:
+    def test_active_cores_hotter_than_idle(self, coarse_thermal_simulator, boundary):
+        powers = {"core0": 8.0, "core7": 0.5}
+        result = coarse_thermal_simulator.steady_state(powers, boundary)
+        assert result.core_temperature_c(0) > result.core_temperature_c(7) + 1.0
+
+    def test_power_map_conserves_power(self, coarse_thermal_simulator):
+        powers = {"core0": 5.0, "llc": 2.0}
+        assert coarse_thermal_simulator.power_map(powers).sum() == pytest.approx(7.0)
+
+    def test_transient_sequence(self, coarse_thermal_simulator, boundary):
+        powers = {f"core{i}": 6.0 for i in range(8)}
+        results = coarse_thermal_simulator.transient(
+            [powers, powers, powers], boundary, dt_s=2.0, initial_temperature_c=40.0
+        )
+        assert len(results) == 3
+        peaks = [result.die_metrics().theta_max_c for result in results]
+        # Heating transient: the peak temperature rises monotonically.
+        assert peaks == sorted(peaks)
+
+    def test_settle_agrees_with_steady_state(self, coarse_thermal_simulator, boundary):
+        powers = {f"core{i}": 6.0 for i in range(8)}
+        steady = coarse_thermal_simulator.steady_state(powers, boundary)
+        settled, _ = coarse_thermal_simulator.settle(
+            powers, boundary, dt_s=2.0, max_steps=300, tolerance_c=0.01
+        )
+        assert settled.die_metrics().theta_max_c == pytest.approx(
+            steady.die_metrics().theta_max_c, abs=0.5
+        )
+
+    def test_steady_state_from_map_equivalent(self, coarse_thermal_simulator, boundary):
+        powers = {f"core{i}": 6.0 for i in range(8)}
+        from_dict = coarse_thermal_simulator.steady_state(powers, boundary)
+        from_map = coarse_thermal_simulator.steady_state_from_map(
+            coarse_thermal_simulator.power_map(powers), boundary
+        )
+        assert np.allclose(from_dict.temperatures_c, from_map.temperatures_c)

@@ -1,0 +1,156 @@
+"""Thermosyphon loop and design tests."""
+
+import numpy as np
+import pytest
+
+from repro.thermosyphon.design import (
+    PAPER_OPTIMIZED_DESIGN,
+    SEURET_REFERENCE_DESIGN,
+    ThermosyphonDesign,
+)
+from repro.thermosyphon.loop import ThermosyphonLoop
+from repro.thermosyphon.orientation import Orientation
+
+
+class TestDesign:
+    def test_paper_design_parameters(self):
+        assert PAPER_OPTIMIZED_DESIGN.refrigerant_name == "R236fa"
+        assert PAPER_OPTIMIZED_DESIGN.filling_ratio == pytest.approx(0.55)
+        assert PAPER_OPTIMIZED_DESIGN.orientation is Orientation.WEST_TO_EAST
+        assert PAPER_OPTIMIZED_DESIGN.water_flow_rate_kg_h == pytest.approx(7.0)
+        assert PAPER_OPTIMIZED_DESIGN.water_inlet_temperature_c == pytest.approx(30.0)
+
+    def test_reference_design_differs(self):
+        assert SEURET_REFERENCE_DESIGN.orientation is not PAPER_OPTIMIZED_DESIGN.orientation
+
+    def test_variants(self):
+        rotated = PAPER_OPTIMIZED_DESIGN.with_orientation(Orientation.SOUTH_TO_NORTH)
+        assert rotated.orientation is Orientation.SOUTH_TO_NORTH
+        assert rotated.name != PAPER_OPTIMIZED_DESIGN.name
+        recharged = PAPER_OPTIMIZED_DESIGN.with_filling_ratio(0.4)
+        assert recharged.filling_ratio == pytest.approx(0.4)
+        swapped = PAPER_OPTIMIZED_DESIGN.with_refrigerant("R134a")
+        assert swapped.refrigerant_name == "R134a"
+        rewatered = PAPER_OPTIMIZED_DESIGN.with_water(25.0, 10.0)
+        assert rewatered.water_loop().inlet_temperature_c == 25.0
+
+    def test_invalid_design_rejected(self):
+        with pytest.raises(Exception):
+            ThermosyphonDesign(name="bad", filling_ratio=1.5)
+        with pytest.raises(Exception):
+            ThermosyphonDesign(name="bad", refrigerant_name="unknown")
+        with pytest.raises(Exception):
+            ThermosyphonDesign(name="")
+
+
+class TestFillingRatioEffects:
+    def test_nominal_fill_has_full_head_and_no_flooding(self):
+        effects = ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN).filling_ratio_effects()
+        assert effects.head_factor == pytest.approx(1.0)
+        assert effects.flooding_penalty == 0.0
+        assert effects.inlet_quality == 0.0
+        assert effects.inlet_subcooling_c > 0.0
+
+    def test_undercharge_reduces_head_and_adds_inlet_vapor(self):
+        loop = ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN.with_filling_ratio(0.25))
+        effects = loop.filling_ratio_effects()
+        assert effects.head_factor < 1.0
+        assert effects.inlet_quality > 0.0
+        assert effects.inlet_subcooling_c == 0.0
+
+    def test_overcharge_floods_condenser(self):
+        loop = ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN.with_filling_ratio(0.85))
+        assert loop.filling_ratio_effects().flooding_penalty > 0.0
+
+
+class TestOperatingPoint:
+    def test_saturation_above_water_inlet(self, thermosyphon_loop):
+        point = thermosyphon_loop.operating_point(70.0)
+        assert point.saturation_temperature_c > 30.0
+        assert point.water_outlet_temperature_c > 30.0
+
+    def test_mass_flow_positive_and_reasonable(self, thermosyphon_loop):
+        point = thermosyphon_loop.operating_point(70.0)
+        assert 1.0 < point.mass_flow_kg_h < 40.0
+
+    def test_more_heat_raises_saturation_and_quality(self, thermosyphon_loop):
+        low = thermosyphon_loop.operating_point(40.0)
+        high = thermosyphon_loop.operating_point(80.0)
+        assert high.saturation_temperature_c > low.saturation_temperature_c
+        assert high.mean_outlet_quality > low.mean_outlet_quality
+
+    def test_zero_heat_is_benign(self, thermosyphon_loop):
+        point = thermosyphon_loop.operating_point(0.0)
+        assert point.saturation_temperature_c == pytest.approx(30.0, abs=0.5)
+
+    def test_colder_water_lowers_saturation(self, thermosyphon_loop):
+        nominal = thermosyphon_loop.operating_point(70.0)
+        cold = thermosyphon_loop.operating_point(
+            70.0, PAPER_OPTIMIZED_DESIGN.water_loop().with_inlet_temperature(20.0)
+        )
+        assert cold.saturation_temperature_c < nominal.saturation_temperature_c
+
+    def test_undercharged_loop_circulates_less(self):
+        nominal = ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN).operating_point(70.0)
+        starved = ThermosyphonLoop(
+            PAPER_OPTIMIZED_DESIGN.with_filling_ratio(0.25)
+        ).operating_point(70.0)
+        assert starved.mass_flow_kg_s < nominal.mass_flow_kg_s
+
+
+class TestCoolingBoundaryConstruction:
+    def _power_map(self, coarse_thermal_simulator, x264, power_model):
+        from repro.power.power_model import CoreActivity
+
+        activities = [
+            CoreActivity.running(i, x264.core_power_parameters(), 2) for i in range(8)
+        ]
+        breakdown = power_model.evaluate(activities, 3.2, memory_intensity=x264.memory_intensity)
+        return coarse_thermal_simulator.power_map(breakdown.component_power_w)
+
+    def test_boundary_matches_grid_shape(
+        self, thermosyphon_loop, coarse_thermal_simulator, x264, power_model
+    ):
+        power_map = self._power_map(coarse_thermal_simulator, x264, power_model)
+        result = thermosyphon_loop.cooling_boundary(
+            power_map, coarse_thermal_simulator.grid.cell_pitch_mm()
+        )
+        assert result.boundary.shape == power_map.shape
+        assert result.max_quality >= result.outlet_quality_per_lane.max() - 1e-9
+
+    def test_fluid_temperature_never_exceeds_saturation(
+        self, thermosyphon_loop, coarse_thermal_simulator, x264, power_model
+    ):
+        power_map = self._power_map(coarse_thermal_simulator, x264, power_model)
+        operating_point = thermosyphon_loop.operating_point(float(power_map.sum()))
+        result = thermosyphon_loop.cooling_boundary(
+            power_map, coarse_thermal_simulator.grid.cell_pitch_mm(), operating_point
+        )
+        assert (
+            result.boundary.fluid_temperature_c
+            <= operating_point.saturation_temperature_c + 1e-6
+        ).all()
+
+    def test_htc_positive_over_powered_region(
+        self, thermosyphon_loop, coarse_thermal_simulator, x264, power_model
+    ):
+        power_map = self._power_map(coarse_thermal_simulator, x264, power_model)
+        result = thermosyphon_loop.cooling_boundary(
+            power_map, coarse_thermal_simulator.grid.cell_pitch_mm()
+        )
+        assert (result.boundary.htc_w_m2k > 0.0).all()
+
+    def test_orientation_changes_boundary_pattern(
+        self, coarse_thermal_simulator, x264, power_model
+    ):
+        power_map = self._power_map(coarse_thermal_simulator, x264, power_model)
+        pitch = coarse_thermal_simulator.grid.cell_pitch_mm()
+        east = ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN).cooling_boundary(power_map, pitch)
+        south = ThermosyphonLoop(
+            PAPER_OPTIMIZED_DESIGN.with_orientation(Orientation.NORTH_TO_SOUTH)
+        ).cooling_boundary(power_map, pitch)
+        assert not np.allclose(east.boundary.htc_w_m2k, south.boundary.htc_w_m2k)
+
+    def test_one_dimensional_power_map_rejected(self, thermosyphon_loop):
+        with pytest.raises(Exception):
+            thermosyphon_loop.cooling_boundary(np.ones(10), (1.0, 1.0))

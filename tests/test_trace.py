@@ -1,0 +1,93 @@
+"""Phase-based workload trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.trace import PhasedTrace, TracePhase, generate_trace
+
+
+class TestTracePhase:
+    def test_rejects_invalid_values(self):
+        with pytest.raises(Exception):
+            TracePhase(duration_s=0.0, activity_factor=1.0, memory_intensity=0.5)
+        with pytest.raises(Exception):
+            TracePhase(duration_s=1.0, activity_factor=1.0, memory_intensity=1.5)
+        with pytest.raises(ConfigurationError):
+            TracePhase(duration_s=1.0, activity_factor=-0.1, memory_intensity=0.5)
+
+
+class TestPhasedTrace:
+    def test_duration_is_sum_of_phases(self):
+        trace = PhasedTrace(
+            "t",
+            (
+                TracePhase(2.0, 1.0, 0.3),
+                TracePhase(3.0, 0.5, 0.6),
+            ),
+        )
+        assert trace.duration_s == pytest.approx(5.0)
+
+    def test_phase_lookup_by_time(self):
+        trace = PhasedTrace(
+            "t",
+            (
+                TracePhase(2.0, 1.0, 0.3),
+                TracePhase(3.0, 0.5, 0.6),
+            ),
+        )
+        assert trace.activity_at(1.0) == 1.0
+        assert trace.activity_at(2.5) == 0.5
+        assert trace.memory_intensity_at(4.9) == 0.6
+        # Beyond the end the last phase applies.
+        assert trace.activity_at(100.0) == 0.5
+
+    def test_negative_time_rejected(self):
+        trace = PhasedTrace("t", (TracePhase(1.0, 1.0, 0.5),))
+        with pytest.raises(ConfigurationError):
+            trace.phase_at(-0.1)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhasedTrace("t", ())
+
+    def test_resample_shapes(self):
+        trace = PhasedTrace("t", (TracePhase(2.0, 1.0, 0.3), TracePhase(2.0, 0.4, 0.8)))
+        times, activities, memory = trace.resample(0.5)
+        assert times.shape == activities.shape == memory.shape
+        assert times[-1] < trace.duration_s
+
+    def test_average_activity(self):
+        trace = PhasedTrace("t", (TracePhase(1.0, 1.0, 0.3), TracePhase(1.0, 0.0, 0.3)))
+        assert trace.average_activity() == pytest.approx(0.5)
+
+
+class TestGeneratedTraces:
+    def test_deterministic_for_same_benchmark(self, x264):
+        first = generate_trace(x264)
+        second = generate_trace(x264)
+        assert [p.activity_factor for p in first.phases] == [
+            p.activity_factor for p in second.phases
+        ]
+
+    def test_different_benchmarks_differ(self, x264, canneal):
+        assert [p.activity_factor for p in generate_trace(x264).phases] != [
+            p.activity_factor for p in generate_trace(canneal).phases
+        ]
+
+    def test_duration_matches_baseline_time(self, x264):
+        trace = generate_trace(x264)
+        assert trace.duration_s == pytest.approx(x264.baseline_time_s, rel=0.01)
+
+    def test_explicit_duration(self, x264):
+        trace = generate_trace(x264, total_duration_s=10.0)
+        assert trace.duration_s == pytest.approx(10.0, rel=0.01)
+
+    def test_activities_bounded(self, x264):
+        trace = generate_trace(x264, n_steady_phases=10)
+        assert all(0.0 <= phase.activity_factor <= 1.3 for phase in trace.phases)
+        assert all(0.0 <= phase.memory_intensity <= 1.0 for phase in trace.phases)
+
+    def test_invalid_phase_count(self, x264):
+        with pytest.raises(ConfigurationError):
+            generate_trace(x264, n_steady_phases=0)

@@ -1,0 +1,76 @@
+"""Uncore power model tests (LLC + memory controller / IO)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.power.uncore_power import (
+    LLC_MAX_POWER_W,
+    MEMORY_IO_FREQUENCY_RANGE_W,
+    MEMORY_IO_STATIC_POWER_W,
+    UncorePowerModel,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return UncorePowerModel()
+
+
+class TestPaperCalibration:
+    def test_llc_worst_case_is_two_watts(self, model):
+        assert model.llc_power_w(1.0) == pytest.approx(LLC_MAX_POWER_W)
+        assert LLC_MAX_POWER_W == pytest.approx(2.0)
+
+    def test_static_overhead_is_nine_watts(self, model):
+        # At the minimum uncore frequency only the static part remains.
+        assert model.memory_io_power_w(1.2, 0.0) == pytest.approx(MEMORY_IO_STATIC_POWER_W)
+        assert MEMORY_IO_STATIC_POWER_W == pytest.approx(9.0)
+
+    def test_frequency_span_is_eight_watts(self, model):
+        low = model.memory_io_power_w(1.2, 1.0)
+        high = model.memory_io_power_w(2.8, 1.0)
+        assert high - low == pytest.approx(MEMORY_IO_FREQUENCY_RANGE_W)
+        assert MEMORY_IO_FREQUENCY_RANGE_W == pytest.approx(8.0)
+
+
+class TestMonotonicity:
+    def test_llc_power_increases_with_memory_intensity(self, model):
+        values = [model.llc_power_w(m) for m in (0.0, 0.3, 0.6, 1.0)]
+        assert values == sorted(values)
+
+    def test_memory_io_increases_with_frequency(self, model):
+        values = [model.memory_io_power_w(f, 0.5) for f in (1.2, 1.8, 2.4, 2.8)]
+        assert values == sorted(values)
+
+    def test_memory_io_increases_with_intensity(self, model):
+        assert model.memory_io_power_w(2.8, 0.9) > model.memory_io_power_w(2.8, 0.1)
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_total(self, model):
+        breakdown = model.breakdown(2.4, 0.6)
+        assert breakdown.total_w == pytest.approx(
+            breakdown.llc_w + breakdown.memory_controller_w + breakdown.uncore_io_w
+        )
+        assert breakdown.total_w == pytest.approx(model.total_power_w(2.4, 0.6))
+
+    def test_memory_controller_share_larger_than_io(self, model):
+        breakdown = model.breakdown(2.4, 0.6)
+        assert breakdown.memory_controller_w > breakdown.uncore_io_w
+
+    def test_uncore_total_within_expected_envelope(self, model):
+        # Static 9 W + up to 8 W frequency-proportional + up to 2 W LLC.
+        total = model.total_power_w(2.8, 1.0)
+        assert 9.0 < total <= 19.0 + 1e-9
+
+
+class TestValidation:
+    def test_rejects_out_of_range_frequency(self, model):
+        with pytest.raises(ValidationError):
+            model.memory_io_power_w(0.8, 0.5)
+        with pytest.raises(ValidationError):
+            model.memory_io_power_w(3.5, 0.5)
+
+    def test_rejects_invalid_intensity(self, model):
+        with pytest.raises(ValidationError):
+            model.llc_power_w(1.5)

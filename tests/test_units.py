@@ -1,0 +1,46 @@
+"""Unit conversion tests."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(37.5)) == pytest.approx(37.5)
+
+
+def test_celsius_kelvin_inverse_relationship():
+    for value in (-40.0, 0.0, 25.0, 85.0, 105.0):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(value)) == pytest.approx(value)
+
+
+def test_mass_flow_conversions():
+    assert units.kg_per_hour_to_kg_per_second(3600.0) == pytest.approx(1.0)
+    assert units.kg_per_second_to_kg_per_hour(1.0) == pytest.approx(3600.0)
+    assert units.kg_per_second_to_kg_per_hour(
+        units.kg_per_hour_to_kg_per_second(7.0)
+    ) == pytest.approx(7.0)
+
+
+def test_volumetric_flow_conversions():
+    assert units.litre_per_second_to_cubic_metre_per_second(1000.0) == pytest.approx(1.0)
+    assert units.cubic_metre_per_second_to_litre_per_second(1.0) == pytest.approx(1000.0)
+
+
+def test_length_conversions():
+    assert units.mm_to_m(1000.0) == pytest.approx(1.0)
+    assert units.m_to_mm(1.0) == pytest.approx(1000.0)
+    assert units.mm2_to_m2(1e6) == pytest.approx(1.0)
+    assert units.m2_to_mm2(1.0) == pytest.approx(1e6)
+
+
+def test_heat_flux_conversions():
+    assert units.watts_per_cm2_to_watts_per_m2(1.0) == pytest.approx(1e4)
+    assert units.watts_per_m2_to_watts_per_cm2(1e4) == pytest.approx(1.0)
+
+
+def test_physical_constants_are_sensible():
+    assert 9.0 < units.GRAVITY < 10.0
+    assert 4000.0 < units.WATER_SPECIFIC_HEAT < 4300.0
+    assert 900.0 < units.WATER_DENSITY < 1000.0

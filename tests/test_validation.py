@@ -1,0 +1,90 @@
+"""Validation helper tests."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils import validation
+
+
+class TestCheckFinite:
+    def test_accepts_numbers(self):
+        assert validation.check_finite(3.5, "x") == 3.5
+        assert validation.check_finite(-2, "x") == -2.0
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError):
+            validation.check_finite(math.nan, "x")
+        with pytest.raises(ValidationError):
+            validation.check_finite(math.inf, "x")
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ValidationError):
+            validation.check_finite("3.0", "x")
+        with pytest.raises(ValidationError):
+            validation.check_finite(True, "x")
+
+    def test_error_message_includes_name(self):
+        with pytest.raises(ValidationError, match="flow_rate"):
+            validation.check_finite(math.nan, "flow_rate")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert validation.check_positive(0.001, "x") == 0.001
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValidationError):
+            validation.check_positive(0.0, "x")
+        with pytest.raises(ValidationError):
+            validation.check_positive(-1.0, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert validation.check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            validation.check_non_negative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert validation.check_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert validation.check_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValidationError):
+            validation.check_in_range(0.0, 0.0, 1.0, "x", inclusive=False)
+        assert validation.check_in_range(0.5, 0.0, 1.0, "x", inclusive=False) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            validation.check_in_range(1.2, 0.0, 1.0, "x")
+
+
+class TestCheckFraction:
+    def test_accepts_fractions(self):
+        assert validation.check_fraction(0.55, "fill") == 0.55
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            validation.check_fraction(1.01, "fill")
+
+
+class TestIntegerChecks:
+    def test_positive_int(self):
+        assert validation.check_positive_int(3, "n") == 3
+        with pytest.raises(ValidationError):
+            validation.check_positive_int(0, "n")
+        with pytest.raises(ValidationError):
+            validation.check_positive_int(2.0, "n")
+        with pytest.raises(ValidationError):
+            validation.check_positive_int(True, "n")
+
+    def test_non_negative_int(self):
+        assert validation.check_non_negative_int(0, "n") == 0
+        with pytest.raises(ValidationError):
+            validation.check_non_negative_int(-1, "n")

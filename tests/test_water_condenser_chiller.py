@@ -1,0 +1,132 @@
+"""Water loop, condenser and chiller model tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.thermosyphon.chiller import ChillerModel, chiller_power_w
+from repro.thermosyphon.condenser import CondenserModel
+from repro.thermosyphon.water_loop import WaterLoop
+
+
+@pytest.fixture
+def nominal_loop():
+    return WaterLoop(inlet_temperature_c=30.0, flow_rate_kg_h=7.0)
+
+
+class TestWaterLoop:
+    def test_paper_nominal_point(self, nominal_loop):
+        assert nominal_loop.mass_flow_kg_s == pytest.approx(7.0 / 3600.0)
+        assert 7.0 < nominal_loop.heat_capacity_rate_w_per_k < 9.0
+
+    def test_outlet_temperature_rises_with_heat(self, nominal_loop):
+        assert nominal_loop.outlet_temperature_c(0.0) == pytest.approx(30.0)
+        assert nominal_loop.outlet_temperature_c(80.0) > nominal_loop.outlet_temperature_c(40.0)
+
+    def test_delta_t_scales_linearly(self, nominal_loop):
+        assert nominal_loop.delta_t_c(80.0) == pytest.approx(2 * nominal_loop.delta_t_c(40.0))
+
+    def test_flow_rate_clamped_to_valve_range(self, nominal_loop):
+        assert nominal_loop.with_flow_rate(100.0).flow_rate_kg_h == nominal_loop.max_flow_rate_kg_h
+        assert nominal_loop.with_flow_rate(0.1).flow_rate_kg_h == nominal_loop.min_flow_rate_kg_h
+
+    def test_at_maximum_flow_flag(self, nominal_loop):
+        assert not nominal_loop.at_maximum_flow
+        assert nominal_loop.with_flow_rate(nominal_loop.max_flow_rate_kg_h).at_maximum_flow
+
+    def test_out_of_range_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaterLoop(inlet_temperature_c=30.0, flow_rate_kg_h=100.0)
+
+    def test_with_inlet_temperature(self, nominal_loop):
+        assert nominal_loop.with_inlet_temperature(20.0).inlet_temperature_c == 20.0
+
+
+class TestCondenser:
+    def test_effectiveness_between_zero_and_one(self, nominal_loop):
+        condenser = CondenserModel()
+        assert 0.0 < condenser.effectiveness(nominal_loop) < 1.0
+
+    def test_saturation_temperature_rises_with_heat(self, nominal_loop):
+        condenser = CondenserModel()
+        low = condenser.required_saturation_temperature_c(40.0, nominal_loop)
+        high = condenser.required_saturation_temperature_c(80.0, nominal_loop)
+        assert high.saturation_temperature_c > low.saturation_temperature_c
+        assert low.saturation_temperature_c > nominal_loop.inlet_temperature_c
+
+    def test_saturation_drops_with_colder_water(self, nominal_loop):
+        condenser = CondenserModel()
+        warm = condenser.required_saturation_temperature_c(60.0, nominal_loop)
+        cold = condenser.required_saturation_temperature_c(
+            60.0, nominal_loop.with_inlet_temperature(20.0)
+        )
+        assert cold.saturation_temperature_c < warm.saturation_temperature_c
+
+    def test_more_flow_lowers_saturation(self, nominal_loop):
+        condenser = CondenserModel()
+        base = condenser.required_saturation_temperature_c(60.0, nominal_loop)
+        boosted = condenser.required_saturation_temperature_c(
+            60.0, nominal_loop.with_flow_rate(14.0)
+        )
+        assert boosted.saturation_temperature_c < base.saturation_temperature_c
+
+    def test_flooding_penalty_degrades_condenser(self, nominal_loop):
+        clean = CondenserModel(flooding_penalty=0.0)
+        flooded = CondenserModel(flooding_penalty=0.4)
+        assert flooded.required_saturation_temperature_c(
+            60.0, nominal_loop
+        ).saturation_temperature_c > clean.required_saturation_temperature_c(
+            60.0, nominal_loop
+        ).saturation_temperature_c
+
+    def test_heat_rejected_inverts_balance(self, nominal_loop):
+        condenser = CondenserModel()
+        point = condenser.required_saturation_temperature_c(70.0, nominal_loop)
+        assert condenser.heat_rejected_w(
+            point.saturation_temperature_c, nominal_loop
+        ) == pytest.approx(70.0, rel=1e-6)
+
+
+class TestChiller:
+    def test_equation_one_direct(self):
+        # 0.1 L/s of water, 1 kg/L, 4180 J/(kg K), 5 K -> 2090 W.
+        assert chiller_power_w(0.1, 1.0, 4180.0, 5.0) == pytest.approx(2090.0)
+
+    def test_cooling_power_proportional_to_heat(self, nominal_loop):
+        chiller = ChillerModel()
+        assert chiller.cooling_power_w(nominal_loop, 80.0) == pytest.approx(
+            2.0 * chiller.cooling_power_w(nominal_loop, 40.0), rel=1e-6
+        )
+
+    def test_cop_reduces_electrical_power(self, nominal_loop):
+        baseline = ChillerModel(coefficient_of_performance=1.0)
+        efficient = ChillerModel(coefficient_of_performance=4.0)
+        assert efficient.cooling_power_w(nominal_loop, 60.0) == pytest.approx(
+            baseline.cooling_power_w(nominal_loop, 60.0) / 4.0
+        )
+
+    def test_free_cooling_reduces_power(self, nominal_loop):
+        chiller = ChillerModel(free_cooling_fraction=0.5)
+        full = ChillerModel()
+        assert chiller.cooling_power_w(nominal_loop, 60.0) == pytest.approx(
+            0.5 * full.cooling_power_w(nominal_loop, 60.0)
+        )
+
+    def test_rack_power_sums_servers(self, nominal_loop):
+        chiller = ChillerModel()
+        total = chiller.rack_cooling_power_w([(nominal_loop, 60.0), (nominal_loop, 40.0)])
+        assert total == pytest.approx(
+            chiller.cooling_power_w(nominal_loop, 60.0)
+            + chiller.cooling_power_w(nominal_loop, 40.0)
+        )
+
+    def test_eq1_matches_water_loop_delta_t(self, nominal_loop):
+        """The chiller power equals Eq. 1 evaluated with the loop's delta-T."""
+        chiller = ChillerModel()
+        heat = 65.0
+        expected = chiller_power_w(
+            nominal_loop.volumetric_flow_l_s,
+            nominal_loop.density_kg_m3 / 1000.0,
+            nominal_loop.specific_heat_j_kgk,
+            nominal_loop.delta_t_c(heat),
+        )
+        assert chiller.cooling_power_w(nominal_loop, heat) == pytest.approx(expected)
