@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.core.pipeline import CooledServerSimulation, EvaluationResult, T_CASE_MAX_C
+from repro.core.batch import DesignSweepEvaluator
+from repro.core.pipeline import EvaluationResult, T_CASE_MAX_C
 from repro.floorplan.floorplan import Floorplan
 from repro.power.power_model import CoreActivity, ServerPowerModel
 from repro.thermal.simulator import ThermalSimulator
@@ -57,6 +58,7 @@ class ThermosyphonDesignOptimizer:
         t_case_max_c: float = T_CASE_MAX_C,
         worst_case_benchmark: BenchmarkCharacteristics | None = None,
         cell_size_mm: float = 1.0,
+        max_workers: int | None = None,
     ) -> None:
         self.floorplan = floorplan
         self.power_model = (
@@ -73,6 +75,13 @@ class ThermosyphonDesignOptimizer:
                 PARSEC_BENCHMARKS.values(), key=lambda b: b.core_dynamic_power_fmax_w
             )
         self.worst_case_benchmark = worst_case_benchmark
+        #: Worker-process count for the candidate sweeps (None/1 = serial).
+        self.max_workers = max_workers
+        self._sweep_evaluator = DesignSweepEvaluator(
+            floorplan,
+            power_model=self.power_model,
+            thermal_simulator=self.thermal_simulator,
+        )
 
     # ------------------------------------------------------------------ #
     # Worst-case evaluation
@@ -84,20 +93,9 @@ class ThermosyphonDesignOptimizer:
             for core in self.floorplan.cores
         ]
 
-    def evaluate_design(self, design: ThermosyphonDesign) -> DesignCandidateResult:
-        """Evaluate one design against the worst-case workload."""
-        simulation = CooledServerSimulation(
-            self.floorplan,
-            design=design,
-            power_model=self.power_model,
-            thermal_simulator=self.thermal_simulator,
-        )
-        result: EvaluationResult = simulation.simulate_activities(
-            self._worst_case_activities(),
-            3.2,
-            memory_intensity=self.worst_case_benchmark.memory_intensity,
-            benchmark_name=self.worst_case_benchmark.name,
-        )
+    def _candidate_result(
+        self, design: ThermosyphonDesign, result: EvaluationResult
+    ) -> DesignCandidateResult:
         feasible = result.case_temperature_c <= self.t_case_max_c and not result.dryout
         return DesignCandidateResult(
             design=design,
@@ -108,6 +106,44 @@ class ThermosyphonDesignOptimizer:
             feasible=feasible,
         )
 
+    def evaluate_design(self, design: ThermosyphonDesign) -> DesignCandidateResult:
+        """Evaluate one design against the worst-case workload."""
+        return self.evaluate_designs([design])[0]
+
+    def evaluate_designs(
+        self, designs: Sequence[ThermosyphonDesign]
+    ) -> list[DesignCandidateResult]:
+        """Evaluate many candidate designs through the batched sweep engine.
+
+        All candidates share the optimiser's thermal simulator and its
+        factorization cache; with :attr:`max_workers` set the candidates are
+        fanned out over a process pool (release it with :meth:`close` or by
+        using the optimiser as a context manager).
+        """
+        designs = list(designs)
+        results = self._sweep_evaluator.evaluate_many(
+            designs,
+            self._worst_case_activities(),
+            3.2,
+            memory_intensity=self.worst_case_benchmark.memory_intensity,
+            benchmark_name=self.worst_case_benchmark.name,
+            max_workers=self.max_workers,
+        )
+        return [
+            self._candidate_result(design, result)
+            for design, result in zip(designs, results)
+        ]
+
+    def close(self) -> None:
+        """Shut down the sweep evaluator's worker pool, if one was started."""
+        self._sweep_evaluator.close()
+
+    def __enter__(self) -> "ThermosyphonDesignOptimizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Sweeps
     # ------------------------------------------------------------------ #
@@ -117,28 +153,25 @@ class ThermosyphonDesignOptimizer:
         """Evaluate the base design in every requested orientation."""
         if orientations is None:
             orientations = list(Orientation)
-        return [
-            self.evaluate_design(base_design.with_orientation(orientation))
-            for orientation in orientations
-        ]
+        return self.evaluate_designs(
+            [base_design.with_orientation(orientation) for orientation in orientations]
+        )
 
     def sweep_refrigerants(
         self, base_design: ThermosyphonDesign, refrigerant_names: Sequence[str]
     ) -> list[DesignCandidateResult]:
         """Evaluate the base design charged with each candidate refrigerant."""
-        return [
-            self.evaluate_design(base_design.with_refrigerant(name))
-            for name in refrigerant_names
-        ]
+        return self.evaluate_designs(
+            [base_design.with_refrigerant(name) for name in refrigerant_names]
+        )
 
     def sweep_filling_ratios(
         self, base_design: ThermosyphonDesign, filling_ratios: Sequence[float]
     ) -> list[DesignCandidateResult]:
         """Evaluate the base design at each candidate filling ratio."""
-        return [
-            self.evaluate_design(base_design.with_filling_ratio(ratio))
-            for ratio in filling_ratios
-        ]
+        return self.evaluate_designs(
+            [base_design.with_filling_ratio(ratio) for ratio in filling_ratios]
+        )
 
     def sweep_water(
         self,
@@ -147,11 +180,13 @@ class ThermosyphonDesignOptimizer:
         flow_rates_kg_h: Sequence[float],
     ) -> list[DesignCandidateResult]:
         """Evaluate every (water temperature, flow rate) pair."""
-        return [
-            self.evaluate_design(base_design.with_water(temperature, flow))
-            for temperature in inlet_temperatures_c
-            for flow in flow_rates_kg_h
-        ]
+        return self.evaluate_designs(
+            [
+                base_design.with_water(temperature, flow)
+                for temperature in inlet_temperatures_c
+                for flow in flow_rates_kg_h
+            ]
+        )
 
     # ------------------------------------------------------------------ #
     # Selection rules

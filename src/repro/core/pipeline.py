@@ -47,6 +47,7 @@ class EvaluationResult:
     max_channel_quality: float
     dryout: bool
     water_delta_t_c: float
+    water_loop: WaterLoop
     thermal_result: ThermalResult
 
     @property
@@ -55,15 +56,15 @@ class EvaluationResult:
         return self.case_temperature_c <= T_CASE_MAX_C
 
     def chiller_power_w(self, chiller: ChillerModel | None = None, water_loop: WaterLoop | None = None) -> float:
-        """Chiller electrical power for this operating point (Eq. 1)."""
+        """Chiller electrical power for this operating point (Eq. 1).
+
+        Uses the water loop the evaluation actually ran with; pass
+        ``water_loop`` only to ask "what would the chiller draw at a
+        different water condition for the same heat load".
+        """
         chiller = chiller if chiller is not None else ChillerModel()
-        if water_loop is None:
-            water_loop = WaterLoop(
-                inlet_temperature_c=self.operating_point.water_outlet_temperature_c
-                - self.water_delta_t_c,
-                flow_rate_kg_h=7.0,
-            )
-        return chiller.cooling_power_w(water_loop, self.package_power_w)
+        loop = water_loop if water_loop is not None else self.water_loop
+        return chiller.cooling_power_w(loop, self.package_power_w)
 
 
 class CooledServerSimulation:
@@ -141,6 +142,7 @@ class CooledServerSimulation:
             max_channel_quality=boundary_result.max_quality,
             dryout=boundary_result.dryout,
             water_delta_t_c=water_loop.delta_t_c(breakdown.package_power_w),
+            water_loop=water_loop,
             thermal_result=thermal_result,
         )
 

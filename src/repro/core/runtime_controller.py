@@ -41,7 +41,13 @@ class ControllerAction(enum.Enum):
 
 @dataclass(frozen=True)
 class ControllerDecision:
-    """State and action of one control period."""
+    """State and action of one control period.
+
+    ``water_flow_kg_h`` and ``frequency_ghz`` are the actuator settings the
+    period was *evaluated* with — the settings that produced
+    ``case_temperature_c``.  The action's resulting settings appear in the
+    following period's decision.
+    """
 
     time_s: float
     case_temperature_c: float
@@ -210,6 +216,10 @@ class ThermosyphonController:
                 water_loop=water_loop,
                 activity_factor=phase.activity_factor,
             )
+            # Capture the actuator settings this period actually ran with
+            # before decide() computes the next period's settings.
+            evaluated_flow_kg_h = water_loop.flow_rate_kg_h
+            evaluated_frequency_ghz = frequency
             action, water_loop, frequency = self.decide(
                 result, water_loop, benchmark, constraint
             )
@@ -219,8 +229,8 @@ class ThermosyphonController:
                     case_temperature_c=result.case_temperature_c,
                     die_hot_spot_c=result.die_metrics.theta_max_c,
                     package_power_w=result.package_power_w,
-                    water_flow_kg_h=water_loop.flow_rate_kg_h,
-                    frequency_ghz=frequency,
+                    water_flow_kg_h=evaluated_flow_kg_h,
+                    frequency_ghz=evaluated_frequency_ghz,
                     action=action,
                 )
             )

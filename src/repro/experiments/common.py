@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.baselines.coskun_balancing import CoskunBalancingMapping
 from repro.baselines.pack_and_cap import PackAndCapSelector
 from repro.baselines.sabry_inlet_first import SabryInletFirstMapping
+from repro.core.batch import BatchEvaluator, SweepPoint
 from repro.core.config_selection import QoSAwareConfigSelector
-from repro.core.mapping import ThreadMapper
 from repro.core.mapping_policies import MappingPolicy, ProposedThermalAwareMapping
 from repro.core.pipeline import CooledServerSimulation, EvaluationResult
 from repro.exceptions import ConfigurationError
@@ -23,6 +24,7 @@ from repro.thermosyphon.design import (
 )
 from repro.workloads.benchmark import BenchmarkCharacteristics
 from repro.workloads.configuration import Configuration
+from repro.workloads.parsec import get_benchmark
 from repro.workloads.profiler import WorkloadProfiler
 from repro.workloads.qos import QoSConstraint
 
@@ -37,6 +39,7 @@ class Platform:
     profiler: WorkloadProfiler
     cell_size_mm: float
     _simulations: dict[str, CooledServerSimulation] = field(default_factory=dict)
+    _evaluators: dict[str, BatchEvaluator] = field(default_factory=dict)
 
     def simulation(self, design: ThermosyphonDesign) -> CooledServerSimulation:
         """A (cached) cooled-server simulation for the given design."""
@@ -48,6 +51,19 @@ class Platform:
                 thermal_simulator=self.thermal_simulator,
             )
         return self._simulations[design.name]
+
+    def batch_evaluator(self, approach: "Approach") -> BatchEvaluator:
+        """A (cached) batch evaluator for the given approach's stack."""
+        if approach.name not in self._evaluators:
+            self._evaluators[approach.name] = BatchEvaluator(
+                self.simulation(approach.design), policy=approach.policy
+            )
+        return self._evaluators[approach.name]
+
+    def close(self) -> None:
+        """Shut down any worker pools started by the cached evaluators."""
+        for evaluator in self._evaluators.values():
+            evaluator.close()
 
 
 def build_platform(*, cell_size_mm: float = 1.0) -> Platform:
@@ -129,6 +145,41 @@ def select_configuration(
     return pack_and_cap.select(benchmark, constraint).configuration
 
 
+def evaluate_approach_batch(
+    platform: Platform,
+    approach: Approach,
+    benchmarks: Sequence[BenchmarkCharacteristics | str],
+    constraint: QoSConstraint,
+    *,
+    water_inlet_temperature_c: float | None = None,
+    max_workers: int | None = None,
+) -> list[EvaluationResult]:
+    """Run one approach end to end for many applications at one QoS level.
+
+    All benchmarks are evaluated through the platform's cached
+    :class:`BatchEvaluator` for the approach, so they share one simulation
+    and one thermal factorization cache; ``max_workers`` optionally fans the
+    points out over worker processes.
+    """
+    evaluator = platform.batch_evaluator(approach)
+    water_loop = approach.design.water_loop()
+    if water_inlet_temperature_c is not None:
+        water_loop = water_loop.with_inlet_temperature(water_inlet_temperature_c)
+    points = []
+    for benchmark in benchmarks:
+        if isinstance(benchmark, str):
+            benchmark = get_benchmark(benchmark)
+        configuration = select_configuration(platform, approach, benchmark, constraint)
+        points.append(
+            SweepPoint(
+                benchmark=benchmark,
+                configuration=configuration,
+                water_loop=water_loop,
+            )
+        )
+    return evaluator.evaluate_many(points, max_workers=max_workers)
+
+
 def evaluate_approach(
     platform: Platform,
     approach: Approach,
@@ -138,13 +189,10 @@ def evaluate_approach(
     water_inlet_temperature_c: float | None = None,
 ) -> EvaluationResult:
     """Run one approach end to end for one application and QoS level."""
-    configuration = select_configuration(platform, approach, benchmark, constraint)
-    simulation = platform.simulation(approach.design)
-    mapper = ThreadMapper(platform.floorplan, orientation=approach.design.orientation)
-    mapping = mapper.map(benchmark, configuration, approach.policy)
-    water_loop = approach.design.water_loop()
-    if water_inlet_temperature_c is not None:
-        water_loop = water_loop.with_inlet_temperature(water_inlet_temperature_c)
-    return simulation.simulate_mapping(
-        benchmark, mapping, mapper=mapper, water_loop=water_loop
-    )
+    return evaluate_approach_batch(
+        platform,
+        approach,
+        [benchmark],
+        constraint,
+        water_inlet_temperature_c=water_inlet_temperature_c,
+    )[0]

@@ -23,12 +23,11 @@ from repro.experiments.common import (
     Approach,
     Platform,
     build_platform,
-    evaluate_approach,
+    evaluate_approach_batch,
     paper_approaches,
 )
 from repro.thermosyphon.chiller import ChillerModel
-from repro.thermosyphon.water_loop import WaterLoop
-from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES, get_benchmark
+from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES
 from repro.workloads.qos import QoSConstraint
 
 
@@ -90,28 +89,27 @@ def _evaluate_stack(
     constraint: QoSConstraint,
     water_inlet_temperature_c: float,
     chiller: ChillerModel,
+    max_workers: int | None = None,
 ) -> CoolingOperatingPoint:
     hot_spots: list[float] = []
     powers: list[float] = []
     delta_ts: list[float] = []
     chiller_power = 0.0
-    for name in benchmark_names:
-        benchmark = get_benchmark(name)
-        result = evaluate_approach(
-            platform,
-            approach,
-            benchmark,
-            constraint,
-            water_inlet_temperature_c=water_inlet_temperature_c,
-        )
+    results = evaluate_approach_batch(
+        platform,
+        approach,
+        benchmark_names,
+        constraint,
+        water_inlet_temperature_c=water_inlet_temperature_c,
+        max_workers=max_workers,
+    )
+    for result in results:
         hot_spots.append(result.die_metrics.theta_max_c)
         powers.append(result.package_power_w)
         delta_ts.append(result.water_delta_t_c)
-        water_loop = WaterLoop(
-            inlet_temperature_c=water_inlet_temperature_c,
-            flow_rate_kg_h=approach.design.water_flow_rate_kg_h,
-        )
-        chiller_power += chiller.cooling_power_w(water_loop, result.package_power_w)
+        # The evaluated water loop is carried on the result, so the chiller
+        # accounting reflects the operating point that actually ran.
+        chiller_power += result.chiller_power_w(chiller)
     return CoolingOperatingPoint(
         approach=approach.name,
         water_inlet_temperature_c=water_inlet_temperature_c,
@@ -130,6 +128,7 @@ def run_cooling_power(
     proposed_water_temperature_c: float = 30.0,
     water_search_low_c: float = 10.0,
     water_tolerance_c: float = 0.5,
+    max_workers: int | None = None,
 ) -> CoolingPowerResult:
     """Compare chiller power of the proposed and state-of-the-art stacks.
 
@@ -137,7 +136,32 @@ def run_cooling_power(
     bisection) until its average hot spot matches the proposed stack's hot
     spot at the nominal 30 degC water, mirroring the paper's argument.
     """
+    own_platform = platform is None
     platform = platform if platform is not None else build_platform()
+    try:
+        return _run_cooling_power(
+            platform,
+            benchmark_names,
+            qos_factor,
+            proposed_water_temperature_c,
+            water_search_low_c,
+            water_tolerance_c,
+            max_workers,
+        )
+    finally:
+        if own_platform:
+            platform.close()
+
+
+def _run_cooling_power(
+    platform: Platform,
+    benchmark_names: tuple[str, ...],
+    qos_factor: float,
+    proposed_water_temperature_c: float,
+    water_search_low_c: float,
+    water_tolerance_c: float,
+    max_workers: int | None,
+) -> CoolingPowerResult:
     constraint = QoSConstraint(qos_factor)
     chiller = ChillerModel()
     approaches = paper_approaches()
@@ -145,7 +169,8 @@ def run_cooling_power(
     baseline = next(a for a in approaches if a.name == "[8]+[27]+[9]")
 
     proposed_point = _evaluate_stack(
-        platform, proposed, benchmark_names, constraint, proposed_water_temperature_c, chiller
+        platform, proposed, benchmark_names, constraint, proposed_water_temperature_c,
+        chiller, max_workers,
     )
 
     target_hot_spot = proposed_point.average_hot_spot_c
@@ -154,19 +179,19 @@ def run_cooling_power(
     low = water_search_low_c
     high = proposed_water_temperature_c
     baseline_at_high = _evaluate_stack(
-        platform, baseline, benchmark_names, constraint, high, chiller
+        platform, baseline, benchmark_names, constraint, high, chiller, max_workers
     )
     if baseline_at_high.average_hot_spot_c <= target_hot_spot:
         baseline_point = baseline_at_high
     else:
         baseline_point = _evaluate_stack(
-            platform, baseline, benchmark_names, constraint, low, chiller
+            platform, baseline, benchmark_names, constraint, low, chiller, max_workers
         )
         low_temperature, high_temperature = low, high
         while high_temperature - low_temperature > water_tolerance_c:
             middle = 0.5 * (low_temperature + high_temperature)
             candidate = _evaluate_stack(
-                platform, baseline, benchmark_names, constraint, middle, chiller
+                platform, baseline, benchmark_names, constraint, middle, chiller, max_workers
             )
             if candidate.average_hot_spot_c <= target_hot_spot:
                 baseline_point = candidate

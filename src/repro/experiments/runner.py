@@ -26,30 +26,44 @@ from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES
 QUICK_BENCHMARKS: tuple[str, ...] = ("x264", "swaptions", "canneal", "streamcluster")
 
 
-def run_all(*, quick: bool = False, cell_size_mm: float = 1.0) -> str:
-    """Run every experiment and return the combined textual report."""
+def run_all(
+    *, quick: bool = False, cell_size_mm: float = 1.0, max_workers: int | None = None
+) -> str:
+    """Run every experiment and return the combined textual report.
+
+    ``max_workers`` fans the batched benchmark sweeps (Table II and the
+    cooling-power comparison) out over worker processes; the remaining
+    experiments run serially on the shared, factorization-cached platform.
+    """
     platform = build_platform(cell_size_mm=cell_size_mm)
     benchmarks = QUICK_BENCHMARKS if quick else PARSEC_BENCHMARK_NAMES
     sections: list[str] = []
 
     start = time.time()
-    sections.append(run_table1().as_table())
-    sections.append(run_fig3(benchmarks).as_table())
-    sections.append(run_fig2(platform).as_table())
-    sections.append(run_fig5(platform).as_table())
-    sections.append(run_fig6(platform).as_table())
-    table2 = run_table2(platform, benchmark_names=benchmarks)
-    sections.append(table2.as_table())
-    improvements = table2.improvement_summary()
-    improvement_lines = ["Improvements of the proposed approach:"]
-    for key, values in improvements.items():
-        improvement_lines.append(
-            f"  vs {key}: die hot spot -{values['die_theta_max_reduction_c']:.1f} C, "
-            f"die gradient -{values['die_grad_reduction_pct']:.0f}%"
+    try:
+        sections.append(run_table1().as_table())
+        sections.append(run_fig3(benchmarks).as_table())
+        sections.append(run_fig2(platform).as_table())
+        sections.append(run_fig5(platform).as_table())
+        sections.append(run_fig6(platform).as_table())
+        table2 = run_table2(platform, benchmark_names=benchmarks, max_workers=max_workers)
+        sections.append(table2.as_table())
+        improvements = table2.improvement_summary()
+        improvement_lines = ["Improvements of the proposed approach:"]
+        for key, values in improvements.items():
+            improvement_lines.append(
+                f"  vs {key}: die hot spot -{values['die_theta_max_reduction_c']:.1f} C, "
+                f"die gradient -{values['die_grad_reduction_pct']:.0f}%"
+            )
+        sections.append("\n".join(improvement_lines))
+        sections.append(run_fig7(platform).as_text())
+        sections.append(
+            run_cooling_power(
+                platform, benchmark_names=benchmarks, max_workers=max_workers
+            ).as_table()
         )
-    sections.append("\n".join(improvement_lines))
-    sections.append(run_fig7(platform).as_text())
-    sections.append(run_cooling_power(platform, benchmark_names=benchmarks).as_table())
+    finally:
+        platform.close()
     elapsed = time.time() - start
     sections.append(f"Total experiment time: {elapsed:.1f} s")
     return "\n\n".join(sections)
@@ -65,8 +79,21 @@ def main() -> None:
         default=1.0,
         help="thermal grid cell size in millimetres (smaller = finer, slower)",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan batched sweeps out over N worker processes",
+    )
     arguments = parser.parse_args()
-    print(run_all(quick=arguments.quick, cell_size_mm=arguments.cell_size_mm))
+    print(
+        run_all(
+            quick=arguments.quick,
+            cell_size_mm=arguments.cell_size_mm,
+            max_workers=arguments.parallel,
+        )
+    )
 
 
 if __name__ == "__main__":

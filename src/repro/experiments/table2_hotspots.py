@@ -17,10 +17,10 @@ from repro.experiments.common import (
     Approach,
     Platform,
     build_platform,
-    evaluate_approach,
+    evaluate_approach_batch,
     paper_approaches,
 )
-from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES, get_benchmark
+from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES
 from repro.workloads.qos import QoSConstraint
 
 
@@ -66,11 +66,27 @@ def run_table2(
     benchmark_names: tuple[str, ...] = PARSEC_BENCHMARK_NAMES,
     qos_factors: tuple[float, ...] = (1.0, 2.0, 3.0),
     approaches: tuple[Approach, ...] | None = None,
+    max_workers: int | None = None,
 ) -> Table2Result:
-    """Run the full Table II sweep."""
+    """Run the full Table II sweep (batched per approach and QoS level)."""
+    own_platform = platform is None
     platform = platform if platform is not None else build_platform()
     approaches = approaches if approaches is not None else paper_approaches()
 
+    try:
+        return _run_table2(platform, benchmark_names, qos_factors, approaches, max_workers)
+    finally:
+        if own_platform:
+            platform.close()
+
+
+def _run_table2(
+    platform: Platform,
+    benchmark_names: tuple[str, ...],
+    qos_factors: tuple[float, ...],
+    approaches: tuple[Approach, ...],
+    max_workers: int | None,
+) -> Table2Result:
     comparison = ApproachComparison()
     cells: list[Table2Cell] = []
     for approach in approaches:
@@ -80,9 +96,10 @@ def run_table2(
             die_grad: list[float] = []
             package_max: list[float] = []
             package_grad: list[float] = []
-            for name in benchmark_names:
-                benchmark = get_benchmark(name)
-                result = evaluate_approach(platform, approach, benchmark, constraint)
+            results = evaluate_approach_batch(
+                platform, approach, benchmark_names, constraint, max_workers=max_workers
+            )
+            for name, result in zip(benchmark_names, results):
                 die_max.append(result.die_metrics.theta_max_c)
                 die_grad.append(result.die_metrics.grad_max_c_per_mm)
                 package_max.append(result.package_metrics.theta_max_c)

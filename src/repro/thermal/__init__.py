@@ -16,8 +16,9 @@ from repro.thermal.layers import Layer, LayerStack, standard_thermosyphon_stack
 from repro.thermal.grid import ThermalGrid
 from repro.thermal.boundary import BottomBoundary, CoolingBoundary, uniform_cooling_boundary
 from repro.thermal.network import ThermalNetwork
+from repro.thermal.solver_cache import CacheStats, FactorizationCache
 from repro.thermal.steady_state import SteadyStateSolver
-from repro.thermal.transient import TransientSolver
+from repro.thermal.transient import SettleResult, TransientSolver
 from repro.thermal.metrics import ThermalMetrics, compute_metrics, max_spatial_gradient
 from repro.thermal.simulator import ThermalResult, ThermalSimulator
 
@@ -32,7 +33,10 @@ __all__ = [
     "BottomBoundary",
     "uniform_cooling_boundary",
     "ThermalNetwork",
+    "CacheStats",
+    "FactorizationCache",
     "SteadyStateSolver",
+    "SettleResult",
     "TransientSolver",
     "ThermalMetrics",
     "compute_metrics",

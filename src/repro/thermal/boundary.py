@@ -10,6 +10,7 @@ server air.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,8 +36,12 @@ class CoolingBoundary:
     fluid_temperature_c: np.ndarray
 
     def __post_init__(self) -> None:
-        htc = np.asarray(self.htc_w_m2k, dtype=float)
-        fluid = np.asarray(self.fluid_temperature_c, dtype=float)
+        # Copy and freeze: solver caches key on the content of these arrays
+        # (see cache_token), so the immutability contract is enforced, not
+        # just documented — in-place mutation raises instead of silently
+        # reusing a stale factorization.
+        htc = np.array(self.htc_w_m2k, dtype=float)
+        fluid = np.array(self.fluid_temperature_c, dtype=float)
         if htc.shape != fluid.shape:
             raise ValidationError(
                 f"htc shape {htc.shape} differs from fluid temperature shape {fluid.shape}"
@@ -47,6 +52,8 @@ class CoolingBoundary:
             raise ValidationError("heat transfer coefficients must be finite and >= 0")
         if not np.all(np.isfinite(fluid)):
             raise ValidationError("fluid temperatures must be finite")
+        htc.setflags(write=False)
+        fluid.setflags(write=False)
         object.__setattr__(self, "htc_w_m2k", htc)
         object.__setattr__(self, "fluid_temperature_c", fluid)
 
@@ -54,6 +61,25 @@ class CoolingBoundary:
     def shape(self) -> tuple[int, int]:
         """Grid shape ``(n_rows, n_columns)``."""
         return self.htc_w_m2k.shape
+
+    def cache_token(self) -> tuple:
+        """Content-based key identifying this boundary for solver caches.
+
+        Two boundaries with identical HTC and fluid-temperature fields share
+        the same token, so cached factorizations are reused across distinct
+        but equal boundary objects.  The token is memoised on first use; the
+        boundary arrays are part of a frozen dataclass and must not be
+        mutated after construction.
+        """
+        token = getattr(self, "_cache_token", None)
+        if token is None:
+            digest = hashlib.blake2b(
+                self.htc_w_m2k.tobytes() + self.fluid_temperature_c.tobytes(),
+                digest_size=16,
+            ).digest()
+            token = (self.shape, digest)
+            object.__setattr__(self, "_cache_token", token)
+        return token
 
     def mean_htc(self) -> float:
         """Average heat transfer coefficient over the cells with non-zero HTC."""

@@ -198,14 +198,28 @@ class ThermalNetwork:
         vector[grid.layer_slice(source_layer)] = power_map_w.ravel()
         return vector
 
+    def conductance_system(
+        self, cooling: CoolingBoundary
+    ) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """Power-independent part of the system for a cooling boundary.
+
+        Returns the full conductance matrix ``A`` (bulk conduction, bottom
+        boundary and the top convective boundary) together with the boundary
+        RHS (bottom ambient plus top fluid terms).  The complete steady-state
+        RHS is this boundary RHS plus :meth:`power_vector` — power never
+        enters the matrix, which is what makes factorization caching across
+        power maps possible.
+        """
+        diag_add, rhs_add = self._top_boundary_terms(cooling)
+        matrix = (self._bulk_matrix + sparse.diags(diag_add)).tocsr()
+        return matrix, self._bottom_rhs + rhs_add
+
     def system(
         self, power_map_w: np.ndarray, cooling: CoolingBoundary
     ) -> tuple[sparse.csr_matrix, np.ndarray]:
         """Full steady-state system ``A @ T = b`` for given power and cooling."""
-        diag_add, rhs_add = self._top_boundary_terms(cooling)
-        matrix = self._bulk_matrix + sparse.diags(diag_add)
-        rhs = self._bottom_rhs + rhs_add + self.power_vector(power_map_w)
-        return matrix.tocsr(), rhs
+        matrix, boundary_rhs = self.conductance_system(cooling)
+        return matrix, boundary_rhs + self.power_vector(power_map_w)
 
     @property
     def capacitance(self) -> np.ndarray:

@@ -7,6 +7,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.exceptions import ConvergenceError
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.grid_mapper import GridMapper
 from repro.thermal.boundary import BottomBoundary, CoolingBoundary
@@ -14,8 +15,9 @@ from repro.thermal.grid import ThermalGrid
 from repro.thermal.layers import LayerStack, standard_thermosyphon_stack
 from repro.thermal.metrics import ThermalMetrics, compute_metrics
 from repro.thermal.network import ThermalNetwork
+from repro.thermal.solver_cache import FactorizationCache
 from repro.thermal.steady_state import SteadyStateSolver
-from repro.thermal.transient import TransientSolver
+from repro.thermal.transient import SettleResult, TransientSolver
 from repro.utils.validation import check_positive
 
 
@@ -113,6 +115,18 @@ class ThermalSimulator:
         divided by the nearest integer cell count.
     bottom_boundary:
         Heat path from the package bottom to the server ambient.
+    use_solver_cache:
+        Share a :class:`FactorizationCache` between the steady-state and
+        transient solvers (the default).  Repeated solves at an unchanged
+        cooling boundary then reuse one LU factorization; a boundary change
+        re-keys the cache automatically.  Call
+        :meth:`invalidate_solver_cache` if the network is ever mutated in
+        place.
+    solver_cache_entries:
+        LRU capacity of the shared cache.  Size it to at least the number
+        of distinct cooling boundaries a sweep revisits, otherwise a
+        repeated walk over the sweep evicts each entry just before it is
+        needed again.
     """
 
     def __init__(
@@ -122,9 +136,12 @@ class ThermalSimulator:
         stack: LayerStack | None = None,
         cell_size_mm: float = 1.0,
         bottom_boundary: BottomBoundary | None = None,
+        use_solver_cache: bool = True,
+        solver_cache_entries: int = 16,
     ) -> None:
         check_positive(cell_size_mm, "cell_size_mm")
         self.floorplan = floorplan
+        self.cell_size_mm = cell_size_mm
         self.stack = stack if stack is not None else standard_thermosyphon_stack()
         outline = floorplan.spreader_outline
         n_columns = max(int(round(outline.width / cell_size_mm)), 4)
@@ -133,8 +150,22 @@ class ThermalSimulator:
         self.grid_mapper = GridMapper(floorplan, outline, n_rows, n_columns)
         self.die_mask = self.grid_mapper.die_mask()
         self.network = ThermalNetwork(self.grid, self.die_mask, bottom_boundary)
-        self._steady_solver = SteadyStateSolver(self.network)
-        self._transient_solver = TransientSolver(self.network)
+        self.solver_cache = (
+            FactorizationCache(self.network, max_entries=solver_cache_entries)
+            if use_solver_cache
+            else None
+        )
+        self._steady_solver = SteadyStateSolver(
+            self.network, cache=self.solver_cache, use_cache=use_solver_cache
+        )
+        self._transient_solver = TransientSolver(
+            self.network, cache=self.solver_cache, use_cache=use_solver_cache
+        )
+
+    def invalidate_solver_cache(self) -> None:
+        """Drop cached factorizations (no-op when caching is disabled)."""
+        if self.solver_cache is not None:
+            self.solver_cache.invalidate()
 
     # ------------------------------------------------------------------ #
     # Shapes and helpers
@@ -203,9 +234,21 @@ class ThermalSimulator:
         self,
         component_power_w: Mapping[str, float],
         cooling: CoolingBoundary,
+        *,
+        raise_on_nonconverged: bool = False,
         **kwargs,
-    ) -> tuple[ThermalResult, int]:
-        """Time-march to equilibrium (cross-check of the steady-state path)."""
+    ) -> tuple[ThermalResult, SettleResult]:
+        """Time-march to equilibrium (cross-check of the steady-state path).
+
+        Returns the thermal result and the full :class:`SettleResult`;
+        check ``converged`` (or pass ``raise_on_nonconverged=True``) — a
+        settle that runs out of steps is not an equilibrium.
+        """
         power_map = self.power_map(component_power_w)
-        flat, steps = self._transient_solver.settle(power_map, cooling, **kwargs)
-        return self._result(flat), steps
+        settle = self._transient_solver.settle(power_map, cooling, **kwargs)
+        if raise_on_nonconverged and not settle.converged:
+            raise ConvergenceError(
+                f"settle did not converge within {settle.steps} steps "
+                f"(last change {settle.residual_c:.4g} degC)"
+            )
+        return self._result(settle.temperatures), settle

@@ -1,0 +1,178 @@
+"""Cached sparse factorizations for repeated thermal solves.
+
+The thermal system ``A @ T = b`` splits into a power-independent operator
+(bulk conduction + bottom boundary + top convective boundary) and a
+power-dependent right-hand side: power injection only ever touches ``b``
+(see :meth:`repro.thermal.network.ThermalNetwork.conductance_system`).  The
+operator therefore only changes when the *cooling boundary* changes — and,
+for backward-Euler transient stepping, when the step size ``dt_s`` changes.
+
+:class:`FactorizationCache` exploits this: it assembles the operator and
+computes a sparse LU factorization (:func:`scipy.sparse.linalg.factorized`)
+once per distinct ``(cooling boundary, dt)`` and reuses it for every solve
+with a different power map, turning repeated solves into a single
+back-substitution each.
+
+Caching/invalidation contract
+-----------------------------
+* Entries are keyed by :meth:`CoolingBoundary.cache_token`, a content hash
+  of the HTC and fluid-temperature fields.  Distinct boundary objects with
+  equal fields share one factorization; a boundary with *any* differing
+  cell produces a new key, so changing the cooling mid-run invalidates the
+  cached operator automatically — no explicit call needed.
+* ``CoolingBoundary`` is a frozen dataclass; its arrays must not be mutated
+  in place after construction (the token is memoised on first use).
+* The underlying :class:`ThermalNetwork` is assumed immutable after
+  construction.  If it is rebuilt or mutated in place, call
+  :meth:`FactorizationCache.invalidate` to drop every cached factorization.
+* The cache is LRU-bounded (``max_entries`` per solver kind) so boundary
+  sweeps cannot grow memory without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import factorized
+
+from repro.exceptions import ConvergenceError
+from repro.thermal.boundary import CoolingBoundary
+from repro.thermal.network import ThermalNetwork
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one :class:`FactorizationCache`."""
+
+    hits: int
+    misses: int
+    steady_entries: int
+    transient_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of operator lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class SteadyOperator:
+    """Factorized steady-state operator for one cooling boundary."""
+
+    boundary_rhs: np.ndarray
+    solve: Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class TransientOperator:
+    """Factorized backward-Euler operator for one (cooling, dt) pair."""
+
+    boundary_rhs: np.ndarray
+    capacitance_over_dt: np.ndarray
+    solve: Callable[[np.ndarray], np.ndarray]
+
+
+def _factorize(matrix: sparse.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
+    try:
+        return factorized(matrix.tocsc())
+    except RuntimeError as error:  # SuperLU: "Factor is exactly singular"
+        raise ConvergenceError(
+            "thermal system factorization failed (singular matrix); check "
+            "that at least one boundary has a non-zero heat transfer "
+            f"coefficient: {error}"
+        ) from error
+
+
+class FactorizationCache:
+    """LRU cache of factorized thermal operators for one network.
+
+    One instance is shared between the steady-state and transient solvers of
+    a :class:`repro.thermal.simulator.ThermalSimulator`, so a controller
+    trace that alternates transient steps and steady solves at a fixed
+    cooling boundary factorizes each operator exactly once.
+    """
+
+    def __init__(self, network: ThermalNetwork, *, max_entries: int = 16) -> None:
+        check_positive(max_entries, "max_entries")
+        self.network = network
+        self.max_entries = int(max_entries)
+        self._steady: OrderedDict[tuple, SteadyOperator] = OrderedDict()
+        self._transient: OrderedDict[tuple, TransientOperator] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+    def steady_operator(self, cooling: CoolingBoundary) -> SteadyOperator:
+        """Factorized ``A`` and boundary RHS for a cooling boundary."""
+        key = cooling.cache_token()
+        entry = self._steady.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._steady.move_to_end(key)
+            return entry
+        self._misses += 1
+        matrix, boundary_rhs = self.network.conductance_system(cooling)
+        entry = SteadyOperator(boundary_rhs=boundary_rhs, solve=_factorize(matrix))
+        self._steady[key] = entry
+        while len(self._steady) > self.max_entries:
+            self._steady.popitem(last=False)
+        return entry
+
+    def transient_operator(
+        self, cooling: CoolingBoundary, dt_s: float
+    ) -> TransientOperator:
+        """Factorized ``A + C/dt`` and boundary RHS for one (cooling, dt)."""
+        check_positive(dt_s, "dt_s")
+        key = (cooling.cache_token(), float(dt_s))
+        entry = self._transient.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._transient.move_to_end(key)
+            return entry
+        self._misses += 1
+        matrix, boundary_rhs = self.network.conductance_system(cooling)
+        capacitance_over_dt = self.network.capacitance / float(dt_s)
+        system = matrix + sparse.diags(capacitance_over_dt)
+        entry = TransientOperator(
+            boundary_rhs=boundary_rhs,
+            capacitance_over_dt=capacitance_over_dt,
+            solve=_factorize(system),
+        )
+        self._transient[key] = entry
+        while len(self._transient) > self.max_entries:
+            self._transient.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Introspection and invalidation
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss counters and current entry counts."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            steady_entries=len(self._steady),
+            transient_entries=len(self._transient),
+        )
+
+    def __len__(self) -> int:
+        return len(self._steady) + len(self._transient)
+
+    def invalidate(self) -> None:
+        """Drop every cached factorization (counters are kept).
+
+        Required only when the underlying network is replaced or mutated in
+        place; cooling-boundary changes invalidate implicitly through the
+        content-based key.
+        """
+        self._steady.clear()
+        self._transient.clear()

@@ -1,20 +1,54 @@
-"""Steady-state solution of the thermal network."""
+"""Steady-state solution of the thermal network.
+
+By default the solver runs through a :class:`FactorizationCache`: the
+operator is factorized once per distinct cooling boundary and every further
+solve (different power map, same cooling) is a single back-substitution.
+Pass ``use_cache=False`` to recover the direct ``spsolve`` path.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 from scipy.sparse.linalg import spsolve
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.thermal.boundary import CoolingBoundary
 from repro.thermal.network import ThermalNetwork
+from repro.thermal.solver_cache import FactorizationCache
 
 
 class SteadyStateSolver:
-    """Solves ``A @ T = b`` for the equilibrium temperature field."""
+    """Solves ``A @ T = b`` for the equilibrium temperature field.
 
-    def __init__(self, network: ThermalNetwork) -> None:
+    Parameters
+    ----------
+    network:
+        The assembled thermal network.
+    cache:
+        A factorization cache to draw operators from; share one instance
+        between solvers of the same network to share factorizations.  When
+        ``None`` and ``use_cache`` is true, a private cache is created.
+    use_cache:
+        Set to ``False`` to disable factorization reuse entirely (one
+        ``spsolve`` per call; useful for benchmarking the cache itself).
+    """
+
+    def __init__(
+        self,
+        network: ThermalNetwork,
+        *,
+        cache: FactorizationCache | None = None,
+        use_cache: bool = True,
+    ) -> None:
         self.network = network
+        if cache is not None and not use_cache:
+            raise ConfigurationError(
+                "use_cache=False contradicts an explicit cache; pass one or the other"
+            )
+        if cache is not None:
+            self.cache: FactorizationCache | None = cache
+        else:
+            self.cache = FactorizationCache(network) if use_cache else None
 
     def solve(self, power_map_w: np.ndarray, cooling: CoolingBoundary) -> np.ndarray:
         """Return the flat temperature vector (degrees Celsius).
@@ -22,12 +56,17 @@ class SteadyStateSolver:
         Raises
         ------
         ConvergenceError
-            If the linear solve produces non-finite values, which indicates a
-            singular system (for example a zero-HTC boundary everywhere with
-            no bottom path).
+            If the linear solve produces non-finite values or the operator
+            cannot be factorized, which indicates a singular system (for
+            example a zero-HTC boundary everywhere with no bottom path).
         """
-        matrix, rhs = self.network.system(power_map_w, cooling)
-        temperatures = spsolve(matrix, rhs)
+        if self.cache is not None:
+            operator = self.cache.steady_operator(cooling)
+            rhs = operator.boundary_rhs + self.network.power_vector(power_map_w)
+            temperatures = operator.solve(rhs)
+        else:
+            matrix, rhs = self.network.system(power_map_w, cooling)
+            temperatures = spsolve(matrix, rhs)
         if not np.all(np.isfinite(temperatures)):
             raise ConvergenceError(
                 "steady-state solve produced non-finite temperatures; "

@@ -3,27 +3,69 @@
 A backward-Euler scheme is used: it is unconditionally stable, so the
 controller studies can take steps of hundreds of milliseconds without the
 millikelvin-scale time constants of the thin TIM layers forcing tiny steps.
+
+The backward-Euler operator ``A + C/dt`` depends only on the cooling
+boundary and the step size, so by default the solver draws it from a
+:class:`FactorizationCache`: a whole trace at a fixed boundary factorizes
+once and every step is a single back-substitution.  Pass ``use_cache=False``
+to recover the factorize-per-step path.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import factorized
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ConfigurationError, ValidationError
 from repro.thermal.boundary import CoolingBoundary
 from repro.thermal.network import ThermalNetwork
+from repro.thermal.solver_cache import FactorizationCache
 from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SettleResult:
+    """Outcome of a :meth:`TransientSolver.settle` run.
+
+    ``converged`` is False when the field was still changing by more than
+    the tolerance after ``max_steps`` — the returned temperatures are then
+    the last iterate, not an equilibrium.
+    """
+
+    temperatures: np.ndarray
+    steps: int
+    converged: bool
+    residual_c: float
+
+    def __iter__(self):
+        """Unpack as ``(temperatures, steps)`` for legacy call sites."""
+        yield self.temperatures
+        yield self.steps
 
 
 class TransientSolver:
     """Backward-Euler time integration of ``C dT/dt = -A T + b``."""
 
-    def __init__(self, network: ThermalNetwork) -> None:
+    def __init__(
+        self,
+        network: ThermalNetwork,
+        *,
+        cache: FactorizationCache | None = None,
+        use_cache: bool = True,
+    ) -> None:
         self.network = network
+        if cache is not None and not use_cache:
+            raise ConfigurationError(
+                "use_cache=False contradicts an explicit cache; pass one or the other"
+            )
+        if cache is not None:
+            self.cache: FactorizationCache | None = cache
+        else:
+            self.cache = FactorizationCache(network) if use_cache else None
 
     def step(
         self,
@@ -40,6 +82,14 @@ class TransientSolver:
             raise ValidationError(
                 f"temperature vector has {temperatures.size} entries, expected {grid.n_cells}"
             )
+        if self.cache is not None:
+            operator = self.cache.transient_operator(cooling, dt_s)
+            rhs = (
+                operator.boundary_rhs
+                + self.network.power_vector(power_map_w)
+                + operator.capacitance_over_dt * temperatures
+            )
+            return np.asarray(operator.solve(rhs), dtype=float)
         matrix, rhs = self.network.system(power_map_w, cooling)
         capacitance = self.network.capacitance / dt_s
         system = matrix + sparse.diags(capacitance)
@@ -56,7 +106,9 @@ class TransientSolver:
         """Yield the temperature field after every step of a power sequence.
 
         ``cooling`` may be a single boundary reused for every step or one
-        boundary per step (for flow-rate control studies).
+        boundary per step (for flow-rate control studies).  With a single
+        boundary the backward-Euler operator is factorized once and reused
+        for the whole sequence.
         """
         grid = self.network.grid
         if np.isscalar(initial_temperature_c):
@@ -90,16 +142,30 @@ class TransientSolver:
         max_steps: int = 200,
         tolerance_c: float = 0.01,
         initial_temperature_c: float = 45.0,
-    ) -> tuple[np.ndarray, int]:
-        """March in time until the field stops changing; returns (field, steps).
+    ) -> SettleResult:
+        """March in time until the field stops changing.
 
         Useful as a cross-check of the steady-state solver: both must agree.
+        Check :attr:`SettleResult.converged` — hitting ``max_steps`` with the
+        field still moving is reported, not silently returned.
         """
         grid = self.network.grid
         state = np.full(grid.n_cells, initial_temperature_c, dtype=float)
+        residual = float("inf")
         for step_index in range(1, max_steps + 1):
             new_state = self.step(state, power_map_w, cooling, dt_s)
-            if float(np.max(np.abs(new_state - state))) < tolerance_c:
-                return new_state, step_index
+            residual = float(np.max(np.abs(new_state - state)))
             state = new_state
-        return state, max_steps
+            if residual < tolerance_c:
+                return SettleResult(
+                    temperatures=state,
+                    steps=step_index,
+                    converged=True,
+                    residual_c=residual,
+                )
+        return SettleResult(
+            temperatures=state,
+            steps=max_steps,
+            converged=False,
+            residual_c=residual,
+        )

@@ -1,0 +1,224 @@
+"""Batched evaluation engine tests.
+
+The engine must produce results identical to the direct pipeline path
+(it is a routing layer, not a model), resolve sweep points at every level
+(mapping / configuration / constraint), preserve point order, and the
+process-parallel path must agree with the serial path.
+"""
+
+import pytest
+
+from repro.core.batch import BatchEvaluator, DesignSweepEvaluator, SweepPoint
+from repro.core.mapping import ThreadMapper
+from repro.core.mapping_policies import ProposedThermalAwareMapping
+from repro.core.pipeline import CooledServerSimulation
+from repro.exceptions import ConfigurationError
+from repro.power.power_model import CoreActivity
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN, SEURET_REFERENCE_DESIGN
+from repro.workloads.configuration import Configuration
+from repro.workloads.qos import QoSConstraint
+
+
+@pytest.fixture(scope="module")
+def simulation(floorplan, power_model, coarse_thermal_simulator):
+    return CooledServerSimulation(
+        floorplan,
+        design=PAPER_OPTIMIZED_DESIGN,
+        power_model=power_model,
+        thermal_simulator=coarse_thermal_simulator,
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluator(simulation):
+    return BatchEvaluator(simulation)
+
+
+class TestPointResolution:
+    def test_benchmark_name_is_resolved(self):
+        point = SweepPoint(benchmark="x264", constraint=QoSConstraint(2.0))
+        assert point.resolve_benchmark().name == "x264"
+
+    def test_explicit_mapping_wins(self, evaluator, simulation, x264):
+        mapper = ThreadMapper(
+            simulation.floorplan, orientation=simulation.design.orientation
+        )
+        mapping = mapper.map(x264, Configuration(4, 2, 2.6), ProposedThermalAwareMapping())
+        point = SweepPoint(benchmark=x264, mapping=mapping, configuration=Configuration(8, 2, 3.2))
+        assert evaluator.resolve_mapping(point) is mapping
+
+    def test_constraint_selects_configuration(self, evaluator, x264):
+        point = SweepPoint(benchmark=x264, constraint=QoSConstraint(2.0))
+        mapping = evaluator.resolve_mapping(point)
+        selected = evaluator.selector.select(x264, QoSConstraint(2.0)).configuration
+        assert mapping.configuration == selected
+        assert mapping.n_active_cores == mapping.configuration.n_cores
+
+    def test_unresolvable_point_rejected(self, evaluator, x264):
+        with pytest.raises(ConfigurationError):
+            evaluator.resolve_mapping(SweepPoint(benchmark=x264))
+
+
+class TestEquivalenceWithDirectPath:
+    def test_matches_simulate_mapping(self, evaluator, simulation, x264):
+        configuration = Configuration(8, 2, 3.2)
+        point = SweepPoint(benchmark=x264, configuration=configuration)
+        batched = evaluator.evaluate(point)
+
+        mapping = evaluator.mapper.map(x264, configuration, evaluator.policy)
+        direct = simulation.simulate_mapping(x264, mapping, mapper=evaluator.mapper)
+        assert batched.package_power_w == pytest.approx(direct.package_power_w)
+        assert batched.die_metrics.theta_max_c == pytest.approx(direct.die_metrics.theta_max_c)
+        assert batched.case_temperature_c == pytest.approx(direct.case_temperature_c)
+
+    def test_water_loop_carried_through(self, evaluator, simulation, x264):
+        loop = simulation.design.water_loop().with_flow_rate(12.0)
+        result = evaluator.evaluate(
+            SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2), water_loop=loop)
+        )
+        assert result.water_loop.flow_rate_kg_h == pytest.approx(12.0)
+
+
+class TestEvaluateMany:
+    def test_order_preserved(self, evaluator, x264, canneal):
+        points = [
+            SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2)),
+            SweepPoint(benchmark=canneal, configuration=Configuration(2, 1, 2.6)),
+        ]
+        results = evaluator.evaluate_many(points)
+        assert [r.benchmark_name for r in results] == ["x264", "canneal"]
+        assert results[0].package_power_w > results[1].package_power_w
+
+    def test_flow_sweep_shares_factorizations(self, simulation, x264):
+        """Fixed cooling repeats across points must hit the shared cache."""
+        evaluator = BatchEvaluator(simulation)
+        cache = simulation.thermal_simulator.solver_cache
+        baseline_misses = cache.stats.misses
+        loop = simulation.design.water_loop()
+        points = [
+            SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2), water_loop=loop),
+            SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2), water_loop=loop),
+            SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2), water_loop=loop),
+        ]
+        evaluator.evaluate_many(points)
+        # Identical points produce identical boundaries: one factorization.
+        assert cache.stats.misses - baseline_misses <= 1
+
+    def test_parallel_matches_serial_and_reuses_the_pool(self, simulation, x264, canneal):
+        points = [
+            SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2)),
+            SweepPoint(benchmark=canneal, configuration=Configuration(4, 1, 2.6)),
+        ]
+        with BatchEvaluator(simulation) as evaluator:
+            serial = evaluator.evaluate_many(points)
+            parallel = evaluator.evaluate_many(points, max_workers=2)
+            first_pool = evaluator._pool._executor
+            evaluator.evaluate_many(points, max_workers=2)
+            # The pool (and the workers' warm caches) persists across calls.
+            assert evaluator._pool._executor is first_pool
+        assert evaluator._pool._executor is None  # context exit shuts the pool down
+        for a, b in zip(serial, parallel):
+            assert a.benchmark_name == b.benchmark_name
+            assert a.package_power_w == pytest.approx(b.package_power_w)
+            assert a.die_metrics.theta_max_c == pytest.approx(b.die_metrics.theta_max_c, abs=1e-9)
+
+    def test_parallel_constraint_points_use_the_parent_pipeline(
+        self, simulation, x264
+    ):
+        """Constraint-only points are resolved before shipping, so a custom
+        (restricted) configuration table cannot silently diverge in workers."""
+        from repro.core.pipeline import ThermalAwarePipeline
+
+        restricted = (Configuration(2, 1, 2.6),)
+        pipeline = ThermalAwarePipeline(simulation, configurations=restricted)
+        points = [
+            SweepPoint(benchmark=x264, constraint=QoSConstraint(4.0)),
+            SweepPoint(benchmark=x264, constraint=QoSConstraint(4.0)),
+        ]
+        with BatchEvaluator(simulation, pipeline=pipeline) as evaluator:
+            results = evaluator.evaluate_many(points, max_workers=2)
+        for result in results:
+            assert result.configuration == restricted[0]
+
+    def test_parallel_respects_custom_thermal_simulator_and_mapper(
+        self, floorplan, power_model, x264
+    ):
+        """Workers must rebuild the *actual* configuration, not defaults."""
+        from repro.thermal.boundary import BottomBoundary
+        from repro.thermal.simulator import ThermalSimulator
+        from repro.thermosyphon.orientation import Orientation
+
+        custom_simulator = ThermalSimulator(
+            floorplan,
+            cell_size_mm=2.0,
+            bottom_boundary=BottomBoundary(htc_w_m2k=0.0),
+        )
+        simulation = CooledServerSimulation(
+            floorplan,
+            design=PAPER_OPTIMIZED_DESIGN,
+            power_model=power_model,
+            thermal_simulator=custom_simulator,
+        )
+        mapper = ThreadMapper(floorplan, orientation=Orientation.EAST_TO_WEST)
+        points = [
+            SweepPoint(benchmark=x264, configuration=Configuration(4, 2, 3.2)),
+            SweepPoint(benchmark=x264, configuration=Configuration(2, 1, 2.6)),
+        ]
+        with BatchEvaluator(simulation, mapper=mapper) as evaluator:
+            serial = evaluator.evaluate_many(points)
+            parallel = evaluator.evaluate_many(points, max_workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.die_metrics.theta_max_c == pytest.approx(
+                b.die_metrics.theta_max_c, abs=1e-9
+            )
+            assert a.mapping.active_cores == b.mapping.active_cores
+
+
+class TestDesignSweepEvaluator:
+    def test_designs_share_the_thermal_simulator(
+        self, floorplan, power_model, coarse_thermal_simulator, x264
+    ):
+        sweep = DesignSweepEvaluator(
+            floorplan,
+            power_model=power_model,
+            thermal_simulator=coarse_thermal_simulator,
+        )
+        activities = [
+            CoreActivity.running(i, x264.core_power_parameters(), 2) for i in range(8)
+        ]
+        results = sweep.evaluate_many(
+            [PAPER_OPTIMIZED_DESIGN, SEURET_REFERENCE_DESIGN],
+            activities,
+            3.2,
+            memory_intensity=x264.memory_intensity,
+            benchmark_name=x264.name,
+        )
+        assert len(results) == 2
+        # The two designs genuinely differ thermally.
+        assert (
+            results[0].die_metrics.theta_max_c != results[1].die_metrics.theta_max_c
+        )
+
+    def test_single_design_equals_direct_simulation(
+        self, floorplan, power_model, coarse_thermal_simulator, x264
+    ):
+        sweep = DesignSweepEvaluator(
+            floorplan,
+            power_model=power_model,
+            thermal_simulator=coarse_thermal_simulator,
+        )
+        activities = [
+            CoreActivity.running(i, x264.core_power_parameters(), 2) for i in range(8)
+        ]
+        batched = sweep.evaluate(
+            PAPER_OPTIMIZED_DESIGN, activities, 3.2,
+            memory_intensity=x264.memory_intensity,
+        )
+        direct = CooledServerSimulation(
+            floorplan,
+            design=PAPER_OPTIMIZED_DESIGN,
+            power_model=power_model,
+            thermal_simulator=coarse_thermal_simulator,
+        ).simulate_activities(activities, 3.2, memory_intensity=x264.memory_intensity)
+        assert batched.die_metrics.theta_max_c == pytest.approx(direct.die_metrics.theta_max_c)
+        assert batched.package_power_w == pytest.approx(direct.package_power_w)

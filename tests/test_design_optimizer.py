@@ -35,6 +35,15 @@ class TestSweeps:
         assert len(results) == len(Orientation)
         assert {candidate.design.orientation for candidate in results} == set(Orientation)
 
+    def test_evaluate_designs_accepts_a_generator(self, optimizer):
+        """Regression: a generator argument must not be silently exhausted."""
+        ratios = (0.45, 0.55)
+        results = optimizer.evaluate_designs(
+            PAPER_OPTIMIZED_DESIGN.with_filling_ratio(ratio) for ratio in ratios
+        )
+        assert len(results) == len(ratios)
+        assert [r.design.filling_ratio for r in results] == list(ratios)
+
     def test_filling_ratio_sweep_shows_undercharge_penalty(self, optimizer):
         results = optimizer.sweep_filling_ratios(PAPER_OPTIMIZED_DESIGN, (0.2, 0.55))
         starved, nominal = results

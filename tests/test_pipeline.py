@@ -56,6 +56,30 @@ class TestSimulation:
         result = simulation.simulate_activities(activities, 3.2, benchmark_name="x264")
         assert result.chiller_power_w() > 0.0
 
+    def test_result_carries_the_evaluated_water_loop(self, simulation, x264):
+        """Regression: chiller power must reflect the actual operating point,
+        not a hardcoded 7 kg/h reconstruction."""
+        from repro.thermosyphon.chiller import ChillerModel
+
+        activities = [
+            CoreActivity.running(i, x264.core_power_parameters(), 2) for i in range(4)
+        ]
+        loop = simulation.design.water_loop().with_flow_rate(14.0)
+        result = simulation.simulate_activities(
+            activities, 3.2, water_loop=loop, benchmark_name="x264"
+        )
+        assert result.water_loop is loop
+        chiller = ChillerModel(coefficient_of_performance=3.0)
+        expected = chiller.cooling_power_w(loop, result.package_power_w)
+        assert result.chiller_power_w(chiller) == pytest.approx(expected)
+        # Default water loop: the design's own loop, not a 7 kg/h stand-in.
+        default_result = simulation.simulate_activities(
+            activities, 3.2, benchmark_name="x264"
+        )
+        assert default_result.water_loop.flow_rate_kg_h == pytest.approx(
+            simulation.design.water_loop().flow_rate_kg_h
+        )
+
 
 class TestPipeline:
     def test_run_satisfies_qos_and_reports_metrics(self, pipeline, x264):

@@ -112,3 +112,45 @@ class TestTraceExecution:
         trace = PhasedTrace("hot", (TracePhase(15.0, 1.0, 0.5),))
         record = controller.run_trace(x264, mapping, QoSConstraint(3.0), trace)
         assert record.flow_increases >= 1
+
+    def test_run_trace_records_evaluated_flow_not_next_periods(
+        self, simulation, x264, mapping
+    ):
+        """Regression: decisions must report the actuators the period ran with.
+
+        The first period is evaluated at the initial water flow; even though
+        the emergency action opens the valve for the *next* period, the first
+        decision must still show the initial flow, and the raised flow must
+        appear in the second decision.
+        """
+        controller = ThermosyphonController(
+            simulation, t_case_max_c=40.0, control_period_s=5.0, flow_step_kg_h=2.0
+        )
+        initial_loop = PAPER_OPTIMIZED_DESIGN.water_loop()
+        trace = PhasedTrace("hot", (TracePhase(15.0, 1.0, 0.5),))
+        record = controller.run_trace(
+            x264, mapping, QoSConstraint(3.0), trace, initial_water_loop=initial_loop
+        )
+        first, second = record.decisions[0], record.decisions[1]
+        assert first.action is ControllerAction.INCREASE_FLOW
+        assert first.water_flow_kg_h == pytest.approx(initial_loop.flow_rate_kg_h)
+        assert second.water_flow_kg_h == pytest.approx(
+            initial_loop.flow_rate_kg_h + controller.flow_step_kg_h
+        )
+
+    def test_run_trace_records_evaluated_frequency_not_next_periods(
+        self, simulation, x264, mapping
+    ):
+        """Regression: a DVFS down-step belongs to the *following* decision."""
+        controller = ThermosyphonController(
+            simulation, t_case_max_c=40.0, control_period_s=5.0
+        )
+        saturated = PAPER_OPTIMIZED_DESIGN.water_loop().with_flow_rate(1000.0)
+        trace = PhasedTrace("hot", (TracePhase(15.0, 1.0, 0.5),))
+        record = controller.run_trace(
+            x264, mapping, QoSConstraint(3.0), trace, initial_water_loop=saturated
+        )
+        first, second = record.decisions[0], record.decisions[1]
+        assert first.action is ControllerAction.LOWER_FREQUENCY
+        assert first.frequency_ghz == pytest.approx(3.2)
+        assert second.frequency_ghz < 3.2

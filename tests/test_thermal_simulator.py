@@ -80,12 +80,34 @@ class TestSimulatorBehaviour:
     def test_settle_agrees_with_steady_state(self, coarse_thermal_simulator, boundary):
         powers = {f"core{i}": 6.0 for i in range(8)}
         steady = coarse_thermal_simulator.steady_state(powers, boundary)
-        settled, _ = coarse_thermal_simulator.settle(
+        settled, info = coarse_thermal_simulator.settle(
             powers, boundary, dt_s=2.0, max_steps=300, tolerance_c=0.01
         )
+        assert info.converged
+        assert info.steps < 300
         assert settled.die_metrics().theta_max_c == pytest.approx(
             steady.die_metrics().theta_max_c, abs=0.5
         )
+
+    def test_settle_surfaces_non_convergence(self, coarse_thermal_simulator, boundary):
+        from repro.exceptions import ConvergenceError
+
+        powers = {f"core{i}": 6.0 for i in range(8)}
+        # One coarse step from a cold start cannot reach the tolerance.
+        _, info = coarse_thermal_simulator.settle(
+            powers, boundary, dt_s=0.05, max_steps=1, tolerance_c=1e-6
+        )
+        assert not info.converged
+        assert info.residual_c > 1e-6
+        with pytest.raises(ConvergenceError):
+            coarse_thermal_simulator.settle(
+                powers,
+                boundary,
+                raise_on_nonconverged=True,
+                dt_s=0.05,
+                max_steps=1,
+                tolerance_c=1e-6,
+            )
 
     def test_steady_state_from_map_equivalent(self, coarse_thermal_simulator, boundary):
         powers = {f"core{i}": 6.0 for i in range(8)}

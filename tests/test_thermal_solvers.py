@@ -151,6 +151,23 @@ class TestTransient:
         assert steps < 400
         assert np.max(np.abs(settled - steady_field)) < 0.2
 
+    def test_settle_reports_non_convergence(self, small_setup):
+        grid, mapper, _, network = small_setup
+        transient = TransientSolver(network)
+        power = mapper.power_map({f"core{i}": 5.0 for i in range(8)})
+        boundary = uniform_cooling_boundary(grid.n_rows, grid.n_columns, 1.5e4, 40.0)
+        result = transient.settle(
+            power, boundary, dt_s=0.05, max_steps=2, tolerance_c=1e-9,
+            initial_temperature_c=20.0,
+        )
+        assert not result.converged
+        assert result.steps == 2
+        assert result.residual_c > 1e-9
+        # Legacy two-value unpacking keeps working.
+        temperatures, steps = result
+        assert steps == 2
+        assert temperatures is result.temperatures
+
     def test_step_moves_towards_equilibrium(self, small_setup):
         grid, mapper, _, network = small_setup
         transient = TransientSolver(network)
