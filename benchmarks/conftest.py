@@ -18,6 +18,12 @@ _SRC = Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+# The assembly benchmarks compare against the golden-model loop assembler
+# kept under tests/; make the repository root importable for them.
+_ROOT = Path(__file__).parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
 from repro.experiments.common import build_platform  # noqa: E402
 
 #: Reduced benchmark set used for the heavier sweeps (Table II, cooling power).

@@ -1,0 +1,89 @@
+"""Thermal-network assembly benchmark: loop reference vs. vectorized.
+
+Not a paper artefact: pins the cost of building the sparse conductance
+network, the dominant first-solve cost at fine grids now that repeated
+solves hit the factorization cache.  The loop-reference pairs measure the
+vectorization win directly, and ``test_assembly_speedup_vs_reference`` is a
+hard gate (also run by the CI ``--quick`` smoke step) so the fast path
+cannot silently regress to per-cell Python loops.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.floorplan.grid_mapper import GridMapper
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.layers import standard_thermosyphon_stack
+from repro.thermal.network import ThermalNetwork
+from tests.reference_assembly import ReferenceThermalNetwork
+
+#: The paper's fine-resolution hotspot grids use <= 0.75 mm cells.
+FINE_CELL_MM = 0.75
+COARSE_CELL_MM = 1.5
+
+
+def _grid_and_mask(cell_size_mm: float) -> tuple[ThermalGrid, np.ndarray]:
+    floorplan = build_xeon_e5_v4_floorplan()
+    outline = floorplan.spreader_outline
+    n_columns = max(int(round(outline.width / cell_size_mm)), 4)
+    n_rows = max(int(round(outline.height / cell_size_mm)), 4)
+    grid = ThermalGrid(outline, standard_thermosyphon_stack(), n_rows, n_columns)
+    mask = GridMapper(floorplan, outline, n_rows, n_columns).die_mask()
+    return grid, mask
+
+
+@pytest.mark.parametrize(
+    "cell_size_mm", [COARSE_CELL_MM, FINE_CELL_MM], ids=["coarse-1.5mm", "fine-0.75mm"]
+)
+def test_bench_assembly_vectorized(benchmark, cell_size_mm):
+    grid, mask = _grid_and_mask(cell_size_mm)
+    network = benchmark(lambda: ThermalNetwork(grid, mask))
+    assert network.bulk_matrix.shape == (grid.n_cells, grid.n_cells)
+
+
+@pytest.mark.parametrize(
+    "cell_size_mm", [COARSE_CELL_MM, FINE_CELL_MM], ids=["coarse-1.5mm", "fine-0.75mm"]
+)
+def test_bench_assembly_loop_reference(benchmark, cell_size_mm):
+    grid, mask = _grid_and_mask(cell_size_mm)
+    network = benchmark(lambda: ReferenceThermalNetwork(grid, mask))
+    assert network.bulk_matrix.shape == (grid.n_cells, grid.n_cells)
+
+
+def test_assembly_speedup_vs_reference(capsys):
+    """Vectorized assembly must clearly beat the loop reference at fine grids.
+
+    The observed ratio is ~30x at 0.75 mm cells; the gate is set well below
+    that so CI noise cannot flake it, while a regression to per-cell loops
+    (ratio ~1) fails loudly.  The two assemblies are also checked for
+    equivalence, so the speed can never come from computing something else.
+    """
+    grid, mask = _grid_and_mask(FINE_CELL_MM)
+
+    start = time.perf_counter()
+    reference = ReferenceThermalNetwork(grid, mask)
+    reference_s = time.perf_counter() - start
+
+    timings = []
+    for _ in range(5):
+        start = time.perf_counter()
+        vectorized = ThermalNetwork(grid, mask)
+        timings.append(time.perf_counter() - start)
+    vectorized_s = min(timings)
+
+    scale = np.abs(reference.bulk_matrix).max()
+    assert np.abs(reference.bulk_matrix - vectorized.bulk_matrix).max() <= 1e-12 * scale
+
+    speedup = reference_s / vectorized_s
+    with capsys.disabled():
+        print(
+            f"\n[assembly @ {FINE_CELL_MM} mm, {grid.n_cells} cells] "
+            f"reference {reference_s * 1e3:.1f} ms, vectorized {vectorized_s * 1e3:.1f} ms, "
+            f"speedup {speedup:.1f}x"
+        )
+    assert speedup >= 5.0

@@ -10,3 +10,25 @@ from pathlib import Path
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "benchmark smoke mode: run each benchmarked function exactly once "
+            "instead of timed rounds (used by the CI benchmark smoke step)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    # --quick also collapses pytest-benchmark's timed rounds to a single
+    # functional execution, so `pytest benchmarks/ --quick` is a fast smoke
+    # run of the whole benchmark suite.
+    if config.getoption("--quick", default=False) and hasattr(
+        config.option, "benchmark_disable"
+    ):
+        config.option.benchmark_disable = True

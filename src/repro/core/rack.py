@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.batch import BatchEvaluator, SweepPoint
 from repro.core.mapping_policies import MappingPolicy
 from repro.core.pipeline import (
     CooledServerSimulation,
@@ -75,39 +76,64 @@ class RackModel:
         policy: MappingPolicy | None = None,
         chiller: ChillerModel | None = None,
         cell_size_mm: float = 1.5,
+        max_workers: int | None = None,
     ) -> None:
         if not slots:
             raise ConfigurationError("a rack needs at least one server slot")
         self.slots = list(slots)
         self.design = design
         self.chiller = chiller if chiller is not None else ChillerModel()
+        self.max_workers = max_workers
         # All servers share the same floorplan and models; one simulation
         # object is reused to avoid rebuilding the thermal network per slot.
         self._simulation = CooledServerSimulation(
             design=design, cell_size_mm=cell_size_mm
         )
         self._pipeline = ThermalAwarePipeline(self._simulation, policy=policy)
+        # Multi-server sweeps route through the batch engine: every slot of
+        # every bisection step shares one simulation and its factorization
+        # cache, and ``max_workers`` fans the slots out over a process pool.
+        self._evaluator = BatchEvaluator(self._simulation, pipeline=self._pipeline)
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
-    def evaluate(self, water_inlet_temperature_c: float) -> RackResult:
+    def evaluate(
+        self, water_inlet_temperature_c: float, *, max_workers: int | None = None
+    ) -> RackResult:
         """Evaluate every server with the shared water inlet temperature."""
-        results: list[EvaluationResult] = []
-        chiller_power = 0.0
-        for slot in self.slots:
-            water_loop = WaterLoop(
-                inlet_temperature_c=water_inlet_temperature_c,
-                flow_rate_kg_h=self.design.water_flow_rate_kg_h,
+        points = [
+            SweepPoint(
+                benchmark=slot.benchmark,
+                constraint=slot.constraint,
+                water_loop=WaterLoop(
+                    inlet_temperature_c=water_inlet_temperature_c,
+                    flow_rate_kg_h=self.design.water_flow_rate_kg_h,
+                ),
             )
-            result = self._pipeline.run(slot.benchmark, slot.constraint, water_loop=water_loop)
-            results.append(result)
-            chiller_power += self.chiller.cooling_power_w(water_loop, result.package_power_w)
+            for slot in self.slots
+        ]
+        workers = max_workers if max_workers is not None else self.max_workers
+        results = self._evaluator.evaluate_many(points, max_workers=workers)
+        chiller_power = sum(
+            self.chiller.cooling_power_w(result.water_loop, result.package_power_w)
+            for result in results
+        )
         return RackResult(
             water_inlet_temperature_c=water_inlet_temperature_c,
             server_results=results,
             chiller_power_w=chiller_power,
         )
+
+    def close(self) -> None:
+        """Release the batch engine's worker pool, if one was started."""
+        self._evaluator.close()
+
+    def __enter__(self) -> "RackModel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def warmest_feasible_water_temperature(
         self,

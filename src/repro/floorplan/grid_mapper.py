@@ -1,4 +1,10 @@
-"""Rasterisation of floorplan component power onto a uniform thermal grid."""
+"""Rasterisation of floorplan component power onto a uniform thermal grid.
+
+Overlap fractions and the die mask are computed as separable row/column
+interval intersections (an outer product per rectangle) rather than per-cell
+rectangle clipping, so building a mapper is O(components x cells) NumPy work
+with no Python-level cell loops.
+"""
 
 from __future__ import annotations
 
@@ -50,23 +56,29 @@ class GridMapper:
             self.cell_height,
         )
 
+    def _cell_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """West/east and south/north cell edge coordinate arrays.
+
+        The east/north edges are computed as ``west + width`` (not
+        ``outline.x + (i + 1) * width``) to match :meth:`cell_rect` exactly.
+        """
+        west = self.outline.x + np.arange(self.n_columns) * self.cell_width
+        south = self.outline.y + np.arange(self.n_rows) * self.cell_height
+        return west, west + self.cell_width, south, south + self.cell_height
+
+    def _overlap_area_grid(self, rect: Rect) -> np.ndarray:
+        """Per-cell overlap area with ``rect``: a row/column interval product."""
+        west, east, south, north = self._cell_edges()
+        overlap_x = np.clip(np.minimum(east, rect.x2) - np.maximum(west, rect.x), 0.0, None)
+        overlap_y = np.clip(np.minimum(north, rect.y2) - np.maximum(south, rect.y), 0.0, None)
+        return np.outer(overlap_y, overlap_x)
+
     def _compute_overlap_fractions(self) -> dict[str, np.ndarray]:
         """For every component, the fraction of its area falling in each cell."""
-        fractions: dict[str, np.ndarray] = {}
-        for component in self.floorplan:
-            grid = np.zeros((self.n_rows, self.n_columns), dtype=float)
-            rect = component.rect
-            col_lo = max(int((rect.x - self.outline.x) / self.cell_width), 0)
-            col_hi = min(int(np.ceil((rect.x2 - self.outline.x) / self.cell_width)), self.n_columns)
-            row_lo = max(int((rect.y - self.outline.y) / self.cell_height), 0)
-            row_hi = min(int(np.ceil((rect.y2 - self.outline.y) / self.cell_height)), self.n_rows)
-            for row in range(row_lo, row_hi):
-                for column in range(col_lo, col_hi):
-                    overlap = self.cell_rect(row, column).overlap_area(rect)
-                    if overlap > 0.0:
-                        grid[row, column] = overlap / rect.area
-            fractions[component.name] = grid
-        return fractions
+        return {
+            component.name: self._overlap_area_grid(component.rect) / component.rect.area
+            for component in self.floorplan
+        }
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -113,13 +125,8 @@ class GridMapper:
 
     def die_mask(self) -> np.ndarray:
         """Boolean mask of the cells covered (at least half) by the die."""
-        mask = np.zeros((self.n_rows, self.n_columns), dtype=bool)
-        die = self.floorplan.die_outline
-        for row in range(self.n_rows):
-            for column in range(self.n_columns):
-                cell = self.cell_rect(row, column)
-                mask[row, column] = cell.overlap_area(die) >= 0.5 * cell.area
-        return mask
+        overlap = self._overlap_area_grid(self.floorplan.die_outline)
+        return overlap >= 0.5 * (self.cell_width * self.cell_height)
 
     def cell_centres_mm(self) -> tuple[np.ndarray, np.ndarray]:
         """Arrays ``(x_centres, y_centres)`` of cell centres in millimetres."""

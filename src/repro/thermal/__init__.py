@@ -19,7 +19,14 @@ from repro.thermal.network import ThermalNetwork
 from repro.thermal.solver_cache import CacheStats, FactorizationCache
 from repro.thermal.steady_state import SteadyStateSolver
 from repro.thermal.transient import SettleResult, TransientSolver
-from repro.thermal.metrics import ThermalMetrics, compute_metrics, max_spatial_gradient
+from repro.thermal.metrics import (
+    HotSpot,
+    ThermalMetrics,
+    compute_metrics,
+    hot_spot_count,
+    hot_spot_location,
+    max_spatial_gradient,
+)
 from repro.thermal.simulator import ThermalResult, ThermalSimulator
 
 __all__ = [
@@ -38,8 +45,11 @@ __all__ = [
     "SteadyStateSolver",
     "SettleResult",
     "TransientSolver",
+    "HotSpot",
     "ThermalMetrics",
     "compute_metrics",
+    "hot_spot_count",
+    "hot_spot_location",
     "max_spatial_gradient",
     "ThermalResult",
     "ThermalSimulator",

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.thermal.materials import Material, get_material
 from repro.utils.validation import check_positive
@@ -40,13 +42,39 @@ class Layer:
             return self.material.volumetric_heat_capacity_j_m3k
         return self.fill_material.volumetric_heat_capacity_j_m3k
 
+    def conductivity_field(self, die_mask: np.ndarray) -> np.ndarray:
+        """Per-cell thermal conductivity as an array over the die mask.
+
+        Array-valued counterpart of :meth:`conductivity_at`; the vectorized
+        network assembly builds whole conductance planes from these fields.
+        """
+        die_mask = np.asarray(die_mask, dtype=bool)
+        if self.fill_material is None:
+            return np.full(die_mask.shape, self.material.thermal_conductivity_w_mk)
+        return np.where(
+            die_mask,
+            self.material.thermal_conductivity_w_mk,
+            self.fill_material.thermal_conductivity_w_mk,
+        )
+
+    def capacity_field(self, die_mask: np.ndarray) -> np.ndarray:
+        """Per-cell volumetric heat capacity as an array over the die mask."""
+        die_mask = np.asarray(die_mask, dtype=bool)
+        if self.fill_material is None:
+            return np.full(die_mask.shape, self.material.volumetric_heat_capacity_j_m3k)
+        return np.where(
+            die_mask,
+            self.material.volumetric_heat_capacity_j_m3k,
+            self.fill_material.volumetric_heat_capacity_j_m3k,
+        )
+
 
 class LayerStack:
     """Ordered collection of layers, bottom (die) to top (evaporator base)."""
 
     def __init__(self, layers: tuple[Layer, ...]) -> None:
-        if len(layers) < 2:
-            raise ConfigurationError("a layer stack needs at least two layers")
+        if len(layers) < 1:
+            raise ConfigurationError("a layer stack needs at least one layer")
         names = [layer.name for layer in layers]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate layer names: {names}")

@@ -6,6 +6,30 @@ connected by conductances computed from the series combination of their
 half-cell resistances, the top layer exchanges heat with the micro-channel
 fluid through per-cell convective conductances, and the bottom layer leaks a
 small amount of heat to the server ambient through the package substrate.
+
+Vectorized construction
+-----------------------
+Assembly is fully array-based (no per-cell Python loops), which is what makes
+fine grids (<= 0.75 mm cells) affordable on the first solve:
+
+* Each layer contributes a per-cell conductivity plane derived from the die
+  mask (:meth:`repro.thermal.layers.Layer.conductivity_field`), stacked into
+  one ``(n_layers, n_rows, n_columns)`` array.
+* From that array the per-cell *half resistances* along each axis are
+  computed once; the conductance between two neighbours is the reciprocal of
+  the sum of two shifted slices (east/west, north/south, up/down) — one
+  ``(L, R, C-1)``, ``(L, R-1, C)`` and ``(L-1, R, C)`` array respectively.
+* Each neighbour direction emits a single COO triplet batch (both symmetric
+  off-diagonal entries plus its additions to the diagonal), and one
+  ``coo_matrix`` call builds the matrix.
+
+The per-edge conductances are computed with the same floating-point
+expressions as the original loop assembler (kept as the golden model in
+``tests/reference_assembly.py``); only the order in which the diagonal
+accumulates differs, so vectorized and reference assemblies agree to
+<= 1e-12 relative.  The cost model is O(n_cells) NumPy work with small
+constants — assembly at 0.75 mm cells went from seconds (triple loop) to
+tens of milliseconds, >= 20x faster (see ``benchmarks/test_bench_assembly``).
 """
 
 from __future__ import annotations
@@ -36,120 +60,108 @@ class ThermalNetwork:
         self.grid = grid
         self.die_mask = die_mask
         self.bottom_boundary = bottom_boundary if bottom_boundary is not None else BottomBoundary()
+        self._conductivity = self._conductivity_fields()
         self._bulk_matrix, self._bottom_rhs = self._assemble_bulk()
         self._capacitance = self._assemble_capacitance()
+        self._top_half_resistance = self._top_half_resistance_field()
 
     # ------------------------------------------------------------------ #
     # Assembly
     # ------------------------------------------------------------------ #
-    def _cell_conductivity(self, layer_index: int, row: int, column: int) -> float:
-        layer = self.grid.stack[layer_index]
-        return layer.conductivity_at(bool(self.die_mask[row, column]))
+    def _conductivity_fields(self) -> np.ndarray:
+        """Per-cell conductivity, shape ``(n_layers, n_rows, n_columns)``."""
+        return np.stack(
+            [layer.conductivity_field(self.die_mask) for layer in self.grid.stack]
+        )
 
-    def _vertical_conductance(self, lower: int, upper: int, row: int, column: int) -> float:
-        """Conductance between vertically adjacent cells (lower below upper)."""
-        area = self.grid.cell_area_m2
-        k_lower = self._cell_conductivity(lower, row, column)
-        k_upper = self._cell_conductivity(upper, row, column)
-        t_lower = self.grid.stack[lower].thickness_m
-        t_upper = self.grid.stack[upper].thickness_m
-        resistance = t_lower / (2.0 * k_lower * area) + t_upper / (2.0 * k_upper * area)
-        return 1.0 / resistance
-
-    def _lateral_conductance(
-        self,
-        layer_index: int,
-        row_a: int,
-        col_a: int,
-        row_b: int,
-        col_b: int,
-    ) -> float:
-        """Conductance between two horizontally adjacent cells of one layer."""
-        thickness = self.grid.stack[layer_index].thickness_m
-        k_a = self._cell_conductivity(layer_index, row_a, col_a)
-        k_b = self._cell_conductivity(layer_index, row_b, col_b)
-        if col_a != col_b:
-            # east-west neighbours: cross-section = thickness x cell height
-            length = self.grid.cell_width_m
-            cross_section = thickness * self.grid.cell_height_m
-        else:
-            # north-south neighbours: cross-section = thickness x cell width
-            length = self.grid.cell_height_m
-            cross_section = thickness * self.grid.cell_width_m
-        resistance = length / (2.0 * k_a * cross_section) + length / (2.0 * k_b * cross_section)
-        return 1.0 / resistance
+    def _layer_thicknesses(self) -> np.ndarray:
+        return np.array([layer.thickness_m for layer in self.grid.stack], dtype=float)
 
     def _assemble_bulk(self) -> tuple[sparse.csr_matrix, np.ndarray]:
         """Conduction network plus the (fixed) bottom boundary."""
         grid = self.grid
         n = grid.n_cells
-        rows: list[int] = []
-        cols: list[int] = []
-        values: list[float] = []
-        diag = np.zeros(n, dtype=float)
+        n_layers, n_rows, n_columns = grid.n_layers, grid.n_rows, grid.n_columns
+        k = self._conductivity
+        thickness = self._layer_thicknesses()[:, np.newaxis, np.newaxis]
+        index = np.arange(n).reshape(n_layers, n_rows, n_columns)
+
+        diag = np.zeros((n_layers, n_rows, n_columns), dtype=float)
         bottom_rhs = np.zeros(n, dtype=float)
+        row_batches: list[np.ndarray] = []
+        col_batches: list[np.ndarray] = []
+        value_batches: list[np.ndarray] = []
 
-        def add_conductance(i: int, j: int, g: float) -> None:
-            rows.append(i)
-            cols.append(j)
-            values.append(-g)
-            rows.append(j)
-            cols.append(i)
-            values.append(-g)
-            diag[i] += g
-            diag[j] += g
+        def couple(index_a: np.ndarray, index_b: np.ndarray, g: np.ndarray) -> None:
+            flat_a, flat_b, flat_g = index_a.ravel(), index_b.ravel(), g.ravel()
+            row_batches.extend((flat_a, flat_b))
+            col_batches.extend((flat_b, flat_a))
+            value_batches.extend((-flat_g, -flat_g))
 
-        for layer in range(grid.n_layers):
-            for row in range(grid.n_rows):
-                for column in range(grid.n_columns):
-                    index = grid.flat_index(layer, row, column)
-                    # lateral east neighbour
-                    if column + 1 < grid.n_columns:
-                        g = self._lateral_conductance(layer, row, column, row, column + 1)
-                        add_conductance(index, grid.flat_index(layer, row, column + 1), g)
-                    # lateral north neighbour
-                    if row + 1 < grid.n_rows:
-                        g = self._lateral_conductance(layer, row, column, row + 1, column)
-                        add_conductance(index, grid.flat_index(layer, row + 1, column), g)
-                    # vertical neighbour above
-                    if layer + 1 < grid.n_layers:
-                        g = self._vertical_conductance(layer, layer + 1, row, column)
-                        add_conductance(index, grid.flat_index(layer + 1, row, column), g)
+        # East-west neighbours: half resistance = length / (2 k A_cross) with
+        # cross-section = thickness x cell height; the edge conductance is the
+        # reciprocal sum of the two adjoining half resistances.
+        if n_columns > 1:
+            half = grid.cell_width_m / (2.0 * k * (thickness * grid.cell_height_m))
+            g_east = 1.0 / (half[:, :, :-1] + half[:, :, 1:])
+            couple(index[:, :, :-1], index[:, :, 1:], g_east)
+            diag[:, :, :-1] += g_east
+            diag[:, :, 1:] += g_east
+
+        # North-south neighbours: cross-section = thickness x cell width.
+        if n_rows > 1:
+            half = grid.cell_height_m / (2.0 * k * (thickness * grid.cell_width_m))
+            g_north = 1.0 / (half[:, :-1, :] + half[:, 1:, :])
+            couple(index[:, :-1, :], index[:, 1:, :], g_north)
+            diag[:, :-1, :] += g_north
+            diag[:, 1:, :] += g_north
+
+        # Vertical neighbours: half resistance = thickness / (2 k A_cell).
+        if n_layers > 1:
+            half = thickness / (2.0 * k * grid.cell_area_m2)
+            g_vertical = 1.0 / (half[:-1] + half[1:])
+            couple(index[:-1], index[1:], g_vertical)
+            diag[:-1] += g_vertical
+            diag[1:] += g_vertical
 
         # Bottom boundary: bottom layer to ambient through the substrate/board.
         bottom = self.bottom_boundary
         if bottom.htc_w_m2k > 0.0:
             area = grid.cell_area_m2
-            for row in range(grid.n_rows):
-                for column in range(grid.n_columns):
-                    index = grid.flat_index(0, row, column)
-                    k = self._cell_conductivity(0, row, column)
-                    thickness = grid.stack[0].thickness_m
-                    resistance = thickness / (2.0 * k * area) + 1.0 / (bottom.htc_w_m2k * area)
-                    g = 1.0 / resistance
-                    diag[index] += g
-                    bottom_rhs[index] += g * bottom.ambient_temperature_c
+            resistance = thickness[0] / (2.0 * k[0] * area) + 1.0 / (bottom.htc_w_m2k * area)
+            g_bottom = 1.0 / resistance
+            diag[0] += g_bottom
+            bottom_rhs[: grid.cells_per_layer] = (
+                g_bottom * bottom.ambient_temperature_c
+            ).ravel()
 
-        rows.extend(range(n))
-        cols.extend(range(n))
-        values.extend(diag)
-        matrix = sparse.coo_matrix((values, (rows, cols)), shape=(n, n)).tocsr()
+        row_batches.append(np.arange(n))
+        col_batches.append(np.arange(n))
+        value_batches.append(diag.ravel())
+        matrix = sparse.coo_matrix(
+            (
+                np.concatenate(value_batches),
+                (np.concatenate(row_batches), np.concatenate(col_batches)),
+            ),
+            shape=(n, n),
+        ).tocsr()
         return matrix, bottom_rhs
 
     def _assemble_capacitance(self) -> np.ndarray:
         """Per-cell heat capacity in J/K."""
         grid = self.grid
-        capacitance = np.zeros(grid.n_cells, dtype=float)
-        for layer_index in range(grid.n_layers):
-            layer = grid.stack[layer_index]
-            volume = grid.cell_area_m2 * layer.thickness_m
-            for row in range(grid.n_rows):
-                for column in range(grid.n_columns):
-                    index = grid.flat_index(layer_index, row, column)
-                    capacitance[index] = volume * layer.volumetric_capacity_at(
-                        bool(self.die_mask[row, column])
-                    )
-        return capacitance
+        planes = [
+            (grid.cell_area_m2 * layer.thickness_m) * layer.capacity_field(self.die_mask)
+            for layer in grid.stack
+        ]
+        return np.concatenate([plane.ravel() for plane in planes])
+
+    def _top_half_resistance_field(self) -> np.ndarray:
+        """Half-cell conduction resistance of the top layer, per cell."""
+        grid = self.grid
+        top_layer = grid.n_layers - 1
+        thickness = grid.stack[top_layer].thickness_m
+        return thickness / (2.0 * self._conductivity[top_layer] * grid.cell_area_m2)
 
     # ------------------------------------------------------------------ #
     # Per-simulation system assembly
@@ -166,20 +178,21 @@ class ThermalNetwork:
             )
         top_layer = grid.n_layers - 1
         area = grid.cell_area_m2
-        thickness = grid.stack[top_layer].thickness_m
+        htc = cooling.htc_w_m2k
+        active = htc > 0.0
+        # Guard the h=0 division rather than filtering, so one expression
+        # produces the whole plane; inactive cells contribute nothing.
+        safe_htc = np.where(active, htc, 1.0)
+        g = np.where(
+            active,
+            1.0 / (self._top_half_resistance + 1.0 / (safe_htc * area)),
+            0.0,
+        )
         diag_add = np.zeros(grid.n_cells, dtype=float)
         rhs_add = np.zeros(grid.n_cells, dtype=float)
-        for row in range(grid.n_rows):
-            for column in range(grid.n_columns):
-                h = float(cooling.htc_w_m2k[row, column])
-                if h <= 0.0:
-                    continue
-                k = self._cell_conductivity(top_layer, row, column)
-                resistance = thickness / (2.0 * k * area) + 1.0 / (h * area)
-                g = 1.0 / resistance
-                index = grid.flat_index(top_layer, row, column)
-                diag_add[index] = g
-                rhs_add[index] = g * float(cooling.fluid_temperature_c[row, column])
+        top_slice = grid.layer_slice(top_layer)
+        diag_add[top_slice] = g.ravel()
+        rhs_add[top_slice] = (g * cooling.fluid_temperature_c).ravel()
         return diag_add, rhs_add
 
     def power_vector(self, power_map_w: np.ndarray) -> np.ndarray:

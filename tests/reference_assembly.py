@@ -1,0 +1,228 @@
+"""Golden-model reference: the original loop-based thermal network assembly.
+
+This module preserves, verbatim, the pure-Python triple-loop assembler that
+``repro.thermal.network.ThermalNetwork`` shipped with before it was
+vectorized.  It is deliberately slow and deliberately unchanged: the
+equivalence suite (``test_reference_equivalence.py``) checks that the
+vectorized assembly reproduces these matrices, boundary terms and
+capacitances to within floating-point accumulation noise (<= 1e-12
+relative), and the assembly benchmark uses it as the speedup baseline.
+
+Do not "improve" this file — its value is that it computes every conductance
+one cell at a time, exactly the way the physics was first written down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ValidationError
+from repro.thermal.boundary import BottomBoundary, CoolingBoundary
+from repro.thermal.grid import ThermalGrid
+
+
+class ReferenceThermalNetwork:
+    """Loop-based sparse conductance/capacitance assembly (golden model)."""
+
+    def __init__(
+        self,
+        grid: ThermalGrid,
+        die_mask: np.ndarray,
+        bottom_boundary: BottomBoundary | None = None,
+    ) -> None:
+        die_mask = np.asarray(die_mask, dtype=bool)
+        if die_mask.shape != (grid.n_rows, grid.n_columns):
+            raise ValidationError(
+                f"die mask shape {die_mask.shape} does not match grid "
+                f"({grid.n_rows}, {grid.n_columns})"
+            )
+        self.grid = grid
+        self.die_mask = die_mask
+        self.bottom_boundary = bottom_boundary if bottom_boundary is not None else BottomBoundary()
+        self._bulk_matrix, self._bottom_rhs = self._assemble_bulk()
+        self._capacitance = self._assemble_capacitance()
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+    def _cell_conductivity(self, layer_index: int, row: int, column: int) -> float:
+        layer = self.grid.stack[layer_index]
+        return layer.conductivity_at(bool(self.die_mask[row, column]))
+
+    def _vertical_conductance(self, lower: int, upper: int, row: int, column: int) -> float:
+        """Conductance between vertically adjacent cells (lower below upper)."""
+        area = self.grid.cell_area_m2
+        k_lower = self._cell_conductivity(lower, row, column)
+        k_upper = self._cell_conductivity(upper, row, column)
+        t_lower = self.grid.stack[lower].thickness_m
+        t_upper = self.grid.stack[upper].thickness_m
+        resistance = t_lower / (2.0 * k_lower * area) + t_upper / (2.0 * k_upper * area)
+        return 1.0 / resistance
+
+    def _lateral_conductance(
+        self,
+        layer_index: int,
+        row_a: int,
+        col_a: int,
+        row_b: int,
+        col_b: int,
+    ) -> float:
+        """Conductance between two horizontally adjacent cells of one layer."""
+        thickness = self.grid.stack[layer_index].thickness_m
+        k_a = self._cell_conductivity(layer_index, row_a, col_a)
+        k_b = self._cell_conductivity(layer_index, row_b, col_b)
+        if col_a != col_b:
+            # east-west neighbours: cross-section = thickness x cell height
+            length = self.grid.cell_width_m
+            cross_section = thickness * self.grid.cell_height_m
+        else:
+            # north-south neighbours: cross-section = thickness x cell width
+            length = self.grid.cell_height_m
+            cross_section = thickness * self.grid.cell_width_m
+        resistance = length / (2.0 * k_a * cross_section) + length / (2.0 * k_b * cross_section)
+        return 1.0 / resistance
+
+    def _assemble_bulk(self) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """Conduction network plus the (fixed) bottom boundary."""
+        grid = self.grid
+        n = grid.n_cells
+        rows: list[int] = []
+        cols: list[int] = []
+        values: list[float] = []
+        diag = np.zeros(n, dtype=float)
+        bottom_rhs = np.zeros(n, dtype=float)
+
+        def add_conductance(i: int, j: int, g: float) -> None:
+            rows.append(i)
+            cols.append(j)
+            values.append(-g)
+            rows.append(j)
+            cols.append(i)
+            values.append(-g)
+            diag[i] += g
+            diag[j] += g
+
+        for layer in range(grid.n_layers):
+            for row in range(grid.n_rows):
+                for column in range(grid.n_columns):
+                    index = grid.flat_index(layer, row, column)
+                    # lateral east neighbour
+                    if column + 1 < grid.n_columns:
+                        g = self._lateral_conductance(layer, row, column, row, column + 1)
+                        add_conductance(index, grid.flat_index(layer, row, column + 1), g)
+                    # lateral north neighbour
+                    if row + 1 < grid.n_rows:
+                        g = self._lateral_conductance(layer, row, column, row + 1, column)
+                        add_conductance(index, grid.flat_index(layer, row + 1, column), g)
+                    # vertical neighbour above
+                    if layer + 1 < grid.n_layers:
+                        g = self._vertical_conductance(layer, layer + 1, row, column)
+                        add_conductance(index, grid.flat_index(layer + 1, row, column), g)
+
+        # Bottom boundary: bottom layer to ambient through the substrate/board.
+        bottom = self.bottom_boundary
+        if bottom.htc_w_m2k > 0.0:
+            area = grid.cell_area_m2
+            for row in range(grid.n_rows):
+                for column in range(grid.n_columns):
+                    index = grid.flat_index(0, row, column)
+                    k = self._cell_conductivity(0, row, column)
+                    thickness = grid.stack[0].thickness_m
+                    resistance = thickness / (2.0 * k * area) + 1.0 / (bottom.htc_w_m2k * area)
+                    g = 1.0 / resistance
+                    diag[index] += g
+                    bottom_rhs[index] += g * bottom.ambient_temperature_c
+
+        rows.extend(range(n))
+        cols.extend(range(n))
+        values.extend(diag)
+        matrix = sparse.coo_matrix((values, (rows, cols)), shape=(n, n)).tocsr()
+        return matrix, bottom_rhs
+
+    def _assemble_capacitance(self) -> np.ndarray:
+        """Per-cell heat capacity in J/K."""
+        grid = self.grid
+        capacitance = np.zeros(grid.n_cells, dtype=float)
+        for layer_index in range(grid.n_layers):
+            layer = grid.stack[layer_index]
+            volume = grid.cell_area_m2 * layer.thickness_m
+            for row in range(grid.n_rows):
+                for column in range(grid.n_columns):
+                    index = grid.flat_index(layer_index, row, column)
+                    capacitance[index] = volume * layer.volumetric_capacity_at(
+                        bool(self.die_mask[row, column])
+                    )
+        return capacitance
+
+    # ------------------------------------------------------------------ #
+    # Per-simulation system assembly
+    # ------------------------------------------------------------------ #
+    def _top_boundary_terms(
+        self, cooling: CoolingBoundary
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Diagonal additions and RHS contributions of the top boundary."""
+        grid = self.grid
+        if cooling.shape != (grid.n_rows, grid.n_columns):
+            raise ValidationError(
+                f"cooling boundary shape {cooling.shape} does not match grid "
+                f"({grid.n_rows}, {grid.n_columns})"
+            )
+        top_layer = grid.n_layers - 1
+        area = grid.cell_area_m2
+        thickness = grid.stack[top_layer].thickness_m
+        diag_add = np.zeros(grid.n_cells, dtype=float)
+        rhs_add = np.zeros(grid.n_cells, dtype=float)
+        for row in range(grid.n_rows):
+            for column in range(grid.n_columns):
+                h = float(cooling.htc_w_m2k[row, column])
+                if h <= 0.0:
+                    continue
+                k = self._cell_conductivity(top_layer, row, column)
+                resistance = thickness / (2.0 * k * area) + 1.0 / (h * area)
+                g = 1.0 / resistance
+                index = grid.flat_index(top_layer, row, column)
+                diag_add[index] = g
+                rhs_add[index] = g * float(cooling.fluid_temperature_c[row, column])
+        return diag_add, rhs_add
+
+    def power_vector(self, power_map_w: np.ndarray) -> np.ndarray:
+        """Flat power-injection vector from a per-cell power map (heat source layer)."""
+        grid = self.grid
+        power_map_w = np.asarray(power_map_w, dtype=float)
+        if power_map_w.shape != (grid.n_rows, grid.n_columns):
+            raise ValidationError(
+                f"power map shape {power_map_w.shape} does not match grid "
+                f"({grid.n_rows}, {grid.n_columns})"
+            )
+        if np.any(power_map_w < 0.0):
+            raise ValidationError("power map must be non-negative")
+        vector = np.zeros(grid.n_cells, dtype=float)
+        source_layer = grid.stack.heat_source_index
+        vector[grid.layer_slice(source_layer)] = power_map_w.ravel()
+        return vector
+
+    def conductance_system(
+        self, cooling: CoolingBoundary
+    ) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """Full conductance matrix and boundary RHS for a cooling boundary."""
+        diag_add, rhs_add = self._top_boundary_terms(cooling)
+        matrix = (self._bulk_matrix + sparse.diags(diag_add)).tocsr()
+        return matrix, self._bottom_rhs + rhs_add
+
+    def system(
+        self, power_map_w: np.ndarray, cooling: CoolingBoundary
+    ) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """Full steady-state system ``A @ T = b`` for given power and cooling."""
+        matrix, boundary_rhs = self.conductance_system(cooling)
+        return matrix, boundary_rhs + self.power_vector(power_map_w)
+
+    @property
+    def capacitance(self) -> np.ndarray:
+        """Per-cell heat capacity vector in J/K."""
+        return self._capacitance.copy()
+
+    @property
+    def bulk_matrix(self) -> sparse.csr_matrix:
+        """Conduction-plus-bottom-boundary matrix (no top boundary)."""
+        return self._bulk_matrix.copy()

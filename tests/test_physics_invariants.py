@@ -1,0 +1,125 @@
+"""Physics invariants of the assembled thermal network.
+
+Whatever the assembly strategy, a compact conduction network must satisfy
+structural laws: the conductance matrix is symmetric (reciprocity),
+off-diagonal entries are non-positive (conductances couple, never repel),
+each row sums to exactly that cell's boundary conductance (Kirchhoff —
+internal conduction redistributes heat, only boundaries sink it), and the
+steady-state solution conserves energy (injected power leaves through the
+boundaries).  These tests hold for any grid/stack/boundary combination, so
+they catch classes of assembly bugs the golden-model diff cannot (e.g. a
+reference bug faithfully reproduced).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import spsolve
+
+from repro.thermal.boundary import BottomBoundary, CoolingBoundary, uniform_cooling_boundary
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.layers import standard_thermosyphon_stack
+from repro.thermal.network import ThermalNetwork
+from repro.utils.geometry import Rect
+
+
+def _network(n_rows=6, n_columns=5, bottom=None) -> ThermalNetwork:
+    stack = standard_thermosyphon_stack()
+    grid = ThermalGrid(Rect(0.0, 0.0, float(n_columns), float(n_rows)), stack, n_rows, n_columns)
+    mask = np.zeros((n_rows, n_columns), dtype=bool)
+    mask[1:-1, 1:-1] = True
+    return ThermalNetwork(grid, mask, bottom)
+
+
+def _cooling(network: ThermalNetwork, *, holes: bool = False) -> CoolingBoundary:
+    n_rows, n_columns = network.grid.n_rows, network.grid.n_columns
+    rng = np.random.default_rng(42)
+    htc = 1.0e4 + 3.0e4 * rng.random((n_rows, n_columns))
+    if holes:
+        htc[rng.random((n_rows, n_columns)) < 0.25] = 0.0
+    fluid = 35.0 + 10.0 * rng.random((n_rows, n_columns))
+    return CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=fluid)
+
+
+@pytest.mark.parametrize("holes", [False, True], ids=["htc-everywhere", "htc-holes"])
+def test_conductance_matrix_is_symmetric(holes):
+    network = _network()
+    matrix, _ = network.conductance_system(_cooling(network, holes=holes))
+    asymmetry = np.abs((matrix - matrix.T)).max()
+    assert asymmetry <= 1e-15 * np.abs(matrix).max()
+
+
+def test_off_diagonal_entries_are_non_positive():
+    network = _network()
+    matrix, _ = network.conductance_system(_cooling(network))
+    dense = matrix.toarray()
+    off_diagonal = dense - np.diag(np.diag(dense))
+    assert off_diagonal.max() <= 0.0
+    assert np.diag(dense).min() > 0.0
+
+
+@pytest.mark.parametrize("bottom", [BottomBoundary(), BottomBoundary(htc_w_m2k=0.0)],
+                         ids=["bottom-on", "bottom-off"])
+def test_row_sums_equal_boundary_conductance(bottom):
+    """A @ 1 = per-cell boundary conductance: conduction terms cancel."""
+    network = _network(bottom=bottom)
+    cooling = _cooling(network, holes=True)
+    matrix, _ = network.conductance_system(cooling)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+
+    top_diag, _ = network._top_boundary_terms(cooling)
+    expected = top_diag.copy()
+    if bottom.htc_w_m2k > 0.0:
+        # The bottom boundary RHS is g_bottom * T_ambient, so dividing by the
+        # ambient recovers the per-cell bottom conductance.
+        expected += network._bottom_rhs / bottom.ambient_temperature_c
+
+    np.testing.assert_allclose(
+        row_sums, expected, rtol=1e-9, atol=1e-10 * np.abs(matrix).max()
+    )
+
+
+def test_interior_rows_sum_to_zero_without_boundaries():
+    """With both boundaries off, the matrix is a pure graph Laplacian."""
+    network = _network(bottom=BottomBoundary(htc_w_m2k=0.0))
+    n_rows, n_columns = network.grid.n_rows, network.grid.n_columns
+    cooling = uniform_cooling_boundary(n_rows, n_columns, 0.0, 40.0)
+    matrix, rhs = network.conductance_system(cooling)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    np.testing.assert_allclose(row_sums, 0.0, atol=1e-10 * np.abs(matrix).max())
+    assert not rhs.any()
+
+
+@pytest.mark.parametrize("holes", [False, True], ids=["htc-everywhere", "htc-holes"])
+def test_steady_state_conserves_energy(holes):
+    """Injected power equals the heat flowing out of both boundaries."""
+    network = _network()
+    grid = network.grid
+    cooling = _cooling(network, holes=holes)
+    rng = np.random.default_rng(3)
+    power_map = 4.0 * rng.random((grid.n_rows, grid.n_columns))
+    injected_w = float(power_map.sum())
+
+    matrix, rhs = network.system(power_map, cooling)
+    temperatures = spsolve(matrix.tocsc(), rhs)
+
+    top_diag, _ = network._top_boundary_terms(cooling)
+    top_slice = grid.layer_slice(grid.n_layers - 1)
+    top_g = top_diag[top_slice].reshape(grid.n_rows, grid.n_columns)
+    top_temperatures = temperatures[top_slice].reshape(grid.n_rows, grid.n_columns)
+    top_flow_w = float((top_g * (top_temperatures - cooling.fluid_temperature_c)).sum())
+
+    bottom = network.bottom_boundary
+    bottom_slice = grid.layer_slice(0)
+    bottom_g = network._bottom_rhs[bottom_slice] / bottom.ambient_temperature_c
+    bottom_flow_w = float(
+        (bottom_g * (temperatures[bottom_slice] - bottom.ambient_temperature_c)).sum()
+    )
+
+    assert top_flow_w + bottom_flow_w == pytest.approx(injected_w, rel=1e-8)
+
+
+def test_capacitance_is_strictly_positive():
+    network = _network()
+    assert network.capacitance.min() > 0.0

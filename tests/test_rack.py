@@ -39,6 +39,40 @@ class TestEvaluation:
     def test_all_within_limit_at_nominal_water(self, small_rack):
         assert small_rack.evaluate(30.0).all_within_limit
 
+    def test_batched_evaluation_matches_direct_pipeline(self, small_rack):
+        """The BatchEvaluator routing must reproduce per-slot pipeline runs."""
+        from repro.thermosyphon.water_loop import WaterLoop
+
+        batched = small_rack.evaluate(28.0)
+        for slot, result in zip(small_rack.slots, batched.server_results):
+            direct = small_rack._pipeline.run(
+                slot.benchmark,
+                slot.constraint,
+                water_loop=WaterLoop(
+                    inlet_temperature_c=28.0,
+                    flow_rate_kg_h=small_rack.design.water_flow_rate_kg_h,
+                ),
+            )
+            assert result.case_temperature_c == pytest.approx(
+                direct.case_temperature_c, abs=1e-9
+            )
+            assert result.die_metrics.theta_max_c == pytest.approx(
+                direct.die_metrics.theta_max_c, abs=1e-9
+            )
+
+    def test_chiller_power_uses_each_servers_water_loop(self, small_rack):
+        result = small_rack.evaluate(30.0)
+        expected = sum(
+            small_rack.chiller.cooling_power_w(r.water_loop, r.package_power_w)
+            for r in result.server_results
+        )
+        assert result.chiller_power_w == pytest.approx(expected)
+
+    def test_rack_is_a_context_manager(self):
+        slots = [ServerSlot(get_benchmark("x264"), QoSConstraint(2.0))]
+        with RackModel(slots, cell_size_mm=2.5) as rack:
+            assert rack.evaluate(30.0).chiller_power_w > 0.0
+
 
 class TestWaterTemperatureSearch:
     def test_warmest_feasible_water_is_within_bounds(self, small_rack):

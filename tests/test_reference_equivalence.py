@@ -1,0 +1,191 @@
+"""Golden-model equivalence: vectorized assembly vs. the reference loops.
+
+``repro.thermal.network.ThermalNetwork`` is fully vectorized; the original
+per-cell loop assembler is preserved verbatim in ``reference_assembly.py``.
+Every parametrized case here builds both and requires the bulk matrix, the
+boundary RHS vectors, the capacitance vector and the complete steady-state
+system to agree to <= 1e-12 relative — the fast path only counts if it is
+the same physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import spsolve
+
+from reference_assembly import ReferenceThermalNetwork
+from repro.thermal.boundary import BottomBoundary, CoolingBoundary, uniform_cooling_boundary
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.layers import Layer, LayerStack, standard_thermosyphon_stack
+from repro.thermal.materials import get_material
+from repro.thermal.network import ThermalNetwork
+from repro.utils.geometry import Rect
+
+RTOL = 1e-12
+
+
+def _minimal_stack() -> LayerStack:
+    """Two layers, die mask active in the bottom (source) layer."""
+    return LayerStack(
+        (
+            Layer(
+                "die",
+                get_material("silicon"),
+                0.5e-3,
+                fill_material=get_material("sealant"),
+                heat_source=True,
+            ),
+            Layer("lid", get_material("copper"), 1.0e-3),
+        )
+    )
+
+
+def _single_layer_stack() -> LayerStack:
+    """Degenerate one-layer stack: top and bottom boundary share the layer."""
+    return LayerStack(
+        (
+            Layer(
+                "slab",
+                get_material("silicon"),
+                0.75e-3,
+                fill_material=get_material("sealant"),
+                heat_source=True,
+            ),
+        )
+    )
+
+
+STACKS = {
+    "standard": standard_thermosyphon_stack,
+    "minimal": _minimal_stack,
+    "single-layer": _single_layer_stack,
+}
+
+#: (n_rows, n_columns) including the degenerate in-plane shapes.
+GRIDS = [(4, 5), (1, 7), (7, 1), (3, 3), (1, 1)]
+
+
+def _die_mask(n_rows: int, n_columns: int, kind: str) -> np.ndarray:
+    if kind == "full":
+        return np.ones((n_rows, n_columns), dtype=bool)
+    if kind == "block":
+        mask = np.zeros((n_rows, n_columns), dtype=bool)
+        mask[n_rows // 4 : max(n_rows // 4 + 1, 3 * n_rows // 4),
+             n_columns // 4 : max(n_columns // 4 + 1, 3 * n_columns // 4)] = True
+        return mask
+    if kind == "checker":
+        rows, columns = np.indices((n_rows, n_columns))
+        return (rows + columns) % 2 == 0
+    raise ValueError(kind)
+
+
+def _grid(n_rows: int, n_columns: int, stack: LayerStack) -> ThermalGrid:
+    outline = Rect(0.0, 0.0, 1.1 * n_columns, 0.9 * n_rows)
+    return ThermalGrid(outline, stack, n_rows, n_columns)
+
+
+def _nonuniform_cooling(n_rows: int, n_columns: int, *, with_holes: bool) -> CoolingBoundary:
+    """Deterministic spatially-varying HTC and fluid temperature maps."""
+    rng = np.random.default_rng(n_rows * 31 + n_columns)
+    htc = 5.0e3 + 4.0e4 * rng.random((n_rows, n_columns))
+    if with_holes:
+        htc[rng.random((n_rows, n_columns)) < 0.3] = 0.0
+    fluid = 30.0 + 15.0 * rng.random((n_rows, n_columns))
+    return CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=fluid)
+
+
+def _assert_matrix_close(reference, vectorized) -> None:
+    scale = np.abs(reference).max()
+    difference = np.abs((reference - vectorized)).max()
+    assert difference <= RTOL * scale
+
+
+def _assert_vector_close(reference: np.ndarray, vectorized: np.ndarray) -> None:
+    scale = max(float(np.abs(reference).max()), 1.0)
+    np.testing.assert_allclose(vectorized, reference, rtol=RTOL, atol=RTOL * scale)
+
+
+@pytest.mark.parametrize("mask_kind", ["full", "block", "checker"])
+@pytest.mark.parametrize("stack_name", list(STACKS))
+@pytest.mark.parametrize("shape", GRIDS, ids=[f"{r}x{c}" for r, c in GRIDS])
+def test_bulk_and_capacitance_match_reference(shape, stack_name, mask_kind):
+    n_rows, n_columns = shape
+    stack = STACKS[stack_name]()
+    grid = _grid(n_rows, n_columns, stack)
+    mask = _die_mask(n_rows, n_columns, mask_kind)
+    reference = ReferenceThermalNetwork(grid, mask)
+    vectorized = ThermalNetwork(grid, mask)
+    _assert_matrix_close(reference.bulk_matrix, vectorized.bulk_matrix)
+    _assert_vector_close(reference._bottom_rhs, vectorized._bottom_rhs)
+    _assert_vector_close(reference.capacitance, vectorized.capacitance)
+
+
+@pytest.mark.parametrize("bottom", [BottomBoundary(), BottomBoundary(htc_w_m2k=0.0)],
+                         ids=["bottom-on", "bottom-off"])
+@pytest.mark.parametrize("stack_name", list(STACKS))
+def test_bottom_boundary_variants_match_reference(stack_name, bottom):
+    stack = STACKS[stack_name]()
+    grid = _grid(5, 4, stack)
+    mask = _die_mask(5, 4, "block")
+    reference = ReferenceThermalNetwork(grid, mask, bottom)
+    vectorized = ThermalNetwork(grid, mask, bottom)
+    _assert_matrix_close(reference.bulk_matrix, vectorized.bulk_matrix)
+    _assert_vector_close(reference._bottom_rhs, vectorized._bottom_rhs)
+    if bottom.htc_w_m2k == 0.0:
+        assert not vectorized._bottom_rhs.any()
+
+
+@pytest.mark.parametrize("with_holes", [False, True], ids=["htc-everywhere", "htc-holes"])
+@pytest.mark.parametrize("stack_name", list(STACKS))
+@pytest.mark.parametrize("shape", GRIDS, ids=[f"{r}x{c}" for r, c in GRIDS])
+def test_top_boundary_and_full_system_match_reference(shape, stack_name, with_holes):
+    n_rows, n_columns = shape
+    stack = STACKS[stack_name]()
+    grid = _grid(n_rows, n_columns, stack)
+    mask = _die_mask(n_rows, n_columns, "block")
+    cooling = _nonuniform_cooling(n_rows, n_columns, with_holes=with_holes)
+    reference = ReferenceThermalNetwork(grid, mask)
+    vectorized = ThermalNetwork(grid, mask)
+
+    ref_diag, ref_rhs = reference._top_boundary_terms(cooling)
+    vec_diag, vec_rhs = vectorized._top_boundary_terms(cooling)
+    _assert_vector_close(ref_diag, vec_diag)
+    _assert_vector_close(ref_rhs, vec_rhs)
+
+    rng = np.random.default_rng(7)
+    power_map = 2.0 * rng.random((n_rows, n_columns))
+    ref_matrix, ref_b = reference.system(power_map, cooling)
+    vec_matrix, vec_b = vectorized.system(power_map, cooling)
+    _assert_matrix_close(ref_matrix, vec_matrix)
+    _assert_vector_close(ref_b, vec_b)
+
+
+def test_uniform_cooling_solutions_match_reference():
+    """End to end: solving both assemblies gives the same temperature field."""
+    stack = standard_thermosyphon_stack()
+    grid = _grid(6, 6, stack)
+    mask = _die_mask(6, 6, "block")
+    cooling = uniform_cooling_boundary(6, 6, 2.0e4, 40.0)
+    power_map = np.zeros((6, 6))
+    power_map[1, 4] = 9.0
+    power_map[4, 1] = 3.0
+    reference = ReferenceThermalNetwork(grid, mask)
+    vectorized = ThermalNetwork(grid, mask)
+    ref_matrix, ref_b = reference.system(power_map, cooling)
+    vec_matrix, vec_b = vectorized.system(power_map, cooling)
+    ref_t = spsolve(ref_matrix.tocsc(), ref_b)
+    vec_t = spsolve(vec_matrix.tocsc(), vec_b)
+    np.testing.assert_allclose(vec_t, ref_t, rtol=1e-9)
+
+
+def test_power_vector_matches_reference():
+    stack = _minimal_stack()
+    grid = _grid(3, 4, stack)
+    mask = _die_mask(3, 4, "full")
+    reference = ReferenceThermalNetwork(grid, mask)
+    vectorized = ThermalNetwork(grid, mask)
+    power_map = np.arange(12, dtype=float).reshape(3, 4)
+    np.testing.assert_array_equal(
+        vectorized.power_vector(power_map), reference.power_vector(power_map)
+    )

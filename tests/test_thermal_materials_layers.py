@@ -70,10 +70,15 @@ class TestLayerStack:
         with pytest.raises(ConfigurationError):
             LayerStack((layer, layer))
 
-    def test_single_layer_rejected(self):
-        layer = Layer("x", get_material("copper"), 1e-3)
+    def test_empty_stack_rejected(self):
         with pytest.raises(ConfigurationError):
-            LayerStack((layer,))
+            LayerStack(())
+
+    def test_single_layer_allowed(self):
+        layer = Layer("x", get_material("copper"), 1e-3, heat_source=True)
+        stack = LayerStack((layer,))
+        assert len(stack) == 1
+        assert stack.heat_source_index == 0
 
     def test_no_heat_source_raises(self):
         stack = LayerStack(

@@ -6,7 +6,14 @@ from hypothesis import given, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.exceptions import ValidationError
-from repro.thermal.metrics import ThermalMetrics, compute_metrics, hot_spot_count, max_spatial_gradient
+from repro.thermal.metrics import (
+    HotSpot,
+    ThermalMetrics,
+    compute_metrics,
+    hot_spot_count,
+    hot_spot_location,
+    max_spatial_gradient,
+)
 
 
 class TestComputeMetrics:
@@ -72,6 +79,95 @@ class TestHotSpotCount:
         temperature[0, 0] = 80.0
         temperature[1, 1] = 80.0
         assert hot_spot_count(temperature, threshold_c=70.0) == 2
+
+    def test_mask_splits_a_region(self):
+        temperature = np.full((3, 5), 80.0)
+        mask = np.ones((3, 5), dtype=bool)
+        mask[:, 2] = False  # a cold wall cuts the hot plate in two
+        assert hot_spot_count(temperature, threshold_c=70.0, mask=mask) == 2
+
+    @staticmethod
+    def _flood_fill_count(hot: np.ndarray) -> int:
+        """The original per-cell flood fill, kept as the counting oracle."""
+        visited = np.zeros_like(hot, dtype=bool)
+        n_rows, n_columns = hot.shape
+        count = 0
+        for row in range(n_rows):
+            for column in range(n_columns):
+                if not hot[row, column] or visited[row, column]:
+                    continue
+                count += 1
+                stack = [(row, column)]
+                visited[row, column] = True
+                while stack:
+                    r, c = stack.pop()
+                    for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                        nr, nc = r + dr, c + dc
+                        if 0 <= nr < n_rows and 0 <= nc < n_columns:
+                            if hot[nr, nc] and not visited[nr, nc]:
+                                visited[nr, nc] = True
+                                stack.append((nr, nc))
+        return count
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vectorized_count_matches_flood_fill(self, seed):
+        rng = np.random.default_rng(seed)
+        temperature = 40.0 + 60.0 * rng.random((13, 17))
+        threshold = 70.0
+        expected = self._flood_fill_count(temperature >= threshold)
+        assert hot_spot_count(temperature, threshold_c=threshold) == expected
+
+
+class TestHotSpotLocation:
+    def test_pinned_asymmetric_map(self):
+        """Regression: hotspot coordinates/value on a known asymmetric map."""
+        rows, columns = np.indices((6, 9))
+        temperature = 45.0 + 0.5 * columns + 0.25 * rows
+        temperature[2, 7] = 91.25
+        spot = hot_spot_location(temperature)
+        assert spot == HotSpot(row=2, column=7, temperature_c=91.25)
+
+    def test_mask_redirects_hot_spot(self):
+        temperature = np.array([[40.0, 95.0], [42.0, 44.0]])
+        mask = np.array([[True, False], [True, True]])
+        spot = hot_spot_location(temperature, mask)
+        assert (spot.row, spot.column, spot.temperature_c) == (1, 1, 44.0)
+
+    def test_tie_resolves_to_first_in_reading_order(self):
+        temperature = np.full((3, 3), 50.0)
+        temperature[1, 2] = 80.0
+        temperature[2, 0] = 80.0
+        spot = hot_spot_location(temperature)
+        assert (spot.row, spot.column) == (1, 2)
+
+    def test_agrees_with_compute_metrics(self):
+        rng = np.random.default_rng(11)
+        temperature = 40.0 + 50.0 * rng.random((7, 7))
+        mask = rng.random((7, 7)) > 0.3
+        spot = hot_spot_location(temperature, mask)
+        metrics = compute_metrics(temperature, (1.0, 1.0), mask)
+        assert spot.temperature_c == metrics.theta_max_c
+        assert mask[spot.row, spot.column]
+
+    def test_simulated_hot_spot_pinned(self, coarse_thermal_simulator):
+        """Regression: asymmetric power map -> hotspot inside the loaded core.
+
+        ``core5`` dominates the map, so the hotspot must land on one of its
+        cells; the coordinates and value are pinned against the vectorized
+        assembly + solve (value at solver accuracy, not bit-exactness).
+        """
+        from repro.thermal.boundary import uniform_cooling_boundary
+
+        simulator = coarse_thermal_simulator
+        rows, columns = simulator.shape
+        boundary = uniform_cooling_boundary(rows, columns, 2.0e4, 40.0)
+        result = simulator.steady_state(
+            {"core5": 18.0, "core0": 6.0, "llc": 2.0}, boundary
+        )
+        spot = hot_spot_location(result.die_map(), result.die_mask)
+        assert (spot.row, spot.column) == (10, 11)
+        assert spot.temperature_c == pytest.approx(56.15334701976335, rel=1e-6)
+        assert spot.temperature_c == result.die_metrics().theta_max_c
 
 
 class TestMetricProperties:
