@@ -16,6 +16,7 @@ from repro.core.mapping_policies import (
 )
 from repro.core.mapping import ThreadMapper, WorkloadMapping
 from repro.core.pipeline import CooledServerSimulation, EvaluationResult, ThermalAwarePipeline
+from repro.core.session import SessionAdvance, SimulationSession, TransientStepResult
 from repro.core.runtime_controller import ControllerDecision, ControllerTrace, ThermosyphonController
 from repro.core.design_optimizer import DesignCandidateResult, ThermosyphonDesignOptimizer
 from repro.core.rack import RackModel, RackResult, ServerSlot
@@ -36,6 +37,9 @@ __all__ = [
     "CooledServerSimulation",
     "EvaluationResult",
     "ThermalAwarePipeline",
+    "SessionAdvance",
+    "SimulationSession",
+    "TransientStepResult",
     "ControllerDecision",
     "ControllerTrace",
     "ThermosyphonController",

@@ -2,73 +2,46 @@
 
 ``CooledServerSimulation`` wires the four substrates together for one
 server: floorplan -> power model -> thermosyphon loop -> thermal simulator.
-``ThermalAwarePipeline`` adds the paper's decision layer on top: QoS-aware
-configuration selection (Algorithm 1), C-state-aware thread mapping, and the
-resulting thermal evaluation.
+Since the session refactor it is a thin facade over
+:class:`repro.core.session.SimulationSession`, which also owns the
+warm-start transient lane used by the runtime controller;
+``EvaluationResult`` and ``T_CASE_MAX_C`` live in that module and are
+re-exported here for backwards compatibility.  ``ThermalAwarePipeline``
+adds the paper's decision layer on top: QoS-aware configuration selection
+(Algorithm 1), C-state-aware thread mapping, and the resulting thermal
+evaluation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.config_selection import ConfigurationSelection, QoSAwareConfigSelector
 from repro.core.mapping import ThreadMapper, WorkloadMapping
 from repro.core.mapping_policies import MappingPolicy, ProposedThermalAwareMapping
+from repro.core.session import (  # noqa: F401  (re-exported API)
+    EvaluationResult,
+    SimulationSession,
+    T_CASE_MAX_C,
+    TransientStepResult,
+)
 from repro.floorplan.floorplan import Floorplan
-from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
 from repro.power.power_model import CoreActivity, ServerPowerModel
-from repro.thermal.metrics import ThermalMetrics
-from repro.thermal.simulator import ThermalResult, ThermalSimulator
-from repro.thermosyphon.chiller import ChillerModel
+from repro.thermal.simulator import ThermalSimulator
 from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN, ThermosyphonDesign
-from repro.thermosyphon.loop import LoopOperatingPoint, ThermosyphonLoop
 from repro.thermosyphon.water_loop import WaterLoop
 from repro.workloads.benchmark import BenchmarkCharacteristics
 from repro.workloads.configuration import Configuration
 from repro.workloads.profiler import WorkloadProfiler
 from repro.workloads.qos import QoSConstraint
 
-#: Maximum allowed case (heat-spreader centre) temperature, Section VI-B.
-T_CASE_MAX_C = 85.0
-
-
-@dataclass
-class EvaluationResult:
-    """Everything the experiments report about one evaluated operating point."""
-
-    benchmark_name: str
-    configuration: Configuration
-    mapping: WorkloadMapping | None
-    package_power_w: float
-    die_metrics: ThermalMetrics
-    package_metrics: ThermalMetrics
-    case_temperature_c: float
-    operating_point: LoopOperatingPoint
-    max_channel_quality: float
-    dryout: bool
-    water_delta_t_c: float
-    water_loop: WaterLoop
-    thermal_result: ThermalResult
-
-    @property
-    def within_case_limit(self) -> bool:
-        """True if the case temperature respects ``T_CASE_MAX``."""
-        return self.case_temperature_c <= T_CASE_MAX_C
-
-    def chiller_power_w(self, chiller: ChillerModel | None = None, water_loop: WaterLoop | None = None) -> float:
-        """Chiller electrical power for this operating point (Eq. 1).
-
-        Uses the water loop the evaluation actually ran with; pass
-        ``water_loop`` only to ask "what would the chiller draw at a
-        different water condition for the same heat load".
-        """
-        chiller = chiller if chiller is not None else ChillerModel()
-        loop = water_loop if water_loop is not None else self.water_loop
-        return chiller.cooling_power_w(loop, self.package_power_w)
-
 
 class CooledServerSimulation:
-    """One server CPU cooled by one thermosyphon."""
+    """One server CPU cooled by one thermosyphon.
+
+    A facade over :class:`SimulationSession`: the quasi-static
+    ``simulate_*`` methods delegate to the session's steady lane, and the
+    session itself (with its warm-start transient lane) is exposed as
+    :attr:`session` for time-stepped studies.
+    """
 
     def __init__(
         self,
@@ -79,20 +52,44 @@ class CooledServerSimulation:
         thermal_simulator: ThermalSimulator | None = None,
         cell_size_mm: float = 1.0,
     ) -> None:
-        self.floorplan = floorplan if floorplan is not None else build_xeon_e5_v4_floorplan()
-        self.design = design
-        self.power_model = (
-            power_model if power_model is not None else ServerPowerModel(self.floorplan)
+        self.session = SimulationSession(
+            floorplan,
+            design=design,
+            power_model=power_model,
+            thermal_simulator=thermal_simulator,
+            cell_size_mm=cell_size_mm,
         )
-        self.thermal_simulator = (
-            thermal_simulator
-            if thermal_simulator is not None
-            else ThermalSimulator(self.floorplan, cell_size_mm=cell_size_mm)
-        )
-        self.loop = ThermosyphonLoop(design)
 
     # ------------------------------------------------------------------ #
-    # Low-level evaluation
+    # Substrate access (facade attributes)
+    # ------------------------------------------------------------------ #
+    @property
+    def floorplan(self) -> Floorplan:
+        """The die/package floorplan the session simulates."""
+        return self.session.floorplan
+
+    @property
+    def design(self) -> ThermosyphonDesign:
+        """The thermosyphon design attached to the CPU."""
+        return self.session.design
+
+    @property
+    def power_model(self) -> ServerPowerModel:
+        """The server power model."""
+        return self.session.power_model
+
+    @property
+    def thermal_simulator(self) -> ThermalSimulator:
+        """The shared thermal simulator (and its factorization cache)."""
+        return self.session.thermal_simulator
+
+    @property
+    def loop(self):
+        """The thermosyphon loop model."""
+        return self.session.loop
+
+    # ------------------------------------------------------------------ #
+    # Low-level evaluation (quasi-static lane)
     # ------------------------------------------------------------------ #
     def simulate_activities(
         self,
@@ -106,44 +103,14 @@ class CooledServerSimulation:
         mapping: WorkloadMapping | None = None,
     ) -> EvaluationResult:
         """Evaluate an arbitrary per-core activity pattern."""
-        if water_loop is None:
-            water_loop = self.design.water_loop()
-        breakdown = self.power_model.evaluate(
-            activities, frequency_ghz, memory_intensity=memory_intensity
-        )
-        power_map = self.thermal_simulator.power_map(breakdown.component_power_w)
-        operating_point = self.loop.operating_point(float(power_map.sum()), water_loop)
-        boundary_result = self.loop.cooling_boundary(
-            power_map, self.thermal_simulator.grid.cell_pitch_mm(), operating_point
-        )
-        thermal_result = self.thermal_simulator.steady_state_from_map(
-            power_map, boundary_result.boundary
-        )
-        if configuration is None:
-            n_active = sum(1 for activity in activities if activity.active)
-            threads = max(
-                (activity.threads_on_core for activity in activities if activity.active),
-                default=1,
-            )
-            configuration = Configuration(
-                n_cores=max(n_active, 1),
-                threads_per_core=threads,
-                frequency_ghz=frequency_ghz,
-            )
-        return EvaluationResult(
+        return self.session.solve_steady(
+            activities,
+            frequency_ghz,
+            memory_intensity=memory_intensity,
+            water_loop=water_loop,
             benchmark_name=benchmark_name,
             configuration=configuration,
             mapping=mapping,
-            package_power_w=breakdown.package_power_w,
-            die_metrics=thermal_result.die_metrics(),
-            package_metrics=thermal_result.package_metrics(),
-            case_temperature_c=thermal_result.case_temperature_c(),
-            operating_point=operating_point,
-            max_channel_quality=boundary_result.max_quality,
-            dryout=boundary_result.dryout,
-            water_delta_t_c=water_loop.delta_t_c(breakdown.package_power_w),
-            water_loop=water_loop,
-            thermal_result=thermal_result,
         )
 
     def simulate_mapping(
@@ -156,17 +123,12 @@ class CooledServerSimulation:
         activity_factor: float = 1.0,
     ) -> EvaluationResult:
         """Evaluate a resolved workload mapping."""
-        if mapper is None:
-            mapper = ThreadMapper(self.floorplan, orientation=self.design.orientation)
-        activities = mapper.activities(benchmark, mapping, activity_factor=activity_factor)
-        return self.simulate_activities(
-            activities,
-            mapping.configuration.frequency_ghz,
-            memory_intensity=benchmark.memory_intensity,
+        return self.session.solve_steady_mapping(
+            benchmark,
+            mapping,
+            mapper=mapper,
             water_loop=water_loop,
-            benchmark_name=benchmark.name,
-            configuration=mapping.configuration,
-            mapping=mapping,
+            activity_factor=activity_factor,
         )
 
 

@@ -7,19 +7,35 @@ valve is already fully open, lower the core frequency one level — but only
 if the QoS constraint still holds at the lower frequency; if neither
 actuator is available the emergency is reported.
 
-The controller operates quasi-statically: each control period the workload
-phase's power is evaluated, the loop and thermal models are solved at the
-current water flow, and the actuators are updated for the next period.
+Two execution modes are offered by :meth:`ThermosyphonController.run_trace`:
+
+``mode="steady"``
+    The original quasi-static study: each control period the workload
+    phase's power is evaluated and the loop and thermal models are solved
+    to *equilibrium* at the current actuator settings.  Every power jitter
+    produces a new cooling boundary and therefore (cache misses aside) a
+    new operator factorization.
+
+``mode="transient"``
+    The time-domain study, closer to the paper's runtime claim: the
+    temperature field is carried across periods by the warm-start
+    :class:`~repro.core.session.SimulationSession` and advanced with
+    backward-Euler steps.  The cooling boundary is held between actuator
+    events (and refreshed on large power drift), so a whole trace runs on a
+    handful of factorizations — each period is a few cached
+    back-substitutions.  Decisions gain transient diagnostics: the settle
+    residual (how far from equilibrium the period ended) and the peak case
+    temperature observed *within* the period.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.mapping import ThreadMapper, WorkloadMapping
 from repro.core.pipeline import CooledServerSimulation, EvaluationResult, T_CASE_MAX_C
-from repro.exceptions import ThermalEmergencyError
+from repro.exceptions import ConfigurationError, ThermalEmergencyError
 from repro.power.dvfs import CORE_FREQUENCIES_GHZ
 from repro.thermosyphon.water_loop import WaterLoop
 from repro.utils.validation import check_positive
@@ -39,6 +55,17 @@ class ControllerAction(enum.Enum):
     EMERGENCY = "emergency"
 
 
+#: Actions that change an actuator setting for the next period; in transient
+#: mode they force a cooling-boundary refresh at the next evaluation.
+_ACTUATOR_ACTIONS = frozenset(
+    {
+        ControllerAction.INCREASE_FLOW,
+        ControllerAction.DECREASE_FLOW,
+        ControllerAction.LOWER_FREQUENCY,
+    }
+)
+
+
 @dataclass(frozen=True)
 class ControllerDecision:
     """State and action of one control period.
@@ -47,6 +74,13 @@ class ControllerDecision:
     period was *evaluated* with — the settings that produced
     ``case_temperature_c``.  The action's resulting settings appear in the
     following period's decision.
+
+    In transient mode two diagnostics are populated (None in steady mode):
+    ``settle_residual_c`` is the largest per-cell temperature change over
+    the period's final substep (how far from equilibrium the period ended),
+    and ``period_peak_case_c`` is the highest case temperature observed at
+    any substep within the period — the transient field can overshoot the
+    period-end value that the decision is based on.
     """
 
     time_s: float
@@ -56,13 +90,24 @@ class ControllerDecision:
     water_flow_kg_h: float
     frequency_ghz: float
     action: ControllerAction
+    settle_residual_c: float | None = None
+    period_peak_case_c: float | None = None
 
 
 @dataclass
 class ControllerTrace:
-    """Time series of controller decisions."""
+    """Time series of controller decisions.
+
+    ``mode`` records how the trace was produced ("steady" re-solves
+    equilibrium each period; "transient" advances a warm-start temperature
+    field).  ``factorizations`` counts the thermal-operator factorizations
+    the trace cost (None when the simulation runs without a solver cache) —
+    the headline difference between the modes.
+    """
 
     decisions: list[ControllerDecision] = field(default_factory=list)
+    mode: str = "steady"
+    factorizations: int | None = None
 
     @property
     def emergencies(self) -> int:
@@ -81,8 +126,48 @@ class ControllerTrace:
 
     @property
     def peak_case_temperature_c(self) -> float:
-        """Highest observed case temperature."""
+        """Highest observed case temperature (period-end values)."""
         return max((d.case_temperature_c for d in self.decisions), default=float("nan"))
+
+    @property
+    def peak_period_case_temperature_c(self) -> float:
+        """Highest case temperature including within-period transient peaks.
+
+        Falls back to the period-end peak when transient diagnostics are
+        absent (steady mode).
+        """
+        peaks = [
+            d.period_peak_case_c for d in self.decisions if d.period_peak_case_c is not None
+        ]
+        if not peaks:
+            return self.peak_case_temperature_c
+        return max(peaks)
+
+    def summary(self) -> str:
+        """Human-readable digest of the trace."""
+        lines = [
+            f"controller trace ({self.mode} mode, {len(self.decisions)} periods)",
+            f"  valve openings        : {self.flow_increases}",
+            f"  frequency reductions  : {self.frequency_reductions}",
+            f"  unresolved emergencies: {self.emergencies}",
+            f"  peak case temperature : {self.peak_case_temperature_c:.1f} C",
+        ]
+        if self.mode == "transient":
+            residuals = [
+                d.settle_residual_c
+                for d in self.decisions
+                if d.settle_residual_c is not None
+            ]
+            lines.append(
+                f"  peak within-period    : {self.peak_period_case_temperature_c:.1f} C"
+            )
+            if residuals:
+                lines.append(
+                    f"  final settle residual : {residuals[-1]:.4g} C/step"
+                )
+        if self.factorizations is not None:
+            lines.append(f"  operator factorizations: {self.factorizations}")
+        return "\n".join(lines)
 
 
 class ThermosyphonController:
@@ -173,6 +258,23 @@ class ThermosyphonController:
     # ------------------------------------------------------------------ #
     # Trace execution
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _mapping_at_frequency(
+        mapping: WorkloadMapping, frequency_ghz: float
+    ) -> WorkloadMapping:
+        """The mapping re-pinned to ``frequency_ghz``.
+
+        Returns ``mapping`` itself when the frequency already matches, so a
+        trace without DVFS actions never rebuilds configuration or mapping
+        objects.
+        """
+        if mapping.configuration.frequency_ghz == frequency_ghz:
+            return mapping
+        return replace(
+            mapping,
+            configuration=replace(mapping.configuration, frequency_ghz=frequency_ghz),
+        )
+
     def run_trace(
         self,
         benchmark: BenchmarkCharacteristics,
@@ -181,8 +283,23 @@ class ThermosyphonController:
         trace: PhasedTrace,
         *,
         initial_water_loop: WaterLoop | None = None,
+        mode: str = "steady",
+        transient_substeps: int = 4,
     ) -> ControllerTrace:
-        """Run the controller over a phased workload trace."""
+        """Run the controller over a phased workload trace.
+
+        ``mode="steady"`` re-solves equilibrium each period (the original
+        quasi-static study); ``mode="transient"`` advances the simulation
+        session's warm-start temperature field with ``transient_substeps``
+        backward-Euler substeps per control period and populates the
+        transient diagnostics on every decision.  The decision rule itself
+        is identical in both modes.
+        """
+        if mode not in ("steady", "transient"):
+            raise ConfigurationError(
+                f"mode must be 'steady' or 'transient', got {mode!r}"
+            )
+        session = self.simulation.session
         mapper = ThreadMapper(
             self.simulation.floorplan, orientation=self.simulation.design.orientation
         )
@@ -192,30 +309,44 @@ class ThermosyphonController:
             else self.simulation.design.water_loop()
         )
         frequency = mapping.configuration.frequency_ghz
-        record = ControllerTrace()
+        record = ControllerTrace(mode=mode)
+        if mode == "transient":
+            session.reset()
+        cache = self.simulation.thermal_simulator.solver_cache
+        misses_before = cache.stats.misses if cache is not None else None
 
+        current_mapping = self._mapping_at_frequency(mapping, frequency)
+        force_refresh = False
         time_s = 0.0
         while time_s < trace.duration_s:
             phase = trace.phase_at(time_s)
-            configuration = Configuration(
-                n_cores=mapping.configuration.n_cores,
-                threads_per_core=mapping.configuration.threads_per_core,
-                frequency_ghz=frequency,
-            )
-            current_mapping = WorkloadMapping(
-                benchmark_name=mapping.benchmark_name,
-                configuration=configuration,
-                active_cores=mapping.active_cores,
-                idle_cstate=mapping.idle_cstate,
-                policy_name=mapping.policy_name,
-            )
-            result = self.simulation.simulate_mapping(
-                benchmark,
-                current_mapping,
-                mapper=mapper,
-                water_loop=water_loop,
-                activity_factor=phase.activity_factor,
-            )
+            if current_mapping.configuration.frequency_ghz != frequency:
+                # Only rebuild configuration/mapping when DVFS actually acted.
+                current_mapping = self._mapping_at_frequency(mapping, frequency)
+            settle_residual: float | None = None
+            period_peak: float | None = None
+            if mode == "steady":
+                result = session.solve_steady_mapping(
+                    benchmark,
+                    current_mapping,
+                    mapper=mapper,
+                    water_loop=water_loop,
+                    activity_factor=phase.activity_factor,
+                )
+            else:
+                step = session.advance_mapping(
+                    benchmark,
+                    current_mapping,
+                    self.control_period_s,
+                    mapper=mapper,
+                    water_loop=water_loop,
+                    activity_factor=phase.activity_factor,
+                    n_substeps=transient_substeps,
+                    force_boundary_refresh=force_refresh,
+                )
+                result = step.result
+                settle_residual = step.settle_residual_c
+                period_peak = step.period_peak_case_c
             # Capture the actuator settings this period actually ran with
             # before decide() computes the next period's settings.
             evaluated_flow_kg_h = water_loop.flow_rate_kg_h
@@ -223,6 +354,7 @@ class ThermosyphonController:
             action, water_loop, frequency = self.decide(
                 result, water_loop, benchmark, constraint
             )
+            force_refresh = action in _ACTUATOR_ACTIONS
             record.decisions.append(
                 ControllerDecision(
                     time_s=time_s,
@@ -232,7 +364,11 @@ class ThermosyphonController:
                     water_flow_kg_h=evaluated_flow_kg_h,
                     frequency_ghz=evaluated_frequency_ghz,
                     action=action,
+                    settle_residual_c=settle_residual,
+                    period_peak_case_c=period_peak,
                 )
             )
             time_s += self.control_period_s
+        if misses_before is not None and cache is not None:
+            record.factorizations = cache.stats.misses - misses_before
         return record

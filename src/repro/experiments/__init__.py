@@ -10,6 +10,7 @@ Module            Paper artefact
 ``fig6``          Fig. 6 — mapping scenarios under POLL and C1 idle states
 ``table2``        Table II — hot spots / gradients per approach and QoS
 ``fig7``          Fig. 7 — die thermal map, proposed vs state of the art
+``fig8``          Section VII companion — steady vs transient controller trace
 ``cooling_power`` Section VIII-B — chiller cooling-power comparison
 ================  ==========================================================
 

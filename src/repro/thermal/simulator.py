@@ -7,7 +7,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConvergenceError, ValidationError
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.grid_mapper import GridMapper
 from repro.thermal.boundary import BottomBoundary, CoolingBoundary
@@ -211,6 +211,35 @@ class ThermalSimulator:
     ) -> ThermalResult:
         """Equilibrium temperatures for an explicit per-cell power map."""
         flat = self._steady_solver.solve(np.asarray(power_map_w, dtype=float), cooling)
+        return self._result(flat)
+
+    def transient_step_from_map(
+        self,
+        temperatures: np.ndarray,
+        power_map_w: np.ndarray,
+        cooling: CoolingBoundary,
+        dt_s: float,
+    ) -> np.ndarray:
+        """One backward-Euler step from an explicit temperature field.
+
+        ``temperatures`` may be flat or shaped ``(n_layers, n_rows,
+        n_columns)``; the advanced field is returned flat.  Used by the
+        warm-start :class:`repro.core.session.SimulationSession` to carry
+        the field across control periods; at a fixed ``(cooling, dt_s)``
+        every call is a single cached back-substitution.
+        """
+        flat = np.asarray(temperatures, dtype=float).ravel()
+        return self._transient_solver.step(
+            flat, np.asarray(power_map_w, dtype=float), cooling, dt_s
+        )
+
+    def result_from_vector(self, flat_temperatures: np.ndarray) -> ThermalResult:
+        """Wrap a flat temperature vector in a :class:`ThermalResult`."""
+        flat = np.asarray(flat_temperatures, dtype=float).ravel()
+        if flat.size != self.grid.n_cells:
+            raise ValidationError(
+                f"temperature vector has {flat.size} entries, expected {self.grid.n_cells}"
+            )
         return self._result(flat)
 
     def transient(

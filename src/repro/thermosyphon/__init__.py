@@ -22,7 +22,12 @@ from repro.thermosyphon.refrigerant import (
     get_refrigerant,
 )
 from repro.thermosyphon.orientation import Orientation
-from repro.thermosyphon.evaporator import EvaporatorGeometry, EvaporatorModel, ChannelSolution
+from repro.thermosyphon.evaporator import (
+    ChannelBatchSolution,
+    ChannelSolution,
+    EvaporatorGeometry,
+    EvaporatorModel,
+)
 from repro.thermosyphon.condenser import CondenserModel
 from repro.thermosyphon.water_loop import WaterLoop
 from repro.thermosyphon.chiller import ChillerModel, chiller_power_w
@@ -40,6 +45,7 @@ __all__ = [
     "Orientation",
     "EvaporatorGeometry",
     "EvaporatorModel",
+    "ChannelBatchSolution",
     "ChannelSolution",
     "CondenserModel",
     "WaterLoop",

@@ -99,6 +99,44 @@ class ChannelSolution:
         return float(self.quality[-1])
 
 
+@dataclass
+class ChannelBatchSolution:
+    """Per-cell state of many lanes marched together.
+
+    All arrays have shape ``(n_lanes, n_cells)`` with cells in flow
+    direction order; ``dryout_per_lane`` has shape ``(n_lanes,)``.
+    """
+
+    quality: np.ndarray
+    fluid_temperature_c: np.ndarray
+    base_htc_w_m2k: np.ndarray
+    dryout_per_lane: np.ndarray
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes in the batch."""
+        return self.quality.shape[0]
+
+    @property
+    def outlet_quality_per_lane(self) -> np.ndarray:
+        """Vapor quality at each lane's outlet, shape ``(n_lanes,)``."""
+        return self.quality[:, -1].copy()
+
+    @property
+    def dryout(self) -> bool:
+        """True if any lane exceeded the dryout quality anywhere."""
+        return bool(self.dryout_per_lane.any())
+
+    def lane(self, index: int) -> ChannelSolution:
+        """View one lane of the batch as a :class:`ChannelSolution`."""
+        return ChannelSolution(
+            quality=self.quality[index].copy(),
+            fluid_temperature_c=self.fluid_temperature_c[index].copy(),
+            base_htc_w_m2k=self.base_htc_w_m2k[index].copy(),
+            dryout=bool(self.dryout_per_lane[index]),
+        )
+
+
 class EvaporatorModel:
     """Flow-boiling heat transfer along the evaporator channels."""
 
@@ -197,6 +235,45 @@ class EvaporatorModel:
             )
         return wall_htc * self.geometry.area_enhancement
 
+    def _two_phase_htc_array(
+        self,
+        quality: np.ndarray,
+        mass_flux_kg_m2s: float,
+        heat_flux_w_m2: np.ndarray,
+        t_sat_c: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`two_phase_htc_w_m2k` over lanes at one cell.
+
+        Operation-for-operation identical to the scalar method (same
+        association order, same guards) so the batched march reproduces the
+        per-lane golden path to round-off.
+        """
+        quality = np.clip(quality, 0.0, 1.0)
+        h_liquid = self.single_phase_htc_w_m2k(mass_flux_kg_m2s)
+        reduced = self.refrigerant.reduced_pressure(t_sat_c)
+        prefactor = (
+            55.0
+            * reduced**0.12
+            * (-math.log10(reduced)) ** (-0.55)
+            * self.refrigerant.molar_mass_kg_kmol ** (-0.5)
+        )
+        h_nucleate = prefactor * np.maximum(heat_flux_w_m2, 100.0) ** 0.67
+        h_convective = h_liquid * (1.0 + 1.0 * quality**0.8)
+        h_wet = (h_nucleate**2 + h_convective**2) ** 0.5
+
+        onset_quality = 0.10
+        span = max(self.dryout_quality - onset_quality, 1e-6)
+        progress = np.minimum((quality - onset_quality) / span, 1.0)
+        h_wet = np.where(quality > onset_quality, h_wet * (1.0 - 0.65 * progress), h_wet)
+
+        dry_span = max(1.0 - self.dryout_quality, 1e-6)
+        weight = (quality - self.dryout_quality) / dry_span
+        return np.where(
+            quality <= self.dryout_quality,
+            h_wet,
+            h_wet * (1.0 - weight) + VAPOR_PHASE_HTC_W_M2K * weight,
+        )
+
     # ------------------------------------------------------------------ #
     # Channel marching
     # ------------------------------------------------------------------ #
@@ -287,4 +364,88 @@ class EvaporatorModel:
             fluid_temperature_c=fluid_temperature,
             base_htc_w_m2k=htc,
             dryout=dryout,
+        )
+
+    def solve_channels(
+        self,
+        heat_per_cell_w: np.ndarray,
+        mass_flow_kg_s: float,
+        t_sat_c: float,
+        *,
+        inlet_subcooling_c: float = 3.0,
+        inlet_quality: float = 0.0,
+        cell_base_area_m2: float,
+        saturation_slope_c_per_cell: float = 0.0,
+    ) -> ChannelBatchSolution:
+        """March many parallel lanes at once.
+
+        The batched counterpart of :meth:`solve_channel`: ``heat_per_cell_w``
+        has shape ``(n_lanes, n_cells)`` (cells in flow-direction order) and
+        every lane carries ``mass_flow_kg_s`` and shares the inlet state.
+        Cells remain the sequential axis — the refrigerant state depends on
+        everything upstream — but all lanes advance together through NumPy
+        array arithmetic, removing the per-lane Python loop from the hot
+        path.  :meth:`solve_channel` is kept as the scalar golden model; the
+        two must agree to round-off (see ``tests/test_lane_march_equivalence``).
+        """
+        heat_per_cell_w = np.asarray(heat_per_cell_w, dtype=float)
+        if heat_per_cell_w.ndim != 2:
+            raise ValidationError("heat_per_cell_w must be two-dimensional (n_lanes, n_cells)")
+        check_positive(mass_flow_kg_s, "mass_flow_kg_s")
+        check_positive(cell_base_area_m2, "cell_base_area_m2")
+
+        refrigerant = self.refrigerant
+        latent = refrigerant.latent_heat_j_kg(t_sat_c)
+        cp_liquid = refrigerant.liquid_specific_heat_j_kgk
+        mass_flux = mass_flow_kg_s / self.geometry.channel_flow_area_m2
+        enhancement = self.geometry.area_enhancement
+
+        n_lanes, n_cells = heat_per_cell_w.shape
+        quality = np.zeros((n_lanes, n_cells), dtype=float)
+        fluid_temperature = np.zeros((n_lanes, n_cells), dtype=float)
+        htc = np.zeros((n_lanes, n_cells), dtype=float)
+
+        inlet = min(max(inlet_quality, 0.0), 1.0)
+        current_quality = np.full(n_lanes, inlet, dtype=float)
+        initial_subcooling = max(inlet_subcooling_c, 0.0) if inlet == 0.0 else 0.0
+        subcooling = np.full(n_lanes, initial_subcooling, dtype=float)
+        dryout = np.zeros(n_lanes, dtype=bool)
+
+        flux_denominator = cell_base_area_m2 * enhancement
+        sensible_denominator = max(mass_flow_kg_s * cp_liquid, 1e-9)
+        latent_denominator = max(mass_flow_kg_s * latent, 1e-9)
+        h_subcooled = (self.single_phase_htc_w_m2k(mass_flux) * 1.5) * enhancement
+
+        for index in range(n_cells):
+            local_t_sat = t_sat_c - saturation_slope_c_per_cell * index
+            cell_heat = heat_per_cell_w[:, index]
+            heat_flux = cell_heat / flux_denominator
+            subcooled = subcooling > 0.0
+            saturated = ~subcooled
+
+            h_two_phase = (
+                self._two_phase_htc_array(current_quality, mass_flux, heat_flux, local_t_sat)
+                * enhancement
+            )
+            fluid_temperature[:, index] = np.where(
+                subcooled, local_t_sat - subcooling, local_t_sat
+            )
+            htc[:, index] = np.where(subcooled, h_subcooled, h_two_phase)
+
+            # Sensible heating region: the liquid warms towards saturation.
+            temperature_rise = cell_heat / sensible_denominator
+            subcooling = np.where(
+                subcooled, np.maximum(subcooling - temperature_rise, 0.0), subcooling
+            )
+            # Saturated boiling region: quality advances by the energy balance.
+            advanced = np.minimum(current_quality + cell_heat / latent_denominator, 1.0)
+            current_quality = np.where(saturated, advanced, current_quality)
+            quality[:, index] = np.where(saturated, current_quality, 0.0)
+            dryout |= saturated & (current_quality > self.dryout_quality)
+
+        return ChannelBatchSolution(
+            quality=quality,
+            fluid_temperature_c=fluid_temperature,
+            base_htc_w_m2k=htc,
+            dryout_per_lane=dryout,
         )

@@ -131,10 +131,12 @@ class ThermosyphonLoop:
         rho_liquid = refrigerant.liquid_density_kg_m3(saturation_temperature_c)
 
         mass_flow = 1.0e-3  # kg/s initial guess
+        if total_heat_w <= 0.0:
+            # No heat, no vapor generation: the loop idles at the initial
+            # circulation guess with the inlet quality unchanged.
+            return mass_flow, inlet_quality, 0
         outlet_quality = inlet_quality
         for iteration in range(1, 61):
-            if total_heat_w <= 0.0:
-                return mass_flow, inlet_quality, iteration
             outlet_quality = min(inlet_quality + total_heat_w / (mass_flow * latent), 1.0)
             mean_quality = 0.5 * (inlet_quality + outlet_quality)
             rho_riser = refrigerant.two_phase_density_kg_m3(
@@ -221,48 +223,38 @@ class ThermosyphonLoop:
         flow_per_lane = operating_point.mass_flow_kg_s / n_lanes
         cell_area_m2 = (pitch_x_mm * 1e-3) * (pitch_y_mm * 1e-3)
 
-        htc = np.zeros_like(power_map_w)
-        fluid = np.full_like(power_map_w, operating_point.saturation_temperature_c)
-        outlet_qualities = np.zeros(n_lanes, dtype=float)
-        dryout = False
-        max_quality = 0.0
+        # One gather: (n_lanes, n_cells) lane-heat matrix in flow order.
+        # East-west channels are grid rows; north-south channels are grid
+        # columns (transpose); reversed-flow orientations march against the
+        # grid index direction.
+        lane_heat = smoothed if orientation.channels_run_east_west else smoothed.T
+        if orientation.flow_reversed:
+            lane_heat = lane_heat[:, ::-1]
 
-        for lane in range(n_lanes):
-            if orientation.channels_run_east_west:
-                lane_heat = smoothed[lane, :]
-            else:
-                lane_heat = smoothed[:, lane]
-            if orientation.flow_reversed:
-                lane_heat = lane_heat[::-1]
+        batch = self.evaporator.solve_channels(
+            lane_heat,
+            flow_per_lane,
+            operating_point.saturation_temperature_c,
+            inlet_subcooling_c=operating_point.inlet_subcooling_c,
+            inlet_quality=operating_point.inlet_quality,
+            cell_base_area_m2=cell_area_m2,
+            saturation_slope_c_per_cell=0.015,
+        )
 
-            solution = self.evaporator.solve_channel(
-                lane_heat,
-                flow_per_lane,
-                operating_point.saturation_temperature_c,
-                inlet_subcooling_c=operating_point.inlet_subcooling_c,
-                inlet_quality=operating_point.inlet_quality,
-                cell_base_area_m2=cell_area_m2,
-                saturation_slope_c_per_cell=0.015,
-            )
-            lane_htc = solution.base_htc_w_m2k
-            lane_fluid = solution.fluid_temperature_c
-            if orientation.flow_reversed:
-                lane_htc = lane_htc[::-1]
-                lane_fluid = lane_fluid[::-1]
-            if orientation.channels_run_east_west:
-                htc[lane, :] = lane_htc
-                fluid[lane, :] = lane_fluid
-            else:
-                htc[:, lane] = lane_htc
-                fluid[:, lane] = lane_fluid
-
-            outlet_qualities[lane] = solution.outlet_quality
-            max_quality = max(max_quality, float(solution.quality.max()))
-            dryout = dryout or solution.dryout
+        # One scatter: undo the flow-order gather to return to grid layout.
+        lane_htc = batch.base_htc_w_m2k
+        lane_fluid = batch.fluid_temperature_c
+        if orientation.flow_reversed:
+            lane_htc = lane_htc[:, ::-1]
+            lane_fluid = lane_fluid[:, ::-1]
+        if orientation.channels_run_east_west:
+            htc, fluid = lane_htc, lane_fluid
+        else:
+            htc, fluid = lane_htc.T, lane_fluid.T
 
         return BoundaryResult(
             boundary=CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=fluid),
-            outlet_quality_per_lane=outlet_qualities,
-            max_quality=max_quality,
-            dryout=dryout,
+            outlet_quality_per_lane=batch.outlet_quality_per_lane,
+            max_quality=float(batch.quality.max()) if batch.quality.size else 0.0,
+            dryout=batch.dryout,
         )

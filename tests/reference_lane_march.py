@@ -1,0 +1,103 @@
+"""Golden-model per-lane evaporator march (pre-batching reference).
+
+This preserves the original ``ThermosyphonLoop.cooling_boundary`` lane loop
+verbatim: each channel lane is sliced out of the smoothed power map and
+marched individually through the scalar ``EvaporatorModel.solve_channel``.
+The production path now gathers all lanes into one ``(n_lanes, n_cells)``
+array and marches them together (``solve_channels``); the equivalence tests
+require both paths to agree to <= 1e-12 so the batched march only counts if
+it is the same physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.exceptions import ValidationError
+from repro.thermal.boundary import CoolingBoundary
+from repro.thermosyphon.loop import (
+    BoundaryResult,
+    HEAT_SPREADING_SIGMA_MM,
+    LoopOperatingPoint,
+    ThermosyphonLoop,
+)
+from repro.utils.validation import check_positive
+
+
+def reference_cooling_boundary(
+    loop: ThermosyphonLoop,
+    power_map_w: np.ndarray,
+    cell_pitch_mm: tuple[float, float],
+    operating_point: LoopOperatingPoint | None = None,
+) -> BoundaryResult:
+    """Per-cell HTC and fluid temperature via the original per-lane loop."""
+    power_map_w = np.asarray(power_map_w, dtype=float)
+    if power_map_w.ndim != 2:
+        raise ValidationError("power map must be two-dimensional")
+    pitch_x_mm, pitch_y_mm = cell_pitch_mm
+    check_positive(pitch_x_mm, "pitch_x_mm")
+    check_positive(pitch_y_mm, "pitch_y_mm")
+    if operating_point is None:
+        operating_point = loop.operating_point(float(power_map_w.sum()))
+
+    total_power = float(power_map_w.sum())
+    smoothed = gaussian_filter(
+        power_map_w,
+        sigma=(HEAT_SPREADING_SIGMA_MM / pitch_y_mm, HEAT_SPREADING_SIGMA_MM / pitch_x_mm),
+        mode="nearest",
+    )
+    if smoothed.sum() > 0.0:
+        smoothed *= total_power / smoothed.sum()
+
+    n_rows, n_columns = power_map_w.shape
+    orientation = loop.design.orientation
+    n_lanes = orientation.channel_count(n_rows, n_columns)
+    flow_per_lane = operating_point.mass_flow_kg_s / n_lanes
+    cell_area_m2 = (pitch_x_mm * 1e-3) * (pitch_y_mm * 1e-3)
+
+    htc = np.zeros_like(power_map_w)
+    fluid = np.full_like(power_map_w, operating_point.saturation_temperature_c)
+    outlet_qualities = np.zeros(n_lanes, dtype=float)
+    dryout = False
+    max_quality = 0.0
+
+    for lane in range(n_lanes):
+        if orientation.channels_run_east_west:
+            lane_heat = smoothed[lane, :]
+        else:
+            lane_heat = smoothed[:, lane]
+        if orientation.flow_reversed:
+            lane_heat = lane_heat[::-1]
+
+        solution = loop.evaporator.solve_channel(
+            lane_heat,
+            flow_per_lane,
+            operating_point.saturation_temperature_c,
+            inlet_subcooling_c=operating_point.inlet_subcooling_c,
+            inlet_quality=operating_point.inlet_quality,
+            cell_base_area_m2=cell_area_m2,
+            saturation_slope_c_per_cell=0.015,
+        )
+        lane_htc = solution.base_htc_w_m2k
+        lane_fluid = solution.fluid_temperature_c
+        if orientation.flow_reversed:
+            lane_htc = lane_htc[::-1]
+            lane_fluid = lane_fluid[::-1]
+        if orientation.channels_run_east_west:
+            htc[lane, :] = lane_htc
+            fluid[lane, :] = lane_fluid
+        else:
+            htc[:, lane] = lane_htc
+            fluid[:, lane] = lane_fluid
+
+        outlet_qualities[lane] = solution.outlet_quality
+        max_quality = max(max_quality, float(solution.quality.max()))
+        dryout = dryout or solution.dryout
+
+    return BoundaryResult(
+        boundary=CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=fluid),
+        outlet_quality_per_lane=outlet_qualities,
+        max_quality=max_quality,
+        dryout=dryout,
+    )

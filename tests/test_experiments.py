@@ -9,6 +9,7 @@ from repro.experiments.fig3_qos_exec_time import run_fig3
 from repro.experiments.fig5_orientation import run_fig5
 from repro.experiments.fig6_mapping_scenarios import SCENARIO_CORE_SETS, run_fig6
 from repro.experiments.fig7_thermal_maps import run_fig7
+from repro.experiments.fig8_controller_trace import run_fig8
 from repro.experiments.table1_cstates import run_table1
 from repro.experiments.table2_hotspots import run_table2
 from repro.experiments.common import paper_approaches
@@ -126,6 +127,20 @@ class TestFig7:
         assert result.hot_spot_reduction_c > 0.0
         text = result.as_text()
         assert "proposed" in text and "hot spot" in text
+
+
+class TestFig8:
+    def test_modes_agree_and_transient_is_cheaper(self, coarse_platform):
+        result = run_fig8(coarse_platform, duration_s=24.0, control_period_s=2.0)
+        assert result.steady.periods == result.transient.periods == 12
+        # Same controller, same trace: the modes must agree on behaviour...
+        assert result.transient.trace.peak_case_temperature_c == pytest.approx(
+            result.steady.trace.peak_case_temperature_c, abs=6.0
+        )
+        # ...but the transient lane must be cheaper in factorizations.
+        assert result.factorization_ratio > 1.0
+        text = result.as_table()
+        assert "transient" in text and "factor." in text
 
 
 class TestCoolingPower:

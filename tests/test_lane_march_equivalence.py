@@ -1,0 +1,178 @@
+"""Golden-model equivalence: batched lane march vs. the per-lane reference.
+
+``EvaporatorModel.solve_channels`` marches all lanes together through NumPy
+array arithmetic; the original scalar ``solve_channel`` is the golden model.
+Every case requires the batched quality, fluid-temperature and HTC fields to
+match the lane-by-lane march to <= 1e-12, across orientations, reversed
+flow, dryout overload and subcooled / vapor-preloaded inlets — the fast path
+only counts if it is the same physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from reference_lane_march import reference_cooling_boundary
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.thermosyphon.evaporator import EvaporatorModel
+from repro.thermosyphon.loop import ThermosyphonLoop
+from repro.thermosyphon.orientation import Orientation
+from repro.thermosyphon.refrigerant import get_refrigerant
+
+RTOL = 1e-12
+
+
+def _assert_field_close(reference: np.ndarray, batched: np.ndarray) -> None:
+    scale = max(float(np.abs(reference).max()), 1.0)
+    np.testing.assert_allclose(batched, reference, rtol=RTOL, atol=RTOL * scale)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EvaporatorModel(get_refrigerant("R236fa"))
+
+
+def _lane_heats(n_lanes: int, n_cells: int, *, scale: float = 0.5) -> np.ndarray:
+    """Deterministic uneven heat pattern: every lane differs."""
+    rng = np.random.default_rng(n_lanes * 97 + n_cells)
+    return scale * rng.random((n_lanes, n_cells))
+
+
+#: (inlet_subcooling_c, inlet_quality, mass_flow_kg_s, heat_scale_w) cases:
+#: subcooled inlet, saturated inlet, vapor-preloaded inlet (undercharge),
+#: and a dryout overload.
+MARCH_CASES = {
+    "subcooled-inlet": (3.0, 0.0, 6e-5, 0.5),
+    "saturated-inlet": (0.0, 0.0, 6e-5, 0.5),
+    "vapor-preloaded": (0.0, 0.2, 6e-5, 0.5),
+    "dryout-overload": (0.0, 0.0, 3e-5, 2.5),
+    "deep-subcooling": (8.0, 0.0, 1e-4, 0.2),
+}
+
+
+class TestSolveChannelsEquivalence:
+    @pytest.mark.parametrize("case", list(MARCH_CASES), ids=list(MARCH_CASES))
+    @pytest.mark.parametrize("slope", [0.0, 0.015], ids=["flat-tsat", "sloped-tsat"])
+    @pytest.mark.parametrize(
+        "shape", [(6, 24), (1, 8), (17, 3)], ids=["6x24", "1x8", "17x3"]
+    )
+    def test_batched_matches_scalar_march(self, model, case, slope, shape):
+        subcooling, inlet_quality, mass_flow, heat_scale = MARCH_CASES[case]
+        heats = _lane_heats(*shape, scale=heat_scale)
+        batch = model.solve_channels(
+            heats,
+            mass_flow,
+            41.0,
+            inlet_subcooling_c=subcooling,
+            inlet_quality=inlet_quality,
+            cell_base_area_m2=1e-6,
+            saturation_slope_c_per_cell=slope,
+        )
+        for lane in range(shape[0]):
+            scalar = model.solve_channel(
+                heats[lane],
+                mass_flow,
+                41.0,
+                inlet_subcooling_c=subcooling,
+                inlet_quality=inlet_quality,
+                cell_base_area_m2=1e-6,
+                saturation_slope_c_per_cell=slope,
+            )
+            _assert_field_close(scalar.quality, batch.quality[lane])
+            _assert_field_close(scalar.fluid_temperature_c, batch.fluid_temperature_c[lane])
+            _assert_field_close(scalar.base_htc_w_m2k, batch.base_htc_w_m2k[lane])
+            assert bool(batch.dryout_per_lane[lane]) == scalar.dryout
+            assert batch.outlet_quality_per_lane[lane] == pytest.approx(
+                scalar.outlet_quality, rel=RTOL
+            )
+
+    def test_dryout_case_actually_dries_out(self, model):
+        """Guard: the overload case must exercise the dryout branch."""
+        subcooling, inlet_quality, mass_flow, heat_scale = MARCH_CASES["dryout-overload"]
+        batch = model.solve_channels(
+            np.full((4, 30), heat_scale),
+            mass_flow,
+            41.0,
+            inlet_subcooling_c=subcooling,
+            inlet_quality=inlet_quality,
+            cell_base_area_m2=1e-6,
+        )
+        assert batch.dryout
+        assert batch.dryout_per_lane.all()
+
+    def test_lane_accessor_round_trips(self, model):
+        heats = _lane_heats(3, 10)
+        batch = model.solve_channels(heats, 6e-5, 41.0, cell_base_area_m2=1e-6)
+        lane = batch.lane(1)
+        np.testing.assert_array_equal(lane.quality, batch.quality[1])
+        assert lane.outlet_quality == pytest.approx(batch.outlet_quality_per_lane[1])
+
+    def test_rejects_one_dimensional_input(self, model):
+        with pytest.raises(Exception):
+            model.solve_channels(np.ones(5), 1e-4, 41.0, cell_base_area_m2=1e-6)
+
+
+def _power_map(shape: tuple[int, int], *, scale: float = 1.2) -> np.ndarray:
+    """Deterministic non-uniform power map with a cold (zero-power) margin."""
+    rng = np.random.default_rng(shape[0] * 13 + shape[1])
+    power = scale * rng.random(shape)
+    power[:, -max(shape[1] // 4, 1):] = 0.0  # dead area downstream, as on the die
+    return power
+
+
+class TestCoolingBoundaryEquivalence:
+    PITCH = (1.5, 1.5)
+
+    @pytest.mark.parametrize("orientation", list(Orientation), ids=[o.value for o in Orientation])
+    @pytest.mark.parametrize("shape", [(10, 14), (1, 9), (8, 8)], ids=["10x14", "1x9", "8x8"])
+    def test_matches_reference_across_orientations(self, orientation, shape):
+        loop = ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN.with_orientation(orientation))
+        power = _power_map(shape)
+        operating_point = loop.operating_point(float(power.sum()))
+        reference = reference_cooling_boundary(loop, power, self.PITCH, operating_point)
+        batched = loop.cooling_boundary(power, self.PITCH, operating_point)
+        _assert_field_close(reference.boundary.htc_w_m2k, batched.boundary.htc_w_m2k)
+        _assert_field_close(
+            reference.boundary.fluid_temperature_c, batched.boundary.fluid_temperature_c
+        )
+        _assert_field_close(
+            reference.outlet_quality_per_lane, batched.outlet_quality_per_lane
+        )
+        assert batched.max_quality == pytest.approx(reference.max_quality, rel=RTOL)
+        assert batched.dryout == reference.dryout
+
+    def test_matches_reference_with_vapor_preloaded_inlet(self):
+        """Undercharged design: inlet quality > 0 skips the subcooled region."""
+        design = PAPER_OPTIMIZED_DESIGN.with_filling_ratio(0.25)
+        loop = ThermosyphonLoop(design)
+        assert loop.filling_ratio_effects().inlet_quality > 0.0
+        power = _power_map((9, 9))
+        operating_point = loop.operating_point(float(power.sum()))
+        reference = reference_cooling_boundary(loop, power, self.PITCH, operating_point)
+        batched = loop.cooling_boundary(power, self.PITCH, operating_point)
+        _assert_field_close(reference.boundary.htc_w_m2k, batched.boundary.htc_w_m2k)
+        _assert_field_close(
+            reference.boundary.fluid_temperature_c, batched.boundary.fluid_temperature_c
+        )
+
+    @pytest.mark.parametrize(
+        "orientation",
+        [Orientation.WEST_TO_EAST, Orientation.NORTH_TO_SOUTH],
+        ids=["west-to-east", "north-to-south"],
+    )
+    def test_matches_reference_under_dryout_overload(self, orientation):
+        loop = ThermosyphonLoop(PAPER_OPTIMIZED_DESIGN.with_orientation(orientation))
+        power = _power_map((12, 12), scale=14.0)
+        operating_point = loop.operating_point(float(power.sum()))
+        reference = reference_cooling_boundary(loop, power, self.PITCH, operating_point)
+        batched = loop.cooling_boundary(power, self.PITCH, operating_point)
+        assert reference.dryout, "overload case must exercise the dryout branch"
+        assert batched.dryout
+        _assert_field_close(reference.boundary.htc_w_m2k, batched.boundary.htc_w_m2k)
+        _assert_field_close(
+            reference.boundary.fluid_temperature_c, batched.boundary.fluid_temperature_c
+        )
+        _assert_field_close(
+            reference.outlet_quality_per_lane, batched.outlet_quality_per_lane
+        )

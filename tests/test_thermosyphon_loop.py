@@ -83,6 +83,13 @@ class TestOperatingPoint:
         point = thermosyphon_loop.operating_point(0.0)
         assert point.saturation_temperature_c == pytest.approx(30.0, abs=0.5)
 
+    def test_zero_heat_mass_flow_short_circuits(self, thermosyphon_loop):
+        """Zero-heat calls never enter the iteration loop."""
+        flow, outlet_quality, iterations = thermosyphon_loop.solve_mass_flow(0.0, 35.0, 0.1)
+        assert iterations == 0
+        assert flow > 0.0
+        assert outlet_quality == pytest.approx(0.1)
+
     def test_colder_water_lowers_saturation(self, thermosyphon_loop):
         nominal = thermosyphon_loop.operating_point(70.0)
         cold = thermosyphon_loop.operating_point(
