@@ -17,7 +17,14 @@ from repro.core.mapping_policies import (
 from repro.core.mapping import ThreadMapper, WorkloadMapping
 from repro.core.pipeline import CooledServerSimulation, EvaluationResult, ThermalAwarePipeline
 from repro.core.session import SessionAdvance, SimulationSession, TransientStepResult
-from repro.core.runtime_controller import ControllerDecision, ControllerTrace, ThermosyphonController
+from repro.core.rack_session import RackAdvance, RackSession, ServerAdvance, ServerLoad
+from repro.core.runtime_controller import (
+    ControllerDecision,
+    ControllerTrace,
+    RackServer,
+    RackTrace,
+    ThermosyphonController,
+)
 from repro.core.design_optimizer import DesignCandidateResult, ThermosyphonDesignOptimizer
 from repro.core.rack import RackModel, RackResult, ServerSlot
 
@@ -40,8 +47,14 @@ __all__ = [
     "SessionAdvance",
     "SimulationSession",
     "TransientStepResult",
+    "RackAdvance",
+    "RackSession",
+    "ServerAdvance",
+    "ServerLoad",
     "ControllerDecision",
     "ControllerTrace",
+    "RackServer",
+    "RackTrace",
     "ThermosyphonController",
     "DesignCandidateResult",
     "ThermosyphonDesignOptimizer",

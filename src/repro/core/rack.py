@@ -6,6 +6,14 @@ can differ.  The rack model assigns one application (with its QoS
 constraint) to each server, evaluates every server through the end-to-end
 pipeline, finds the warmest water temperature that keeps every server within
 its case-temperature limit, and reports the total chiller power (Eq. 1).
+
+Evaluation routes through the :class:`~repro.core.rack_session.RackSession`
+engine by default: rack hardware is homogeneous, so every server shares one
+thermal network and servers sharing a cooling boundary are solved through a
+single cached factorization with one multi-column back-substitution.  The
+:class:`BatchEvaluator` process path is kept as a fallback
+(``engine="batch"`` or any ``max_workers`` request) for heterogeneous racks
+and process fan-out.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.batch import BatchEvaluator, SweepPoint
+from repro.core.mapping import WorkloadMapping
 from repro.core.mapping_policies import MappingPolicy
 from repro.core.pipeline import (
     CooledServerSimulation,
@@ -20,6 +29,7 @@ from repro.core.pipeline import (
     T_CASE_MAX_C,
     ThermalAwarePipeline,
 )
+from repro.core.rack_session import RackSession, ServerLoad
 from repro.exceptions import ConfigurationError
 from repro.thermosyphon.chiller import ChillerModel
 from repro.thermosyphon.design import ThermosyphonDesign, PAPER_OPTIMIZED_DESIGN
@@ -77,44 +87,95 @@ class RackModel:
         chiller: ChillerModel | None = None,
         cell_size_mm: float = 1.5,
         max_workers: int | None = None,
+        engine: str = "session",
     ) -> None:
         if not slots:
             raise ConfigurationError("a rack needs at least one server slot")
+        if engine not in ("session", "batch"):
+            raise ConfigurationError(
+                f"engine must be 'session' or 'batch', got {engine!r}"
+            )
         self.slots = list(slots)
         self.design = design
         self.chiller = chiller if chiller is not None else ChillerModel()
         self.max_workers = max_workers
+        self.engine = engine
         # All servers share the same floorplan and models; one simulation
         # object is reused to avoid rebuilding the thermal network per slot.
         self._simulation = CooledServerSimulation(
             design=design, cell_size_mm=cell_size_mm
         )
         self._pipeline = ThermalAwarePipeline(self._simulation, policy=policy)
-        # Multi-server sweeps route through the batch engine: every slot of
-        # every bisection step shares one simulation and its factorization
+        # The default engine: every slot of every bisection step is solved
+        # through the rack session, so slots sharing a cooling boundary cost
+        # one factorization and one multi-column back-substitution.
+        self._session = RackSession(
+            len(self.slots),
+            floorplan=self._simulation.floorplan,
+            design=design,
+            power_model=self._simulation.power_model,
+            thermal_simulator=self._simulation.thermal_simulator,
+        )
+        # Fallback engine for heterogeneous racks / process fan-out: the
+        # batch evaluator shares the same simulation and factorization
         # cache, and ``max_workers`` fans the slots out over a process pool.
         self._evaluator = BatchEvaluator(self._simulation, pipeline=self._pipeline)
+        self._resolved_mappings: list[WorkloadMapping] | None = None
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
+    def _slot_mappings(self) -> list[WorkloadMapping]:
+        """Each slot's mapping under the pipeline's selector and policy.
+
+        Selection and mapping depend only on the slot (not on the water
+        condition), so they are resolved once and reused across every
+        bisection step.
+        """
+        if self._resolved_mappings is None:
+            mappings = []
+            for slot in self.slots:
+                selection = self._pipeline.select_configuration(
+                    slot.benchmark, slot.constraint
+                )
+                mappings.append(
+                    self._pipeline.map_threads(slot.benchmark, selection.configuration)
+                )
+            self._resolved_mappings = mappings
+        return self._resolved_mappings
+
     def evaluate(
         self, water_inlet_temperature_c: float, *, max_workers: int | None = None
     ) -> RackResult:
-        """Evaluate every server with the shared water inlet temperature."""
-        points = [
-            SweepPoint(
-                benchmark=slot.benchmark,
-                constraint=slot.constraint,
-                water_loop=WaterLoop(
-                    inlet_temperature_c=water_inlet_temperature_c,
-                    flow_rate_kg_h=self.design.water_flow_rate_kg_h,
-                ),
-            )
-            for slot in self.slots
-        ]
+        """Evaluate every server with the shared water inlet temperature.
+
+        Uses the rack-session engine unless the model was built with
+        ``engine="batch"`` or workers were requested (the process-pool
+        fallback for heterogeneous racks).
+        """
+        water_loop = WaterLoop(
+            inlet_temperature_c=water_inlet_temperature_c,
+            flow_rate_kg_h=self.design.water_flow_rate_kg_h,
+        )
         workers = max_workers if max_workers is not None else self.max_workers
-        results = self._evaluator.evaluate_many(points, max_workers=workers)
+        if self.engine == "session" and workers is None:
+            loads = [
+                ServerLoad(
+                    benchmark=slot.benchmark, mapping=mapping, water_loop=water_loop
+                )
+                for slot, mapping in zip(self.slots, self._slot_mappings())
+            ]
+            results = self._session.solve_steady(loads)
+        else:
+            points = [
+                SweepPoint(
+                    benchmark=slot.benchmark,
+                    constraint=slot.constraint,
+                    water_loop=water_loop,
+                )
+                for slot in self.slots
+            ]
+            results = self._evaluator.evaluate_many(points, max_workers=workers)
         chiller_power = sum(
             self.chiller.cooling_power_w(result.water_loop, result.package_power_w)
             for result in results
@@ -124,6 +185,15 @@ class RackModel:
             server_results=results,
             chiller_power_w=chiller_power,
         )
+
+    @property
+    def session(self) -> RackSession:
+        """The rack-session engine behind the default evaluation path."""
+        return self._session
+
+    def cache_stats(self):
+        """Factorization-cache counters of the shared thermal simulator."""
+        return self._session.cache_stats()
 
     def close(self) -> None:
         """Release the batch engine's worker pool, if one was started."""

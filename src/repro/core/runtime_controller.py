@@ -31,14 +31,18 @@ Two execution modes are offered by :meth:`ThermosyphonController.run_trace`:
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.core.mapping import ThreadMapper, WorkloadMapping
 from repro.core.pipeline import CooledServerSimulation, EvaluationResult, T_CASE_MAX_C
+from repro.core.rack_session import RackSession, ServerLoad
 from repro.exceptions import ConfigurationError, ThermalEmergencyError
 from repro.power.dvfs import CORE_FREQUENCIES_GHZ
+from repro.thermal.solver_cache import CacheStats
+from repro.thermosyphon.chiller import ChillerModel
 from repro.thermosyphon.water_loop import WaterLoop
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
 from repro.workloads.benchmark import BenchmarkCharacteristics
 from repro.workloads.configuration import Configuration
 from repro.workloads.qos import QoSConstraint
@@ -170,8 +174,140 @@ class ControllerTrace:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class RackServer:
+    """One server of a rack trace: its workload, mapping and QoS contract.
+
+    ``trace`` optionally gives the server its own phased activity trace;
+    servers without one follow the shared trace passed to
+    :meth:`ThermosyphonController.run_rack_trace`.
+    """
+
+    benchmark: BenchmarkCharacteristics
+    mapping: WorkloadMapping
+    constraint: QoSConstraint
+    trace: PhasedTrace | None = None
+
+
+@dataclass
+class RackTrace:
+    """Time series of per-server controller decisions over a whole rack.
+
+    ``periods[t][s]`` is server ``s``'s decision at control period ``t``.
+    ``chiller_power_w`` carries the rack-wide chiller electrical power of
+    each period (Eq. 1 summed over the servers at their evaluated water
+    loops).  ``factorizations`` counts the thermal-operator factorizations
+    the whole rack trace cost, and ``cache_stats`` carries this trace's
+    hit/miss activity together with the cache's entry counts *at trace end*
+    (entries may include operators from earlier studies on a shared
+    simulator; both fields are None without a solver cache) — on a
+    homogeneous rack the batched engine pays one factorization where
+    per-server sessions would pay ``n_servers``.
+    """
+
+    periods: list[tuple[ControllerDecision, ...]] = field(default_factory=list)
+    chiller_power_w: list[float] = field(default_factory=list)
+    control_period_s: float = 2.0
+    mode: str = "transient"
+    factorizations: int | None = None
+    cache_stats: CacheStats | None = None
+
+    @property
+    def n_periods(self) -> int:
+        """Number of executed control periods."""
+        return len(self.periods)
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers in the rack."""
+        return len(self.periods[0]) if self.periods else 0
+
+    def server_decisions(self, server: int) -> list[ControllerDecision]:
+        """One server's decision series across the trace."""
+        return [period[server] for period in self.periods]
+
+    def _count(self, action: ControllerAction) -> int:
+        return sum(
+            1 for period in self.periods for d in period if d.action is action
+        )
+
+    @property
+    def emergencies(self) -> int:
+        """Number of (period, server) pairs ending in an unresolved emergency."""
+        return self._count(ControllerAction.EMERGENCY)
+
+    @property
+    def flow_increases(self) -> int:
+        """Number of valve-opening actions across all servers."""
+        return self._count(ControllerAction.INCREASE_FLOW)
+
+    @property
+    def frequency_reductions(self) -> int:
+        """Number of DVFS down-steps across all servers."""
+        return self._count(ControllerAction.LOWER_FREQUENCY)
+
+    @property
+    def peak_case_temperature_c(self) -> float:
+        """Highest period-end case temperature across the rack and trace."""
+        return max(
+            (d.case_temperature_c for period in self.periods for d in period),
+            default=float("nan"),
+        )
+
+    @property
+    def peak_period_case_temperature_c(self) -> float:
+        """Highest case temperature including within-period transient peaks."""
+        peaks = [
+            d.period_peak_case_c
+            for period in self.periods
+            for d in period
+            if d.period_peak_case_c is not None
+        ]
+        return max(peaks) if peaks else self.peak_case_temperature_c
+
+    @property
+    def mean_chiller_power_w(self) -> float:
+        """Average rack-wide chiller power over the trace."""
+        if not self.chiller_power_w:
+            return float("nan")
+        return sum(self.chiller_power_w) / len(self.chiller_power_w)
+
+    @property
+    def chiller_energy_j(self) -> float:
+        """Rack-wide chiller energy over the whole trace."""
+        return sum(self.chiller_power_w) * self.control_period_s
+
+    def summary(self) -> str:
+        """Human-readable digest of the rack trace."""
+        lines = [
+            f"rack trace ({self.n_servers} servers, {self.n_periods} periods, "
+            f"{self.mode} mode)",
+            f"  valve openings        : {self.flow_increases}",
+            f"  frequency reductions  : {self.frequency_reductions}",
+            f"  unresolved emergencies: {self.emergencies}",
+            f"  peak case temperature : {self.peak_case_temperature_c:.1f} C",
+            f"  peak within-period    : {self.peak_period_case_temperature_c:.1f} C",
+            f"  mean chiller power    : {self.mean_chiller_power_w:.1f} W",
+        ]
+        if self.factorizations is not None:
+            lines.append(f"  operator factorizations: {self.factorizations}")
+        if self.cache_stats is not None:
+            lines.append(
+                f"  solver cache hit rate  : {self.cache_stats.hit_rate:.1%} "
+                f"({self.cache_stats.hits} hits / {self.cache_stats.misses} misses)"
+            )
+        return "\n".join(lines)
+
+
 class ThermosyphonController:
-    """Flow-rate-first, DVFS-second thermal emergency controller."""
+    """Flow-rate-first, DVFS-second thermal emergency controller.
+
+    ``boundary_refresh_tol`` and ``adaptive_boundary_refresh`` plumb the
+    transient lane's cooling-boundary refresh policy through the controller:
+    when given, they are applied to the simulation session (and to any rack
+    session built by :meth:`run_rack_trace`) before a trace runs; ``None``
+    keeps the session's own setting.
+    """
 
     def __init__(
         self,
@@ -182,6 +318,8 @@ class ThermosyphonController:
         control_period_s: float = 2.0,
         relax_margin_c: float = 8.0,
         raise_on_unresolved: bool = False,
+        boundary_refresh_tol: float | None = None,
+        adaptive_boundary_refresh: bool | None = None,
     ) -> None:
         self.simulation = simulation
         self.t_case_max_c = t_case_max_c
@@ -191,6 +329,19 @@ class ThermosyphonController:
         #: controller closes the valve again to save pumping/chiller effort.
         self.relax_margin_c = relax_margin_c
         self.raise_on_unresolved = raise_on_unresolved
+        self.boundary_refresh_tol = (
+            check_non_negative(boundary_refresh_tol, "boundary_refresh_tol")
+            if boundary_refresh_tol is not None
+            else None
+        )
+        self.adaptive_boundary_refresh = adaptive_boundary_refresh
+
+    def _apply_refresh_policy(self, session) -> None:
+        """Push the controller's refresh overrides onto a session."""
+        if self.boundary_refresh_tol is not None:
+            session.boundary_refresh_tol = self.boundary_refresh_tol
+        if self.adaptive_boundary_refresh is not None:
+            session.adaptive_boundary_refresh = self.adaptive_boundary_refresh
 
     # ------------------------------------------------------------------ #
     # Single-period decision
@@ -300,6 +451,7 @@ class ThermosyphonController:
                 f"mode must be 'steady' or 'transient', got {mode!r}"
             )
         session = self.simulation.session
+        self._apply_refresh_policy(session)
         mapper = ThreadMapper(
             self.simulation.floorplan, orientation=self.simulation.design.orientation
         )
@@ -371,4 +523,148 @@ class ThermosyphonController:
             time_s += self.control_period_s
         if misses_before is not None and cache is not None:
             record.factorizations = cache.stats.misses - misses_before
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Rack trace execution
+    # ------------------------------------------------------------------ #
+    def run_rack_trace(
+        self,
+        servers: Sequence[RackServer],
+        trace: PhasedTrace | None = None,
+        *,
+        initial_water_loop: WaterLoop | None = None,
+        transient_substeps: int = 4,
+        rack_session: RackSession | None = None,
+        chiller: ChillerModel | None = None,
+    ) -> RackTrace:
+        """Run the controller over a whole rack of servers at once.
+
+        Every server follows the decision rule of :meth:`run_trace` in
+        transient mode — flow first, DVFS second, per-server valve and
+        frequency state — but the thermal work of each control period goes
+        through one :class:`RackSession.advance`: servers holding the same
+        cooling boundary advance through a single cached operator per
+        substep, so a homogeneous rack trace costs roughly ``n_servers``
+        times fewer factorizations than independent per-server traces.
+
+        ``trace`` is the shared activity trace; servers carrying their own
+        :attr:`RackServer.trace` follow it instead (the rack runs until the
+        longest trace ends, shorter traces idling on their final phase).
+        ``rack_session`` may be supplied to continue from accumulated state
+        (its temperature fields and held boundaries are kept — call
+        :meth:`RackSession.reset` first for a cold start) or to use a
+        custom substrate; by default a fresh session is built on the
+        simulation's floorplan, power model and thermal simulator, so the
+        factorization cache is shared with any single-server studies on the
+        same simulation.
+        """
+        servers = list(servers)
+        if not servers:
+            raise ConfigurationError("a rack trace needs at least one server")
+        traces = [server.trace if server.trace is not None else trace for server in servers]
+        if any(t is None for t in traces):
+            raise ConfigurationError(
+                "every server needs a trace: pass a shared trace or give each "
+                "RackServer its own"
+            )
+        owns_session = rack_session is None
+        if rack_session is None:
+            rack_session = RackSession(
+                len(servers),
+                floorplan=self.simulation.floorplan,
+                design=self.simulation.design,
+                power_model=self.simulation.power_model,
+                thermal_simulator=self.simulation.thermal_simulator,
+            )
+        elif rack_session.n_servers != len(servers):
+            raise ConfigurationError(
+                f"rack session is sized for {rack_session.n_servers} servers, "
+                f"got {len(servers)}"
+            )
+        self._apply_refresh_policy(rack_session)
+        chiller = chiller if chiller is not None else ChillerModel()
+
+        default_loop = (
+            initial_water_loop
+            if initial_water_loop is not None
+            else self.simulation.design.water_loop()
+        )
+        water_loops = [default_loop] * len(servers)
+        frequencies = [server.mapping.configuration.frequency_ghz for server in servers]
+        current_mappings = [
+            self._mapping_at_frequency(server.mapping, frequencies[index])
+            for index, server in enumerate(servers)
+        ]
+        force_refresh = [False] * len(servers)
+
+        record = RackTrace(control_period_s=self.control_period_s)
+        if owns_session:
+            rack_session.reset()
+        cache = rack_session.thermal_simulator.solver_cache
+        stats_before = cache.stats if cache is not None else None
+
+        duration_s = max(t.duration_s for t in traces)
+        time_s = 0.0
+        while time_s < duration_s:
+            loads = []
+            for index, server in enumerate(servers):
+                if current_mappings[index].configuration.frequency_ghz != frequencies[index]:
+                    current_mappings[index] = self._mapping_at_frequency(
+                        server.mapping, frequencies[index]
+                    )
+                phase = traces[index].phase_at(time_s)
+                loads.append(
+                    ServerLoad(
+                        benchmark=server.benchmark,
+                        mapping=current_mappings[index],
+                        activity_factor=phase.activity_factor,
+                        water_loop=water_loops[index],
+                    )
+                )
+            advance = rack_session.advance(
+                loads,
+                self.control_period_s,
+                n_substeps=transient_substeps,
+                force_boundary_refresh=force_refresh,
+            )
+            decisions = []
+            period_chiller_w = 0.0
+            for index, server in enumerate(servers):
+                step = advance.servers[index]
+                result = step.result
+                evaluated_flow_kg_h = water_loops[index].flow_rate_kg_h
+                evaluated_frequency_ghz = frequencies[index]
+                period_chiller_w += chiller.cooling_power_w(
+                    water_loops[index], result.package_power_w
+                )
+                action, water_loops[index], frequencies[index] = self.decide(
+                    result, water_loops[index], server.benchmark, server.constraint
+                )
+                force_refresh[index] = action in _ACTUATOR_ACTIONS
+                decisions.append(
+                    ControllerDecision(
+                        time_s=time_s,
+                        case_temperature_c=result.case_temperature_c,
+                        die_hot_spot_c=result.die_metrics.theta_max_c,
+                        package_power_w=result.package_power_w,
+                        water_flow_kg_h=evaluated_flow_kg_h,
+                        frequency_ghz=evaluated_frequency_ghz,
+                        action=action,
+                        settle_residual_c=step.settle_residual_c,
+                        period_peak_case_c=step.period_peak_case_c,
+                    )
+                )
+            record.periods.append(tuple(decisions))
+            record.chiller_power_w.append(period_chiller_w)
+            time_s += self.control_period_s
+        if stats_before is not None and cache is not None:
+            stats_after = cache.stats
+            record.factorizations = stats_after.misses - stats_before.misses
+            record.cache_stats = CacheStats(
+                hits=stats_after.hits - stats_before.hits,
+                misses=stats_after.misses - stats_before.misses,
+                steady_entries=stats_after.steady_entries,
+                transient_entries=stats_after.transient_entries,
+            )
         return record

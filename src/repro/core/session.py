@@ -21,11 +21,15 @@ Two solution lanes are exposed:
     the previous call and is advanced by backward-Euler steps; the cooling
     boundary is treated as *slowly varying* — it is recomputed only when the
     water loop changes, when the caller forces it (an actuator event), or
-    when the total power drifts beyond ``boundary_refresh_rtol`` of the
+    when the total power drifts beyond ``boundary_refresh_tol`` of the
     value it was last built at.  Because power only enters the RHS of the
     thermal system, every step at a held boundary is a single cached
     back-substitution: a whole controller trace can run on one or two
     factorizations where the steady path refactorizes on every power jitter.
+    With ``adaptive_boundary_refresh`` the tolerance tightens while the
+    field is far from equilibrium (large settle residual), so fast
+    transients track the boundary more closely and settled stretches keep
+    the full factorization savings.
 
 :class:`repro.core.pipeline.CooledServerSimulation` is a thin facade over
 this class; the runtime controller's ``mode="transient"`` drives the
@@ -91,6 +95,66 @@ class EvaluationResult:
         return chiller.cooling_power_w(loop, self.package_power_w)
 
 
+def build_evaluation_result(
+    *,
+    benchmark_name: str,
+    configuration: Configuration,
+    mapping: WorkloadMapping | None,
+    breakdown: PowerBreakdown,
+    thermal_result: ThermalResult,
+    operating_point: LoopOperatingPoint,
+    boundary_result: BoundaryResult,
+    water_loop: WaterLoop,
+) -> EvaluationResult:
+    """Assemble the :class:`EvaluationResult` of one evaluated server.
+
+    Shared by :class:`SimulationSession` (one server) and
+    :class:`repro.core.rack_session.RackSession` (many servers through one
+    operator), so both lanes report identical derived metrics.
+    """
+    return EvaluationResult(
+        benchmark_name=benchmark_name,
+        configuration=configuration,
+        mapping=mapping,
+        package_power_w=breakdown.package_power_w,
+        die_metrics=thermal_result.die_metrics(),
+        package_metrics=thermal_result.package_metrics(),
+        case_temperature_c=thermal_result.case_temperature_c(),
+        operating_point=operating_point,
+        max_channel_quality=boundary_result.max_quality,
+        dryout=boundary_result.dryout,
+        water_delta_t_c=water_loop.delta_t_c(breakdown.package_power_w),
+        water_loop=water_loop,
+        thermal_result=thermal_result,
+    )
+
+
+def adaptive_refresh_tol(
+    tol: float, adaptive: bool, residual_c: float | None, reference_c: float
+) -> float:
+    """The boundary-refresh tolerance effective at a given settle residual.
+
+    The single source of the adaptive policy, shared by
+    :class:`SimulationSession` and the rack engine: in the static mode (or
+    with no residual yet, or a settled field) the tolerance is ``tol``;
+    above ``reference_c`` it tightens proportionally (``tol * reference /
+    residual``), so mid-transient periods refresh sooner.
+    """
+    if not adaptive or residual_c is None or residual_c <= reference_c:
+        return tol
+    return tol * reference_c / residual_c
+
+
+def power_drift_exceeds(total_power_w: float, reference_w: float, tol: float) -> bool:
+    """True when the power drifted beyond the tolerance of its reference.
+
+    The single source of the drift test both session engines hold their
+    cooling boundary against (relative to the power the boundary was built
+    at, with a floor guarding the zero-power case).
+    """
+    return abs(total_power_w - reference_w) > tol * max(abs(reference_w), 1e-9)
+
+
 @dataclass(frozen=True)
 class _BoundaryState:
     """The cooling boundary currently driving the transient lane."""
@@ -139,12 +203,22 @@ class SimulationSession:
     ----------
     floorplan, design, power_model, thermal_simulator, cell_size_mm:
         As for :class:`repro.core.pipeline.CooledServerSimulation`.
-    boundary_refresh_rtol:
+    boundary_refresh_tol:
         Relative total-power drift that triggers a cooling-boundary rebuild
         on the transient lane.  The boundary (per-cell HTC and fluid
         temperature) varies weakly with power, so small workload jitter does
         not warrant a new operator factorization; actuator changes always
         refresh regardless of this tolerance.
+    adaptive_boundary_refresh:
+        Settle-residual-driven adaptive mode: while the previous advance
+        left the field changing by more than
+        ``adaptive_residual_reference_c`` per step, the effective tolerance
+        shrinks proportionally (a field mid-transient sees its boundary
+        refreshed sooner), and it relaxes back to ``boundary_refresh_tol``
+        once the field has settled.
+    adaptive_residual_reference_c:
+        Settle residual (degC per substep) at which the adaptive mode
+        starts tightening the tolerance.
     """
 
     def __init__(
@@ -155,8 +229,14 @@ class SimulationSession:
         power_model: ServerPowerModel | None = None,
         thermal_simulator: ThermalSimulator | None = None,
         cell_size_mm: float = 1.0,
-        boundary_refresh_rtol: float = 0.15,
+        boundary_refresh_tol: float = 0.15,
+        adaptive_boundary_refresh: bool = False,
+        adaptive_residual_reference_c: float = 0.5,
+        boundary_refresh_rtol: float | None = None,
     ) -> None:
+        if boundary_refresh_rtol is not None:
+            # Backwards-compatible spelling from the session's first release.
+            boundary_refresh_tol = boundary_refresh_rtol
         self.floorplan = floorplan if floorplan is not None else build_xeon_e5_v4_floorplan()
         self.design = design
         self.power_model = (
@@ -168,11 +248,25 @@ class SimulationSession:
             else ThermalSimulator(self.floorplan, cell_size_mm=cell_size_mm)
         )
         self.loop = ThermosyphonLoop(design)
-        self.boundary_refresh_rtol = check_non_negative(
-            boundary_refresh_rtol, "boundary_refresh_rtol"
+        self.boundary_refresh_tol = check_non_negative(
+            boundary_refresh_tol, "boundary_refresh_tol"
+        )
+        self.adaptive_boundary_refresh = bool(adaptive_boundary_refresh)
+        self.adaptive_residual_reference_c = check_positive(
+            adaptive_residual_reference_c, "adaptive_residual_reference_c"
         )
         self._temperatures: np.ndarray | None = None
         self._boundary_state: _BoundaryState | None = None
+        self._last_settle_residual_c: float | None = None
+
+    @property
+    def boundary_refresh_rtol(self) -> float:
+        """Backwards-compatible alias of :attr:`boundary_refresh_tol`."""
+        return self.boundary_refresh_tol
+
+    @boundary_refresh_rtol.setter
+    def boundary_refresh_rtol(self, value: float) -> None:
+        self.boundary_refresh_tol = check_non_negative(value, "boundary_refresh_rtol")
 
     # ------------------------------------------------------------------ #
     # Shared helpers
@@ -216,20 +310,15 @@ class SimulationSession:
         boundary_result: BoundaryResult,
         water_loop: WaterLoop,
     ) -> EvaluationResult:
-        return EvaluationResult(
+        return build_evaluation_result(
             benchmark_name=benchmark_name,
             configuration=configuration,
             mapping=mapping,
-            package_power_w=breakdown.package_power_w,
-            die_metrics=thermal_result.die_metrics(),
-            package_metrics=thermal_result.package_metrics(),
-            case_temperature_c=thermal_result.case_temperature_c(),
-            operating_point=operating_point,
-            max_channel_quality=boundary_result.max_quality,
-            dryout=boundary_result.dryout,
-            water_delta_t_c=water_loop.delta_t_c(breakdown.package_power_w),
-            water_loop=water_loop,
+            breakdown=breakdown,
             thermal_result=thermal_result,
+            operating_point=operating_point,
+            boundary_result=boundary_result,
+            water_loop=water_loop,
         )
 
     def _mapper(self, mapper: ThreadMapper | None) -> ThreadMapper:
@@ -323,6 +412,24 @@ class SimulationSession:
         """
         self._temperatures = None
         self._boundary_state = None
+        self._last_settle_residual_c = None
+
+    def effective_boundary_refresh_tol(self) -> float:
+        """The refresh tolerance the next :meth:`advance` will apply.
+
+        Equal to :attr:`boundary_refresh_tol` in the static mode.  In the
+        adaptive mode the tolerance scales with how settled the field was
+        after the previous advance: a residual above
+        ``adaptive_residual_reference_c`` tightens it proportionally
+        (``tol * reference / residual``), so mid-transient periods refresh
+        the boundary sooner while settled stretches keep the static policy.
+        """
+        return adaptive_refresh_tol(
+            self.boundary_refresh_tol,
+            self.adaptive_boundary_refresh,
+            self._last_settle_residual_c,
+            self.adaptive_residual_reference_c,
+        )
 
     def _ensure_boundary(
         self, power_map_w: np.ndarray, water_loop: WaterLoop, *, force: bool
@@ -331,9 +438,9 @@ class SimulationSession:
         total_power = float(power_map_w.sum())
         state = self._boundary_state
         if not force and state is not None and state.water_loop == water_loop:
-            reference = state.total_power_w
-            drift = abs(total_power - reference)
-            if drift <= self.boundary_refresh_rtol * max(abs(reference), 1e-9):
+            if not power_drift_exceeds(
+                total_power, state.total_power_w, self.effective_boundary_refresh_tol()
+            ):
                 return False
         operating_point = self.loop.operating_point(total_power, water_loop)
         boundary_result = self.loop.cooling_boundary(
@@ -396,6 +503,7 @@ class SimulationSession:
             peak_case = max(peak_case, thermal_result.case_temperature_c())
         assert thermal_result is not None
         self._temperatures = field
+        self._last_settle_residual_c = residual
         return SessionAdvance(
             thermal_result=thermal_result,
             operating_point=state.operating_point,

@@ -19,6 +19,7 @@ from repro.experiments.fig5_orientation import run_fig5
 from repro.experiments.fig6_mapping_scenarios import run_fig6
 from repro.experiments.fig7_thermal_maps import run_fig7
 from repro.experiments.fig8_controller_trace import run_fig8
+from repro.experiments.fig9_rack_trace import run_fig9
 from repro.experiments.table1_cstates import run_table1
 from repro.experiments.table2_hotspots import run_table2
 from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES
@@ -59,6 +60,13 @@ def run_all(
         sections.append("\n".join(improvement_lines))
         sections.append(run_fig7(platform).as_text())
         sections.append(run_fig8(platform, duration_s=30.0 if quick else 60.0).as_table())
+        sections.append(
+            run_fig9(
+                platform,
+                n_servers=2 if quick else 4,
+                duration_s=20.0 if quick else 40.0,
+            ).as_table()
+        )
         sections.append(
             run_cooling_power(
                 platform, benchmark_names=benchmarks, max_workers=max_workers

@@ -211,6 +211,33 @@ class ThermalNetwork:
         vector[grid.layer_slice(source_layer)] = power_map_w.ravel()
         return vector
 
+    def power_vectors(self, power_maps_w: np.ndarray) -> np.ndarray:
+        """Stacked power-injection vectors for many per-cell power maps.
+
+        ``power_maps_w`` has shape ``(k, n_rows, n_columns)``; the result has
+        shape ``(k, n_cells)`` with each row equal to
+        :meth:`power_vector` of the corresponding map.  Used by the rack
+        engine to build multi-column right-hand sides in one scatter.
+        """
+        grid = self.grid
+        power_maps_w = np.asarray(power_maps_w, dtype=float)
+        if power_maps_w.ndim != 3 or power_maps_w.shape[1:] != (
+            grid.n_rows,
+            grid.n_columns,
+        ):
+            raise ValidationError(
+                f"power map stack shape {power_maps_w.shape} does not match "
+                f"(k, {grid.n_rows}, {grid.n_columns})"
+            )
+        if np.any(power_maps_w < 0.0):
+            raise ValidationError("power maps must be non-negative")
+        vectors = np.zeros((power_maps_w.shape[0], grid.n_cells), dtype=float)
+        source_layer = grid.stack.heat_source_index
+        vectors[:, grid.layer_slice(source_layer)] = power_maps_w.reshape(
+            power_maps_w.shape[0], -1
+        )
+        return vectors
+
     def conductance_system(
         self, cooling: CoolingBoundary
     ) -> tuple[sparse.csr_matrix, np.ndarray]:

@@ -21,6 +21,21 @@ from repro.thermal.transient import SettleResult, TransientSolver
 from repro.utils.validation import check_positive
 
 
+def case_cell_row_column(
+    floorplan: Floorplan, outline, n_rows: int, n_columns: int
+) -> tuple[int, int]:
+    """Grid cell holding the ``T_CASE`` measurement point (die centre).
+
+    The single source of the case-temperature cell selection, shared by
+    :meth:`ThermalResult.case_temperature_c` and the rack engine's
+    within-period peak scan so the two can never diverge.
+    """
+    centre_x, centre_y = floorplan.die_outline.center
+    column = int((centre_x - outline.x) / outline.width * n_columns)
+    row = int((centre_y - outline.y) / outline.height * n_rows)
+    return min(max(row, 0), n_rows - 1), min(max(column, 0), n_columns - 1)
+
+
 @dataclass
 class ThermalResult:
     """Temperature field of one simulation plus convenience accessors."""
@@ -62,14 +77,10 @@ class ThermalResult:
         ``T_CASE <= T_CASE_MAX`` (85 degC), measured at the centre of the
         heat-spreader surface.
         """
-        die = self.floorplan.die_outline
-        centre_x, centre_y = die.center
         n_rows, n_columns = self.package_map().shape
-        outline = self.grid_mapper.outline
-        column = int((centre_x - outline.x) / outline.width * n_columns)
-        row = int((centre_y - outline.y) / outline.height * n_rows)
-        column = min(max(column, 0), n_columns - 1)
-        row = min(max(row, 0), n_rows - 1)
+        row, column = case_cell_row_column(
+            self.floorplan, self.grid_mapper.outline, n_rows, n_columns
+        )
         return float(self.package_map()[row, column])
 
     def core_temperature_c(self, core_index: int, *, reduce: str = "max") -> float:
@@ -212,6 +223,42 @@ class ThermalSimulator:
         """Equilibrium temperatures for an explicit per-cell power map."""
         flat = self._steady_solver.solve(np.asarray(power_map_w, dtype=float), cooling)
         return self._result(flat)
+
+    def steady_state_many_from_maps(
+        self, power_maps_w: np.ndarray, cooling: CoolingBoundary
+    ) -> np.ndarray:
+        """Equilibrium fields for many power maps at one shared boundary.
+
+        ``power_maps_w`` has shape ``(k, n_rows, n_columns)``; returns the
+        flat fields as ``(k, n_cells)``, each row identical to the
+        corresponding :meth:`steady_state_from_map` solve.  One cached
+        factorization serves all ``k`` maps (multi-column back-substitution);
+        wrap rows with :meth:`result_from_vector` as needed.
+        """
+        return self._steady_solver.solve_many(
+            np.asarray(power_maps_w, dtype=float), cooling
+        )
+
+    def transient_step_many_from_maps(
+        self,
+        temperatures: np.ndarray,
+        power_maps_w: np.ndarray,
+        cooling: CoolingBoundary,
+        dt_s: float,
+    ) -> np.ndarray:
+        """One backward-Euler step for many fields at one shared boundary.
+
+        The rack-engine counterpart of :meth:`transient_step_from_map`:
+        ``temperatures`` is ``(k, n_cells)``, ``power_maps_w`` is
+        ``(k, n_rows, n_columns)``, and all ``k`` fields advance through one
+        cached operator in a single multi-column back-substitution.
+        """
+        return self._transient_solver.step_many(
+            np.asarray(temperatures, dtype=float),
+            np.asarray(power_maps_w, dtype=float),
+            cooling,
+            dt_s,
+        )
 
     def transient_step_from_map(
         self,

@@ -37,7 +37,7 @@ from typing import Callable
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import factorized
+from scipy.sparse.linalg import splu
 
 from repro.exceptions import ConvergenceError
 from repro.thermal.boundary import CoolingBoundary
@@ -47,7 +47,13 @@ from repro.utils.validation import check_positive
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one :class:`FactorizationCache`."""
+    """Hit/miss counters of one :class:`FactorizationCache`.
+
+    Stats are additive: ``a + b`` (or ``sum(stats_list, CacheStats.zero())``)
+    merges counters across caches, so rack-level engines spanning several
+    sessions/simulators can report one rack-wide hit rate and factorization
+    count.
+    """
 
     hits: int
     misses: int
@@ -60,10 +66,39 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @classmethod
+    def zero(cls) -> "CacheStats":
+        """The additive identity (useful as a ``sum`` start value)."""
+        return cls(hits=0, misses=0, steady_entries=0, transient_entries=0)
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            steady_entries=self.steady_entries + other.steady_entries,
+            transient_entries=self.transient_entries + other.transient_entries,
+        )
+
+    def __radd__(self, other) -> "CacheStats":
+        # Accept the int 0 that a plain sum(stats_list) starts from.
+        if other == 0:
+            return self
+        return NotImplemented
+
 
 @dataclass(frozen=True)
 class SteadyOperator:
-    """Factorized steady-state operator for one cooling boundary."""
+    """Factorized steady-state operator for one cooling boundary.
+
+    ``solve`` back-substitutes a right-hand side through the cached LU
+    factors.  It accepts either one RHS vector of shape ``(n_cells,)`` or a
+    multi-column RHS of shape ``(n_cells, k)`` — SuperLU back-substitutes
+    the columns independently, so a whole rack of servers sharing this
+    boundary is solved in one call with results identical to ``k`` separate
+    single-column solves.
+    """
 
     boundary_rhs: np.ndarray
     solve: Callable[[np.ndarray], np.ndarray]
@@ -71,7 +106,12 @@ class SteadyOperator:
 
 @dataclass(frozen=True)
 class TransientOperator:
-    """Factorized backward-Euler operator for one (cooling, dt) pair."""
+    """Factorized backward-Euler operator for one (cooling, dt) pair.
+
+    Like :class:`SteadyOperator`, ``solve`` accepts a single RHS vector or
+    an ``(n_cells, k)`` multi-column RHS, back-substituting all columns
+    through one factorization.
+    """
 
     boundary_rhs: np.ndarray
     capacitance_over_dt: np.ndarray
@@ -79,8 +119,10 @@ class TransientOperator:
 
 
 def _factorize(matrix: sparse.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
+    # splu (not factorized) so the returned solve handles multi-column RHS
+    # regardless of whether a UMFPACK binding is installed.
     try:
-        return factorized(matrix.tocsc())
+        return splu(matrix.tocsc()).solve
     except RuntimeError as error:  # SuperLU: "Factor is exactly singular"
         raise ConvergenceError(
             "thermal system factorization failed (singular matrix); check "

@@ -74,6 +74,37 @@ class SteadyStateSolver:
             )
         return np.asarray(temperatures, dtype=float)
 
+    def solve_many(
+        self, power_maps_w: np.ndarray, cooling: CoolingBoundary
+    ) -> np.ndarray:
+        """Solve many power maps at one cooling boundary in a single call.
+
+        ``power_maps_w`` has shape ``(k, n_rows, n_columns)``; the result has
+        shape ``(k, n_cells)``.  Through the cache this is one factorization
+        plus one multi-column back-substitution — SuperLU back-substitutes
+        each column independently, so row ``i`` is identical to
+        ``solve(power_maps_w[i], cooling)``.  This is what lets a rack of
+        servers sharing one boundary pay a single operator for all of them.
+        """
+        power_maps_w = np.asarray(power_maps_w, dtype=float)
+        if self.cache is not None:
+            operator = self.cache.steady_operator(cooling)
+            rhs = (
+                operator.boundary_rhs[:, np.newaxis]
+                + self.network.power_vectors(power_maps_w).T
+            )
+            temperatures = np.asarray(operator.solve(rhs), dtype=float).T
+        else:
+            temperatures = np.stack(
+                [self.solve(power_map, cooling) for power_map in power_maps_w]
+            )
+        if not np.all(np.isfinite(temperatures)):
+            raise ConvergenceError(
+                "steady-state solve produced non-finite temperatures; "
+                "check that at least one boundary has a non-zero heat transfer coefficient"
+            )
+        return temperatures
+
     def solve_layers(
         self, power_map_w: np.ndarray, cooling: CoolingBoundary
     ) -> np.ndarray:

@@ -96,6 +96,51 @@ class TransientSolver:
         solve = factorized(system.tocsc())
         return np.asarray(solve(rhs + capacitance * temperatures), dtype=float)
 
+    def step_many(
+        self,
+        temperatures: np.ndarray,
+        power_maps_w: np.ndarray,
+        cooling: CoolingBoundary,
+        dt_s: float,
+    ) -> np.ndarray:
+        """Advance many temperature fields one step at a shared boundary.
+
+        ``temperatures`` has shape ``(k, n_cells)`` and ``power_maps_w``
+        shape ``(k, n_rows, n_columns)``; the advanced fields come back as
+        ``(k, n_cells)``.  All ``k`` fields share one backward-Euler operator
+        (one factorization through the cache) and are back-substituted as a
+        multi-column RHS, with row ``i`` identical to
+        ``step(temperatures[i], power_maps_w[i], cooling, dt_s)``.
+        """
+        check_positive(dt_s, "dt_s")
+        grid = self.network.grid
+        temperatures = np.asarray(temperatures, dtype=float)
+        power_maps_w = np.asarray(power_maps_w, dtype=float)
+        if temperatures.ndim != 2 or temperatures.shape[1] != grid.n_cells:
+            raise ValidationError(
+                f"temperature stack shape {temperatures.shape} does not match "
+                f"(k, {grid.n_cells})"
+            )
+        if temperatures.shape[0] != power_maps_w.shape[0]:
+            raise ValidationError(
+                "temperature stack and power map stack disagree on the number "
+                f"of fields ({temperatures.shape[0]} vs {power_maps_w.shape[0]})"
+            )
+        if self.cache is None:
+            return np.stack(
+                [
+                    self.step(field, power_map, cooling, dt_s)
+                    for field, power_map in zip(temperatures, power_maps_w)
+                ]
+            )
+        operator = self.cache.transient_operator(cooling, dt_s)
+        rhs = (
+            operator.boundary_rhs[:, np.newaxis]
+            + self.network.power_vectors(power_maps_w).T
+            + operator.capacitance_over_dt[:, np.newaxis] * temperatures.T
+        )
+        return np.asarray(operator.solve(rhs), dtype=float).T
+
     def run(
         self,
         initial_temperature_c: float | np.ndarray,

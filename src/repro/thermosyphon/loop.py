@@ -197,42 +197,89 @@ class ThermosyphonLoop:
         The die power map is smoothed with a Gaussian kernel to approximate
         lateral spreading through the heat spreader, split into channel
         lanes according to the design orientation, and each lane is marched
-        with the evaporator flow-boiling model.
+        with the evaporator flow-boiling model.  This is the single-server
+        entry of :meth:`cooling_boundaries` (one implementation, identical
+        numerics).
         """
         power_map_w = np.asarray(power_map_w, dtype=float)
         if power_map_w.ndim != 2:
             raise ValidationError("power map must be two-dimensional")
+        if operating_point is None:
+            pitch_x_mm, pitch_y_mm = cell_pitch_mm
+            check_positive(pitch_x_mm, "pitch_x_mm")
+            check_positive(pitch_y_mm, "pitch_y_mm")
+            operating_point = self.operating_point(float(power_map_w.sum()), water_loop)
+        return self.cooling_boundaries(
+            power_map_w[np.newaxis], cell_pitch_mm, operating_point
+        )[0]
+
+    def cooling_boundaries(
+        self,
+        power_maps_w: np.ndarray,
+        cell_pitch_mm: tuple[float, float],
+        operating_point: LoopOperatingPoint,
+    ) -> list[BoundaryResult]:
+        """Cooling boundaries for many servers sharing one operating point.
+
+        The rack-engine generalisation of :meth:`cooling_boundary` (which
+        delegates here with a single-map stack): ``power_maps_w`` has shape
+        ``(n_servers, n_rows, n_columns)`` and every server shares
+        ``operating_point`` (identical thermosyphon hardware at the same
+        total heat and water condition — the homogeneous rack case).  The
+        already-vectorized ``(n_lanes, n_cells)`` evaporator march is
+        stacked into one ``(n_servers * n_lanes, n_cells)`` call, so the
+        whole rack marches in a single pass; because smoothing and the
+        march are elementwise per server/lane, each server's entry is
+        identical to a single-map call (and to the per-lane golden loop of
+        ``tests/reference_lane_march.py``).
+        """
+        power_maps_w = np.asarray(power_maps_w, dtype=float)
+        if power_maps_w.ndim != 3:
+            raise ValidationError(
+                "power map stack must be three-dimensional (n_servers, n_rows, n_columns)"
+            )
         pitch_x_mm, pitch_y_mm = cell_pitch_mm
         check_positive(pitch_x_mm, "pitch_x_mm")
         check_positive(pitch_y_mm, "pitch_y_mm")
-        if operating_point is None:
-            operating_point = self.operating_point(float(power_map_w.sum()), water_loop)
 
-        total_power = float(power_map_w.sum())
-        smoothed = gaussian_filter(
-            power_map_w,
-            sigma=(HEAT_SPREADING_SIGMA_MM / pitch_y_mm, HEAT_SPREADING_SIGMA_MM / pitch_x_mm),
-            mode="nearest",
-        )
-        if smoothed.sum() > 0.0:
-            smoothed *= total_power / smoothed.sum()
-
-        n_rows, n_columns = power_map_w.shape
+        n_servers, n_rows, n_columns = power_maps_w.shape
         orientation = self.design.orientation
         n_lanes = orientation.channel_count(n_rows, n_columns)
         flow_per_lane = operating_point.mass_flow_kg_s / n_lanes
         cell_area_m2 = (pitch_x_mm * 1e-3) * (pitch_y_mm * 1e-3)
 
-        # One gather: (n_lanes, n_cells) lane-heat matrix in flow order.
-        # East-west channels are grid rows; north-south channels are grid
-        # columns (transpose); reversed-flow orientations march against the
-        # grid index direction.
-        lane_heat = smoothed if orientation.channels_run_east_west else smoothed.T
+        # One smoothing pass over the whole stack: a zero sigma along the
+        # server axis makes the 3D filter identical to filtering each map,
+        # and the per-server renormalization broadcasts.  Lanes are grid
+        # rows for east-west channels and grid columns (transposed) for
+        # north-south channels; reversed-flow orientations march against
+        # the grid index direction.
+        smoothed = gaussian_filter(
+            power_maps_w,
+            sigma=(
+                0.0,
+                HEAT_SPREADING_SIGMA_MM / pitch_y_mm,
+                HEAT_SPREADING_SIGMA_MM / pitch_x_mm,
+            ),
+            mode="nearest",
+        )
+        totals = power_maps_w.sum(axis=(1, 2))
+        sums = smoothed.sum(axis=(1, 2))
+        positive = sums > 0.0
+        scale = np.where(positive, totals / np.where(positive, sums, 1.0), 1.0)
+        smoothed *= scale[:, np.newaxis, np.newaxis]
+        lane_heat_stack = (
+            smoothed
+            if orientation.channels_run_east_west
+            else smoothed.transpose(0, 2, 1)
+        )
         if orientation.flow_reversed:
-            lane_heat = lane_heat[:, ::-1]
+            lane_heat_stack = lane_heat_stack[:, :, ::-1]
+        lane_heat_stack = np.ascontiguousarray(lane_heat_stack)
 
+        n_cells = lane_heat_stack.shape[2]
         batch = self.evaporator.solve_channels(
-            lane_heat,
+            lane_heat_stack.reshape(n_servers * n_lanes, n_cells),
             flow_per_lane,
             operating_point.saturation_temperature_c,
             inlet_subcooling_c=operating_point.inlet_subcooling_c,
@@ -241,20 +288,29 @@ class ThermosyphonLoop:
             saturation_slope_c_per_cell=0.015,
         )
 
-        # One scatter: undo the flow-order gather to return to grid layout.
-        lane_htc = batch.base_htc_w_m2k
-        lane_fluid = batch.fluid_temperature_c
-        if orientation.flow_reversed:
-            lane_htc = lane_htc[:, ::-1]
-            lane_fluid = lane_fluid[:, ::-1]
-        if orientation.channels_run_east_west:
-            htc, fluid = lane_htc, lane_fluid
-        else:
-            htc, fluid = lane_htc.T, lane_fluid.T
+        # Split back per server and undo the flow-order gather.
+        quality = batch.quality.reshape(n_servers, n_lanes, n_cells)
+        htc_stack = batch.base_htc_w_m2k.reshape(n_servers, n_lanes, n_cells)
+        fluid_stack = batch.fluid_temperature_c.reshape(n_servers, n_lanes, n_cells)
+        dryout = batch.dryout_per_lane.reshape(n_servers, n_lanes)
 
-        return BoundaryResult(
-            boundary=CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=fluid),
-            outlet_quality_per_lane=batch.outlet_quality_per_lane,
-            max_quality=float(batch.quality.max()) if batch.quality.size else 0.0,
-            dryout=batch.dryout,
-        )
+        results: list[BoundaryResult] = []
+        for index in range(n_servers):
+            lane_htc = htc_stack[index]
+            lane_fluid = fluid_stack[index]
+            if orientation.flow_reversed:
+                lane_htc = lane_htc[:, ::-1]
+                lane_fluid = lane_fluid[:, ::-1]
+            if orientation.channels_run_east_west:
+                htc, fluid = lane_htc, lane_fluid
+            else:
+                htc, fluid = lane_htc.T, lane_fluid.T
+            results.append(
+                BoundaryResult(
+                    boundary=CoolingBoundary(htc_w_m2k=htc, fluid_temperature_c=fluid),
+                    outlet_quality_per_lane=quality[index, :, -1].copy(),
+                    max_quality=float(quality[index].max()) if quality[index].size else 0.0,
+                    dryout=bool(dryout[index].any()),
+                )
+            )
+        return results

@@ -143,6 +143,31 @@ class TestFig8:
         assert "transient" in text and "factor." in text
 
 
+class TestFig9:
+    def test_rack_engine_matches_and_is_cheaper(self, coarse_platform):
+        from repro.experiments.fig9_rack_trace import run_fig9
+
+        result = run_fig9(
+            coarse_platform, n_servers=2, duration_s=16.0, control_period_s=2.0
+        )
+        assert result.rack.n_periods == len(result.per_server[0].decisions)
+        assert result.rack.n_servers == 2
+        # Batched engine reproduces the per-server decisions exactly...
+        for server in range(result.n_servers):
+            for ours, theirs in zip(
+                result.rack.server_decisions(server),
+                result.per_server[server].decisions,
+            ):
+                assert ours.case_temperature_c == pytest.approx(
+                    theirs.case_temperature_c, abs=1e-12
+                )
+                assert ours.action is theirs.action
+        # ...while paying at least n_servers times fewer factorizations.
+        assert result.factorization_ratio >= result.n_servers
+        text = result.as_table()
+        assert "rack-batched" in text and "factor." in text
+
+
 class TestCoolingPower:
     def test_chiller_power_reduced(self, coarse_platform):
         result = run_cooling_power(coarse_platform, benchmark_names=QUICK)
