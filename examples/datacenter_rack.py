@@ -1,10 +1,17 @@
-"""Rack-level study: shared chiller water temperature and cooling power.
+"""Datacenter demo: a shared chiller plant under supervisory setpoint control.
 
-Builds a small rack in which every server runs a different PARSEC workload
-under a 2x QoS constraint, finds the warmest chiller water temperature that
-keeps every CPU within its case-temperature limit, and reports the chiller
-power (Eq. 1) at that operating point — first with the proposed mapping
-stack, then with the conventional balancing baseline.
+Builds a seeded diurnal scenario — two racks of four servers, each server
+running its own PARSEC workload trace — behind one chiller plant, then runs
+the floor twice through :class:`repro.datacenter.DatacenterModel`:
+
+1. with the chiller water supply fixed at the design setpoint, and
+2. with the supervisory outer loop raising the setpoint whenever every
+   server's predicted peak case temperature clears ``T_CASE_MAX``,
+
+and reports the plant energy saved, the setpoint schedule and the floor's
+operator-factorization count (every rack draws from one shared solver
+cache).  The per-server fast loop (water valve first, DVFS second) is the
+paper's runtime controller in both runs.
 
 Run with::
 
@@ -18,46 +25,72 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from repro.baselines.coskun_balancing import CoskunBalancingMapping
-from repro.core.mapping_policies import ProposedThermalAwareMapping
-from repro.core.rack import RackModel, ServerSlot
-from repro.workloads.parsec import get_benchmark
-from repro.workloads.qos import QoSConstraint
+from repro.datacenter import (
+    DatacenterModel,
+    SupervisoryController,
+    build_scenario,
+)
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermosyphon.chiller import ChillerPlant
+
+DURATION_S = 48.0
+CELL_SIZE_MM = 1.5
 
 
-WORKLOADS = ("x264", "canneal", "ferret", "streamcluster")
-
-
-def build_rack(policy) -> RackModel:
-    slots = [
-        ServerSlot(get_benchmark(name), QoSConstraint(2.0)) for name in WORKLOADS
-    ]
-    return RackModel(slots, policy=policy, cell_size_mm=1.5)
-
-
-def report(label: str, rack: RackModel) -> float:
-    result = rack.warmest_feasible_water_temperature(low_c=15.0, high_c=40.0, tolerance_c=1.0)
-    print(f"--- {label} ---")
-    print(f"warmest feasible water temperature : {result.water_inlet_temperature_c:.1f} C")
-    print(f"worst case T_case                  : {result.worst_case_temperature_c:.1f} C")
-    print(f"worst die hot spot                 : {result.worst_die_hot_spot_c:.1f} C")
-    print(f"total IT power                     : {result.total_it_power_w:.1f} W")
-    print(f"chiller power (Eq. 1)              : {result.chiller_power_w:.1f} W")
-    for slot, server in zip(rack.slots, result.server_results):
-        print(
-            f"  {slot.benchmark.name:<14s} {server.configuration.label():<18s} "
-            f"P={server.package_power_w:5.1f} W  die max={server.die_metrics.theta_max_c:5.1f} C"
-        )
-    print()
-    return result.chiller_power_w
+def build_floor(scenario, floorplan, thermal_simulator) -> DatacenterModel:
+    return DatacenterModel(
+        scenario.racks,
+        plant=ChillerPlant(free_cooling_outdoor_c=18.0),
+        floorplan=floorplan,
+        thermal_simulator=thermal_simulator,
+    )
 
 
 def main() -> None:
-    proposed_power = report("Proposed mapping stack", build_rack(ProposedThermalAwareMapping()))
-    baseline_power = report("Conventional balancing baseline", build_rack(CoskunBalancingMapping()))
-    if baseline_power > 0.0:
-        saving = (baseline_power - proposed_power) / baseline_power * 100.0
-        print(f"Chiller power saving of the proposed stack: {saving:.1f}%")
+    floorplan = build_xeon_e5_v4_floorplan()
+    # One simulator for the whole study: every rack of both runs shares its
+    # factorization cache.
+    thermal_simulator = ThermalSimulator(floorplan, cell_size_mm=CELL_SIZE_MM)
+    scenario = build_scenario(
+        "diurnal",
+        n_racks=2,
+        servers_per_rack=4,
+        duration_s=DURATION_S,
+        seed=7,
+        floorplan=floorplan,
+    )
+    print(f"scenario: {scenario.description}\n")
+
+    fixed = build_floor(scenario, floorplan, thermal_simulator).run_trace(
+        duration_s=DURATION_S
+    )
+    print("--- fixed setpoint ---")
+    print(fixed.summary())
+    print()
+
+    supervisory = SupervisoryController(period_s=8.0, setpoint_max_c=40.0)
+    controlled = build_floor(scenario, floorplan, thermal_simulator).run_trace(
+        duration_s=DURATION_S, supervisory=supervisory
+    )
+    print("--- supervisory setpoint ---")
+    print(controlled.summary())
+    print()
+    for decision in controlled.supervisory_decisions:
+        print(
+            f"  t={decision.time_s:5.1f} s  {decision.setpoint_c:4.1f} C -> "
+            f"{decision.next_setpoint_c:4.1f} C  ({decision.action.value}, "
+            f"worst peak {decision.worst_peak_case_c:.1f} C)"
+        )
+    print()
+
+    saved = fixed.plant_energy_j - controlled.plant_energy_j
+    if fixed.plant_energy_j > 0.0:
+        print(
+            f"plant energy saved by supervisory control: {saved / 1e3:.2f} kJ "
+            f"({saved / fixed.plant_energy_j * 100.0:.1f}%) at "
+            f"{controlled.thermal_violations} thermal violations"
+        )
 
 
 if __name__ == "__main__":

@@ -31,7 +31,7 @@ Two execution modes are offered by :meth:`ThermosyphonController.run_trace`:
 from __future__ import annotations
 
 import enum
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.core.mapping import ThreadMapper, WorkloadMapping
@@ -61,13 +61,135 @@ class ControllerAction(enum.Enum):
 
 #: Actions that change an actuator setting for the next period; in transient
 #: mode they force a cooling-boundary refresh at the next evaluation.
-_ACTUATOR_ACTIONS = frozenset(
+ACTUATOR_ACTIONS = frozenset(
     {
         ControllerAction.INCREASE_FLOW,
         ControllerAction.DECREASE_FLOW,
         ControllerAction.LOWER_FREQUENCY,
     }
 )
+
+#: Backwards-compatible private alias.
+_ACTUATOR_ACTIONS = ACTUATOR_ACTIONS
+
+
+def mapping_at_frequency(
+    mapping: WorkloadMapping, frequency_ghz: float
+) -> WorkloadMapping:
+    """The mapping re-pinned to ``frequency_ghz``.
+
+    Returns ``mapping`` itself when the frequency already matches, so a
+    trace without DVFS actions never rebuilds configuration or mapping
+    objects.
+    """
+    if mapping.configuration.frequency_ghz == frequency_ghz:
+        return mapping
+    return replace(
+        mapping,
+        configuration=replace(mapping.configuration, frequency_ghz=frequency_ghz),
+    )
+
+
+def qos_allows_frequency(
+    benchmark: BenchmarkCharacteristics,
+    configuration: Configuration,
+    constraint: QoSConstraint,
+    frequency_ghz: float,
+) -> bool:
+    """True when the QoS constraint still holds at the candidate frequency."""
+    candidate = Configuration(
+        n_cores=configuration.n_cores,
+        threads_per_core=configuration.threads_per_core,
+        frequency_ghz=frequency_ghz,
+    )
+    return constraint.is_satisfied_by(benchmark, candidate)
+
+
+@dataclass(frozen=True)
+class DecisionPolicy:
+    """The paper's flow-first/DVFS-second rule as a standalone value.
+
+    Extracted from :class:`ThermosyphonController` so engines without a
+    single-server simulation — the datacenter floor of
+    :mod:`repro.datacenter`, which drives many racks through shared
+    operators — can apply the identical per-server rule.  The controller
+    delegates to this class, so both lanes can never diverge.
+
+    ``qos_filter`` optionally replaces the default QoS feasibility check;
+    the controller binds its own (possibly subclass-overridden)
+    ``_qos_allows_frequency`` here so custom QoS rules keep steering every
+    lane.
+    """
+
+    t_case_max_c: float = T_CASE_MAX_C
+    flow_step_kg_h: float = 2.0
+    relax_margin_c: float = 8.0
+    raise_on_unresolved: bool = False
+    qos_filter: "Callable[..., bool] | None" = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.flow_step_kg_h, "flow_step_kg_h")
+
+    def qos_allows_frequency(
+        self,
+        benchmark: BenchmarkCharacteristics,
+        configuration: Configuration,
+        constraint: QoSConstraint,
+        frequency_ghz: float,
+    ) -> bool:
+        """True when the constraint still holds at the candidate frequency."""
+        check = self.qos_filter if self.qos_filter is not None else qos_allows_frequency
+        return check(benchmark, configuration, constraint, frequency_ghz)
+
+    def decide(
+        self,
+        result: EvaluationResult,
+        water_loop: WaterLoop,
+        benchmark: BenchmarkCharacteristics,
+        constraint: QoSConstraint,
+    ) -> tuple[ControllerAction, WaterLoop, float]:
+        """Pick the next action given the latest thermal evaluation.
+
+        Returns the action, the water loop for the next period and the core
+        frequency for the next period.
+        """
+        frequency = result.configuration.frequency_ghz
+        if result.case_temperature_c >= self.t_case_max_c:
+            if not water_loop.at_maximum_flow:
+                return (
+                    ControllerAction.INCREASE_FLOW,
+                    water_loop.with_flow_rate(
+                        water_loop.flow_rate_kg_h + self.flow_step_kg_h
+                    ),
+                    frequency,
+                )
+            lower_levels = [f for f in CORE_FREQUENCIES_GHZ if f < frequency]
+            for candidate in sorted(lower_levels, reverse=True):
+                if self.qos_allows_frequency(
+                    benchmark, result.configuration, constraint, candidate
+                ):
+                    return ControllerAction.LOWER_FREQUENCY, water_loop, candidate
+            if self.raise_on_unresolved:
+                raise ThermalEmergencyError(
+                    f"T_CASE {result.case_temperature_c:.1f} degC >= "
+                    f"{self.t_case_max_c:.1f} degC with the valve fully open and no "
+                    "QoS-feasible frequency reduction available"
+                )
+            return ControllerAction.EMERGENCY, water_loop, frequency
+
+        relaxed_enough = (
+            result.case_temperature_c < self.t_case_max_c - self.relax_margin_c
+        )
+        above_minimum_flow = water_loop.flow_rate_kg_h > water_loop.min_flow_rate_kg_h
+        if relaxed_enough and above_minimum_flow:
+            return (
+                ControllerAction.DECREASE_FLOW,
+                water_loop.with_flow_rate(
+                    water_loop.flow_rate_kg_h - self.flow_step_kg_h
+                ),
+                frequency,
+            )
+        return ControllerAction.NONE, water_loop, frequency
 
 
 @dataclass(frozen=True)
@@ -299,6 +421,87 @@ class RackTrace:
         return "\n".join(lines)
 
 
+def run_rack_period(
+    rack_session: RackSession,
+    servers: Sequence[RackServer],
+    traces: Sequence[PhasedTrace],
+    current_mappings: list[WorkloadMapping],
+    frequencies: list[float],
+    water_loops: list[WaterLoop],
+    force_refresh: list[bool],
+    time_s: float,
+    control_period_s: float,
+    transient_substeps: int,
+    policy,
+    chiller: ChillerModel,
+) -> tuple[tuple[ControllerDecision, ...], float]:
+    """One transient control period of one rack: physics + fast decisions.
+
+    The single source of the per-rack period step, shared by
+    :meth:`ThermosyphonController.run_rack_trace` and the datacenter floor
+    engine (:class:`repro.datacenter.model.DatacenterSession`), so the two
+    lanes cannot diverge — a fixed-setpoint datacenter run is bit-identical
+    to standalone rack traces *by construction*.  ``policy`` is anything
+    with the :meth:`DecisionPolicy.decide` signature (the controller passes
+    itself, so subclass overrides of ``decide`` keep working).
+
+    ``current_mappings``, ``frequencies``, ``water_loops`` and
+    ``force_refresh`` are the rack's per-server actuator state and are
+    updated **in place** with the decisions' outcomes.  Returns the
+    period's decisions and the rack chiller electrical power, both
+    evaluated at the settings the period actually ran with.
+    """
+    loads = []
+    for index, server in enumerate(servers):
+        if current_mappings[index].configuration.frequency_ghz != frequencies[index]:
+            current_mappings[index] = mapping_at_frequency(
+                server.mapping, frequencies[index]
+            )
+        phase = traces[index].phase_at(time_s)
+        loads.append(
+            ServerLoad(
+                benchmark=server.benchmark,
+                mapping=current_mappings[index],
+                activity_factor=phase.activity_factor,
+                water_loop=water_loops[index],
+            )
+        )
+    advance = rack_session.advance(
+        loads,
+        control_period_s,
+        n_substeps=transient_substeps,
+        force_boundary_refresh=force_refresh,
+    )
+    decisions = []
+    period_chiller_w = 0.0
+    for index, server in enumerate(servers):
+        step = advance.servers[index]
+        result = step.result
+        evaluated_flow_kg_h = water_loops[index].flow_rate_kg_h
+        evaluated_frequency_ghz = frequencies[index]
+        period_chiller_w += chiller.cooling_power_w(
+            water_loops[index], result.package_power_w
+        )
+        action, water_loops[index], frequencies[index] = policy.decide(
+            result, water_loops[index], server.benchmark, server.constraint
+        )
+        force_refresh[index] = action in ACTUATOR_ACTIONS
+        decisions.append(
+            ControllerDecision(
+                time_s=time_s,
+                case_temperature_c=result.case_temperature_c,
+                die_hot_spot_c=result.die_metrics.theta_max_c,
+                package_power_w=result.package_power_w,
+                water_flow_kg_h=evaluated_flow_kg_h,
+                frequency_ghz=evaluated_frequency_ghz,
+                action=action,
+                settle_residual_c=step.settle_residual_c,
+                period_peak_case_c=step.period_peak_case_c,
+            )
+        )
+    return tuple(decisions), period_chiller_w
+
+
 class ThermosyphonController:
     """Flow-rate-first, DVFS-second thermal emergency controller.
 
@@ -346,6 +549,21 @@ class ThermosyphonController:
     # ------------------------------------------------------------------ #
     # Single-period decision
     # ------------------------------------------------------------------ #
+    @property
+    def policy(self) -> DecisionPolicy:
+        """The controller's current decision rule as a standalone value.
+
+        The QoS check is bound back to ``self._qos_allows_frequency``, so a
+        subclass overriding it steers single-server and rack traces alike.
+        """
+        return DecisionPolicy(
+            t_case_max_c=self.t_case_max_c,
+            flow_step_kg_h=self.flow_step_kg_h,
+            relax_margin_c=self.relax_margin_c,
+            raise_on_unresolved=self.raise_on_unresolved,
+            qos_filter=self._qos_allows_frequency,
+        )
+
     def _qos_allows_frequency(
         self,
         benchmark: BenchmarkCharacteristics,
@@ -353,12 +571,9 @@ class ThermosyphonController:
         constraint: QoSConstraint,
         frequency_ghz: float,
     ) -> bool:
-        candidate = Configuration(
-            n_cores=configuration.n_cores,
-            threads_per_core=configuration.threads_per_core,
-            frequency_ghz=frequency_ghz,
+        return qos_allows_frequency(
+            benchmark, configuration, constraint, frequency_ghz
         )
-        return constraint.is_satisfied_by(benchmark, candidate)
 
     def decide(
         self,
@@ -370,41 +585,10 @@ class ThermosyphonController:
         """Pick the next action given the latest thermal evaluation.
 
         Returns the action, the water loop for the next period and the core
-        frequency for the next period.
+        frequency for the next period.  Delegates to :class:`DecisionPolicy`
+        with the controller's current parameters.
         """
-        frequency = result.configuration.frequency_ghz
-        if result.case_temperature_c >= self.t_case_max_c:
-            if not water_loop.at_maximum_flow:
-                return (
-                    ControllerAction.INCREASE_FLOW,
-                    water_loop.with_flow_rate(water_loop.flow_rate_kg_h + self.flow_step_kg_h),
-                    frequency,
-                )
-            lower_levels = [f for f in CORE_FREQUENCIES_GHZ if f < frequency]
-            for candidate in sorted(lower_levels, reverse=True):
-                if self._qos_allows_frequency(
-                    benchmark, result.configuration, constraint, candidate
-                ):
-                    return ControllerAction.LOWER_FREQUENCY, water_loop, candidate
-            if self.raise_on_unresolved:
-                raise ThermalEmergencyError(
-                    f"T_CASE {result.case_temperature_c:.1f} degC >= "
-                    f"{self.t_case_max_c:.1f} degC with the valve fully open and no "
-                    "QoS-feasible frequency reduction available"
-                )
-            return ControllerAction.EMERGENCY, water_loop, frequency
-
-        relaxed_enough = (
-            result.case_temperature_c < self.t_case_max_c - self.relax_margin_c
-        )
-        above_minimum_flow = water_loop.flow_rate_kg_h > water_loop.min_flow_rate_kg_h
-        if relaxed_enough and above_minimum_flow:
-            return (
-                ControllerAction.DECREASE_FLOW,
-                water_loop.with_flow_rate(water_loop.flow_rate_kg_h - self.flow_step_kg_h),
-                frequency,
-            )
-        return ControllerAction.NONE, water_loop, frequency
+        return self.policy.decide(result, water_loop, benchmark, constraint)
 
     # ------------------------------------------------------------------ #
     # Trace execution
@@ -413,18 +597,8 @@ class ThermosyphonController:
     def _mapping_at_frequency(
         mapping: WorkloadMapping, frequency_ghz: float
     ) -> WorkloadMapping:
-        """The mapping re-pinned to ``frequency_ghz``.
-
-        Returns ``mapping`` itself when the frequency already matches, so a
-        trace without DVFS actions never rebuilds configuration or mapping
-        objects.
-        """
-        if mapping.configuration.frequency_ghz == frequency_ghz:
-            return mapping
-        return replace(
-            mapping,
-            configuration=replace(mapping.configuration, frequency_ghz=frequency_ghz),
-        )
+        """Backwards-compatible alias of :func:`mapping_at_frequency`."""
+        return mapping_at_frequency(mapping, frequency_ghz)
 
     def run_trace(
         self,
@@ -607,64 +781,26 @@ class ThermosyphonController:
         duration_s = max(t.duration_s for t in traces)
         time_s = 0.0
         while time_s < duration_s:
-            loads = []
-            for index, server in enumerate(servers):
-                if current_mappings[index].configuration.frequency_ghz != frequencies[index]:
-                    current_mappings[index] = self._mapping_at_frequency(
-                        server.mapping, frequencies[index]
-                    )
-                phase = traces[index].phase_at(time_s)
-                loads.append(
-                    ServerLoad(
-                        benchmark=server.benchmark,
-                        mapping=current_mappings[index],
-                        activity_factor=phase.activity_factor,
-                        water_loop=water_loops[index],
-                    )
-                )
-            advance = rack_session.advance(
-                loads,
+            # The controller itself is the policy argument, so a subclass
+            # overriding decide() steers rack traces exactly like run_trace.
+            decisions, period_chiller_w = run_rack_period(
+                rack_session,
+                servers,
+                traces,
+                current_mappings,
+                frequencies,
+                water_loops,
+                force_refresh,
+                time_s,
                 self.control_period_s,
-                n_substeps=transient_substeps,
-                force_boundary_refresh=force_refresh,
+                transient_substeps,
+                self,
+                chiller,
             )
-            decisions = []
-            period_chiller_w = 0.0
-            for index, server in enumerate(servers):
-                step = advance.servers[index]
-                result = step.result
-                evaluated_flow_kg_h = water_loops[index].flow_rate_kg_h
-                evaluated_frequency_ghz = frequencies[index]
-                period_chiller_w += chiller.cooling_power_w(
-                    water_loops[index], result.package_power_w
-                )
-                action, water_loops[index], frequencies[index] = self.decide(
-                    result, water_loops[index], server.benchmark, server.constraint
-                )
-                force_refresh[index] = action in _ACTUATOR_ACTIONS
-                decisions.append(
-                    ControllerDecision(
-                        time_s=time_s,
-                        case_temperature_c=result.case_temperature_c,
-                        die_hot_spot_c=result.die_metrics.theta_max_c,
-                        package_power_w=result.package_power_w,
-                        water_flow_kg_h=evaluated_flow_kg_h,
-                        frequency_ghz=evaluated_frequency_ghz,
-                        action=action,
-                        settle_residual_c=step.settle_residual_c,
-                        period_peak_case_c=step.period_peak_case_c,
-                    )
-                )
-            record.periods.append(tuple(decisions))
+            record.periods.append(decisions)
             record.chiller_power_w.append(period_chiller_w)
             time_s += self.control_period_s
         if stats_before is not None and cache is not None:
-            stats_after = cache.stats
-            record.factorizations = stats_after.misses - stats_before.misses
-            record.cache_stats = CacheStats(
-                hits=stats_after.hits - stats_before.hits,
-                misses=stats_after.misses - stats_before.misses,
-                steady_entries=stats_after.steady_entries,
-                transient_entries=stats_after.transient_entries,
-            )
+            record.cache_stats = cache.stats.delta(stats_before)
+            record.factorizations = record.cache_stats.misses
         return record

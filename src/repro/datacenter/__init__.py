@@ -1,0 +1,51 @@
+"""Datacenter layer: racks behind one chiller plant, two control loops.
+
+The top of the scaling ladder this repository climbs (server -> rack ->
+datacenter).  A floor of racks shares one chiller plant
+(:class:`~repro.thermosyphon.chiller.ChillerPlant`) whose water supply
+temperature is the *slow* actuator: the
+:class:`~repro.datacenter.supervisory.SupervisoryController` raises it to
+save plant electrical power while every server's predicted peak case
+temperature clears ``T_CASE_MAX``, and drops it the moment any server
+enters the violation band — layered on top of the paper's *fast*
+per-server valve/DVFS rule.  The scenario engine
+(:mod:`repro.datacenter.scenarios`) generates seeded, replayable
+floor-wide load shapes (diurnal, flash crowd, rolling batch, mixed) from
+the existing PARSEC phase traces.
+"""
+
+from repro.datacenter.model import (
+    DatacenterModel,
+    DatacenterPeriod,
+    DatacenterSession,
+    DatacenterTrace,
+    RackSpec,
+)
+from repro.datacenter.scenarios import (
+    DEFAULT_BENCHMARKS,
+    SCENARIO_KINDS,
+    DatacenterScenario,
+    build_scenario,
+    modulate_trace,
+)
+from repro.datacenter.supervisory import (
+    SupervisoryAction,
+    SupervisoryController,
+    SupervisoryDecision,
+)
+
+__all__ = [
+    "DatacenterModel",
+    "DatacenterPeriod",
+    "DatacenterSession",
+    "DatacenterTrace",
+    "RackSpec",
+    "DatacenterScenario",
+    "DEFAULT_BENCHMARKS",
+    "SCENARIO_KINDS",
+    "build_scenario",
+    "modulate_trace",
+    "SupervisoryAction",
+    "SupervisoryController",
+    "SupervisoryDecision",
+]

@@ -1,0 +1,558 @@
+"""Datacenter floor: N racks, one shared chiller plant, two control loops.
+
+The top layer of the simulation stack.  A :class:`DatacenterModel` owns a
+floor of racks — each rack a set of servers with their own workloads,
+mappings, QoS contracts and phased activity traces — plus one shared
+:class:`~repro.thermosyphon.chiller.ChillerPlant` supplying every rack's
+condenser water.  :class:`DatacenterSession` executes the floor over time:
+
+* every control period, each rack steps through its own
+  :class:`~repro.core.rack_session.RackSession` — all rack sessions are
+  built on **one shared thermal simulator**, so racks with identical
+  hardware draw their operators from the same
+  :class:`~repro.thermal.solver_cache.FactorizationCache` (a homogeneous
+  4-rack x 8-server floor still pays roughly one factorization per distinct
+  cooling boundary, not one per rack);
+* each server then runs the paper's fast flow-first/DVFS-second rule
+  (:class:`~repro.core.runtime_controller.DecisionPolicy` — the exact rule
+  :meth:`ThermosyphonController.run_rack_trace` applies, so a fixed-setpoint
+  datacenter trace reproduces the standalone rack traces bit for bit);
+* a :class:`~repro.datacenter.supervisory.SupervisoryController`, when
+  given, closes the slow outer loop on the chiller water supply setpoint,
+  trading thermal headroom for plant electrical power.
+
+The result is a :class:`DatacenterTrace`: per-rack
+:class:`~repro.core.runtime_controller.RackTrace` series, the setpoint
+schedule, per-period plant power/energy, the supervisory decision log and
+the merged solver-cache statistics of the whole floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rack_session import RackSession
+from repro.core.runtime_controller import (
+    ControllerDecision,
+    DecisionPolicy,
+    RackServer,
+    RackTrace,
+    mapping_at_frequency,
+    run_rack_period,
+)
+from repro.core.session import T_CASE_MAX_C
+from repro.datacenter.supervisory import SupervisoryController, SupervisoryDecision
+from repro.exceptions import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.power.power_model import ServerPowerModel
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermal.solver_cache import CacheStats
+from repro.thermosyphon.chiller import ChillerPlant
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN, ThermosyphonDesign
+from repro.workloads.trace import PhasedTrace
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RackSpec:
+    """One rack of the floor: its name, servers and optional shared trace.
+
+    ``trace`` is the rack-level fallback activity trace; servers carrying
+    their own :attr:`RackServer.trace` follow that instead.  Every server
+    must end up with a trace one way or the other.
+    """
+
+    name: str
+    servers: tuple[RackServer, ...]
+    trace: PhasedTrace | None = None
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ConfigurationError(f"rack {self.name!r} needs at least one server")
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers in this rack."""
+        return len(self.servers)
+
+    def server_trace(self, index: int) -> PhasedTrace:
+        """The resolved activity trace of server ``index``."""
+        server = self.servers[index]
+        trace = server.trace if server.trace is not None else self.trace
+        if trace is None:
+            raise ConfigurationError(
+                f"server {index} of rack {self.name!r} has no trace: give the "
+                "RackServer its own or set the rack-level fallback"
+            )
+        return trace
+
+
+@dataclass
+class DatacenterTrace:
+    """Everything one datacenter run produced.
+
+    ``racks[r]`` is rack ``r``'s :class:`RackTrace` (per-server decisions
+    and per-period rack chiller power at the plant's efficiency for the
+    period's setpoint); its per-rack ``factorizations``/``cache_stats`` are
+    left ``None`` because the whole floor shares one operator cache —
+    the floor-wide counters live on this object instead.
+    ``setpoint_c[t]`` and ``plant_power_w[t]`` carry the supply setpoint
+    and total plant electrical power of control period ``t``, and
+    ``supervisory_decisions`` logs the slow loop (empty on a fixed-setpoint
+    run).
+    """
+
+    rack_names: tuple[str, ...]
+    racks: list[RackTrace]
+    control_period_s: float
+    t_case_max_c: float = T_CASE_MAX_C
+    setpoint_c: list[float] = field(default_factory=list)
+    plant_power_w: list[float] = field(default_factory=list)
+    supervisory_decisions: list[SupervisoryDecision] = field(default_factory=list)
+    factorizations: int | None = None
+    cache_stats: CacheStats | None = None
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks on the floor."""
+        return len(self.racks)
+
+    @property
+    def n_servers(self) -> int:
+        """Total number of servers across all racks."""
+        return sum(rack.n_servers for rack in self.racks)
+
+    @property
+    def n_periods(self) -> int:
+        """Number of executed control periods."""
+        return len(self.plant_power_w)
+
+    @property
+    def plant_energy_j(self) -> float:
+        """Plant electrical energy over the whole trace."""
+        return sum(self.plant_power_w) * self.control_period_s
+
+    @property
+    def mean_plant_power_w(self) -> float:
+        """Average plant electrical power over the trace."""
+        if not self.plant_power_w:
+            return float("nan")
+        return sum(self.plant_power_w) / len(self.plant_power_w)
+
+    @property
+    def peak_case_temperature_c(self) -> float:
+        """Highest period-end case temperature across the floor."""
+        return max(
+            (rack.peak_case_temperature_c for rack in self.racks),
+            default=float("nan"),
+        )
+
+    @property
+    def peak_period_case_temperature_c(self) -> float:
+        """Highest case temperature including within-period transient peaks."""
+        return max(
+            (rack.peak_period_case_temperature_c for rack in self.racks),
+            default=float("nan"),
+        )
+
+    @property
+    def thermal_violations(self) -> int:
+        """(period, server) pairs whose within-period peak hit ``T_CASE_MAX``.
+
+        Counts against the within-period transient peak — the strictest
+        reading of the constraint — falling back to the period-end value
+        where no transient diagnostic is present.
+        """
+        count = 0
+        for rack in self.racks:
+            for period in rack.periods:
+                for decision in period:
+                    peak = (
+                        decision.period_peak_case_c
+                        if decision.period_peak_case_c is not None
+                        else decision.case_temperature_c
+                    )
+                    if peak >= self.t_case_max_c:
+                        count += 1
+        return count
+
+    @property
+    def emergencies(self) -> int:
+        """Unresolved thermal emergencies across the whole floor."""
+        return sum(rack.emergencies for rack in self.racks)
+
+    @property
+    def setpoint_raises(self) -> int:
+        """Number of supervisory setpoint raises."""
+        from repro.datacenter.supervisory import SupervisoryAction
+
+        return sum(
+            1
+            for d in self.supervisory_decisions
+            if d.action is SupervisoryAction.RAISE_SETPOINT
+        )
+
+    @property
+    def setpoint_lowers(self) -> int:
+        """Number of supervisory setpoint lowers."""
+        from repro.datacenter.supervisory import SupervisoryAction
+
+        return sum(
+            1
+            for d in self.supervisory_decisions
+            if d.action is SupervisoryAction.LOWER_SETPOINT
+        )
+
+    def summary(self) -> str:
+        """Human-readable digest of the datacenter trace."""
+        lines = [
+            f"datacenter trace ({self.n_racks} racks / {self.n_servers} servers, "
+            f"{self.n_periods} periods)",
+            f"  setpoint schedule     : {self.setpoint_c[0]:.1f} C -> "
+            f"{self.setpoint_c[-1]:.1f} C "
+            f"({self.setpoint_raises} raises, {self.setpoint_lowers} lowers)"
+            if self.setpoint_c
+            else "  setpoint schedule     : (empty)",
+            f"  plant energy          : {self.plant_energy_j / 1e3:.1f} kJ "
+            f"(mean {self.mean_plant_power_w:.1f} W)",
+            f"  peak case temperature : {self.peak_case_temperature_c:.1f} C "
+            f"(within-period {self.peak_period_case_temperature_c:.1f} C)",
+            f"  thermal violations    : {self.thermal_violations}",
+            f"  unresolved emergencies: {self.emergencies}",
+        ]
+        if self.factorizations is not None:
+            lines.append(f"  operator factorizations: {self.factorizations}")
+        if self.cache_stats is not None:
+            lines.append(
+                f"  solver cache hit rate  : {self.cache_stats.hit_rate:.1%} "
+                f"({self.cache_stats.hits} hits / {self.cache_stats.misses} misses)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DatacenterPeriod:
+    """Outcome of one floor-wide control period (step-wise API)."""
+
+    time_s: float
+    setpoint_c: float
+    rack_decisions: tuple[tuple[ControllerDecision, ...], ...]
+    rack_chiller_power_w: tuple[float, ...]
+    worst_period_peak_case_c: float
+
+    @property
+    def plant_power_w(self) -> float:
+        """Total plant electrical power this period."""
+        return sum(self.rack_chiller_power_w)
+
+
+class DatacenterModel:
+    """A floor of racks behind one shared chiller plant.
+
+    Parameters
+    ----------
+    racks:
+        The floor layout: one :class:`RackSpec` per rack.
+    plant:
+        The shared :class:`ChillerPlant`; its COP/free-cooling laws make
+        the supply setpoint an energy lever.
+    floorplan, design, power_model, thermal_simulator, cell_size_mm:
+        The (homogeneous) hardware substrate.  One thermal simulator —
+        and therefore one factorization cache — is shared by every rack.
+    control_period_s, transient_substeps:
+        The fast loop's period and backward-Euler substeps, as in
+        :meth:`ThermosyphonController.run_rack_trace`.
+    policy:
+        The per-server fast decision rule (valve first, DVFS second).
+    supply_setpoint_c:
+        Initial chiller water supply temperature (default: the design's
+        nominal water inlet).
+    boundary_refresh_tol, adaptive_boundary_refresh:
+        Optional cooling-boundary refresh-policy overrides pushed onto
+        every rack session (``None`` keeps the session defaults).
+    """
+
+    def __init__(
+        self,
+        racks,
+        *,
+        plant: ChillerPlant | None = None,
+        floorplan: Floorplan | None = None,
+        design: ThermosyphonDesign = PAPER_OPTIMIZED_DESIGN,
+        power_model: ServerPowerModel | None = None,
+        thermal_simulator: ThermalSimulator | None = None,
+        cell_size_mm: float = 1.0,
+        control_period_s: float = 2.0,
+        transient_substeps: int = 4,
+        policy: DecisionPolicy | None = None,
+        supply_setpoint_c: float | None = None,
+        boundary_refresh_tol: float | None = None,
+        adaptive_boundary_refresh: bool | None = None,
+    ) -> None:
+        self.racks = tuple(racks)
+        if not self.racks:
+            raise ConfigurationError("a datacenter needs at least one rack")
+        for rack in self.racks:
+            for index in range(rack.n_servers):
+                rack.server_trace(index)  # raises when a server has no trace
+        self.plant = plant if plant is not None else ChillerPlant()
+        self.floorplan = floorplan if floorplan is not None else build_xeon_e5_v4_floorplan()
+        self.design = design
+        self.power_model = (
+            power_model if power_model is not None else ServerPowerModel(self.floorplan)
+        )
+        self.thermal_simulator = (
+            thermal_simulator
+            if thermal_simulator is not None
+            else ThermalSimulator(self.floorplan, cell_size_mm=cell_size_mm)
+        )
+        self.control_period_s = check_positive(control_period_s, "control_period_s")
+        if transient_substeps < 1:
+            raise ConfigurationError(
+                f"transient_substeps must be >= 1, got {transient_substeps}"
+            )
+        self.transient_substeps = int(transient_substeps)
+        self.policy = policy if policy is not None else DecisionPolicy()
+        self.supply_setpoint_c = (
+            supply_setpoint_c
+            if supply_setpoint_c is not None
+            else design.water_inlet_temperature_c
+        )
+        self.boundary_refresh_tol = boundary_refresh_tol
+        self.adaptive_boundary_refresh = adaptive_boundary_refresh
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks on the floor."""
+        return len(self.racks)
+
+    @property
+    def n_servers(self) -> int:
+        """Total number of servers across all racks."""
+        return sum(rack.n_servers for rack in self.racks)
+
+    @property
+    def duration_s(self) -> float:
+        """Longest trace duration across the floor."""
+        return max(
+            rack.server_trace(index).duration_s
+            for rack in self.racks
+            for index in range(rack.n_servers)
+        )
+
+    def session(self, *, setpoint_c: float | None = None) -> "DatacenterSession":
+        """A fresh execution session over this floor."""
+        return DatacenterSession(self, setpoint_c=setpoint_c)
+
+    def run_trace(
+        self,
+        *,
+        supervisory: SupervisoryController | None = None,
+        setpoint_c: float | None = None,
+        duration_s: float | None = None,
+    ) -> DatacenterTrace:
+        """Run the whole floor: fixed setpoint, or supervisory outer loop."""
+        return self.session(setpoint_c=setpoint_c).run(
+            duration_s=duration_s, supervisory=supervisory
+        )
+
+
+class DatacenterSession:
+    """Executes a :class:`DatacenterModel` period by period.
+
+    Owns the mutable floor state: one :class:`RackSession` per rack (all on
+    the model's shared thermal simulator), the per-server actuator settings
+    (water valve and DVFS level) and the current chiller supply setpoint.
+    The per-rack, per-period logic mirrors
+    :meth:`ThermosyphonController.run_rack_trace` operation for operation,
+    so a fixed-setpoint datacenter run reproduces standalone rack traces
+    exactly; the supervisory loop only ever acts *between* periods by
+    re-issuing every server's water loop at a new inlet temperature (the
+    rack sessions then refresh their cooling boundaries because the water
+    condition changed — the same path a valve action takes).
+    """
+
+    def __init__(self, model: DatacenterModel, *, setpoint_c: float | None = None) -> None:
+        self.model = model
+        self.setpoint_c = (
+            setpoint_c if setpoint_c is not None else model.supply_setpoint_c
+        )
+        self.rack_sessions = [
+            RackSession(
+                rack.n_servers,
+                floorplan=model.floorplan,
+                design=model.design,
+                power_model=model.power_model,
+                thermal_simulator=model.thermal_simulator,
+            )
+            for rack in model.racks
+        ]
+        for session in self.rack_sessions:
+            if model.boundary_refresh_tol is not None:
+                session.boundary_refresh_tol = model.boundary_refresh_tol
+            if model.adaptive_boundary_refresh is not None:
+                session.adaptive_boundary_refresh = model.adaptive_boundary_refresh
+        base_loop = model.design.water_loop().with_inlet_temperature(self.setpoint_c)
+        self._traces = [
+            [rack.server_trace(index) for index in range(rack.n_servers)]
+            for rack in model.racks
+        ]
+        self._water_loops = [[base_loop] * rack.n_servers for rack in model.racks]
+        self._frequencies = [
+            [server.mapping.configuration.frequency_ghz for server in rack.servers]
+            for rack in model.racks
+        ]
+        self._mappings = [
+            [
+                mapping_at_frequency(server.mapping, server.mapping.configuration.frequency_ghz)
+                for server in rack.servers
+            ]
+            for rack in model.racks
+        ]
+        self._force_refresh = [[False] * rack.n_servers for rack in model.racks]
+
+    def reset(self) -> None:
+        """Cold-start every rack session (fields and held boundaries)."""
+        for session in self.rack_sessions:
+            session.reset()
+
+    def cache_stats(self) -> CacheStats:
+        """Counters of the floor's shared factorization cache.
+
+        Every rack session reports the same shared cache, so this is the
+        merged floor-wide view by construction — do **not** sum the
+        per-rack-session stats, that would count the shared cache once per
+        rack.
+        """
+        cache = self.model.thermal_simulator.solver_cache
+        if cache is None:
+            return CacheStats.zero()
+        return cache.stats
+
+    def set_setpoint(self, setpoint_c: float) -> None:
+        """Move the chiller supply setpoint (the slow actuator).
+
+        Re-issues every server's water loop at the new inlet temperature
+        while keeping each server's own valve (flow-rate) state; the rack
+        sessions rebuild their cooling boundaries at the next advance
+        because the water condition changed.
+        """
+        if setpoint_c == self.setpoint_c:
+            return
+        self.setpoint_c = setpoint_c
+        self._water_loops = [
+            [loop.with_inlet_temperature(setpoint_c) for loop in rack_loops]
+            for rack_loops in self._water_loops
+        ]
+
+    def advance_period(self, time_s: float) -> DatacenterPeriod:
+        """One floor-wide control period: rack physics + fast decisions.
+
+        Each rack steps through :func:`run_rack_period` — the identical
+        code path :meth:`ThermosyphonController.run_rack_trace` runs — so
+        fixed-setpoint parity with standalone rack traces holds by
+        construction, not by mirrored code.
+        """
+        model = self.model
+        chiller = model.plant.chiller_at(self.setpoint_c)
+        rack_decisions: list[tuple[ControllerDecision, ...]] = []
+        rack_chiller_w: list[float] = []
+        worst_peak = float("-inf")
+        for r, rack in enumerate(model.racks):
+            decisions, period_chiller_w = run_rack_period(
+                self.rack_sessions[r],
+                rack.servers,
+                self._traces[r],
+                self._mappings[r],
+                self._frequencies[r],
+                self._water_loops[r],
+                self._force_refresh[r],
+                time_s,
+                model.control_period_s,
+                model.transient_substeps,
+                model.policy,
+                chiller,
+            )
+            worst_peak = max(
+                worst_peak, max(d.period_peak_case_c for d in decisions)
+            )
+            rack_decisions.append(decisions)
+            rack_chiller_w.append(period_chiller_w)
+        return DatacenterPeriod(
+            time_s=time_s,
+            setpoint_c=self.setpoint_c,
+            rack_decisions=tuple(rack_decisions),
+            rack_chiller_power_w=tuple(rack_chiller_w),
+            worst_period_peak_case_c=worst_peak,
+        )
+
+    def run(
+        self,
+        *,
+        duration_s: float | None = None,
+        supervisory: SupervisoryController | None = None,
+    ) -> DatacenterTrace:
+        """Run the floor from a cold start and assemble the trace.
+
+        With ``supervisory`` the slow loop decides every
+        ``supervisory.period_s`` (which must be an integer multiple of the
+        fast control period); its setpoint moves take effect from the next
+        control period.  Without it the setpoint stays fixed and the run is
+        the per-rack equivalent of
+        :meth:`ThermosyphonController.run_rack_trace`.
+        """
+        model = self.model
+        duration = duration_s if duration_s is not None else model.duration_s
+        check_positive(duration, "duration_s")
+        periods_per_window = 0
+        if supervisory is not None:
+            ratio = supervisory.period_s / model.control_period_s
+            periods_per_window = int(round(ratio))
+            if periods_per_window < 1 or abs(ratio - periods_per_window) > 1e-9:
+                raise ConfigurationError(
+                    f"supervisory period {supervisory.period_s} s must be an "
+                    f"integer multiple of the control period "
+                    f"{model.control_period_s} s"
+                )
+        self.reset()
+        cache = model.thermal_simulator.solver_cache
+        stats_before = cache.stats if cache is not None else None
+
+        trace = DatacenterTrace(
+            rack_names=tuple(rack.name for rack in model.racks),
+            racks=[
+                RackTrace(control_period_s=model.control_period_s)
+                for _ in model.racks
+            ],
+            control_period_s=model.control_period_s,
+            t_case_max_c=model.policy.t_case_max_c,
+        )
+        window_peak = float("-inf")
+        period_index = 0
+        time_s = 0.0
+        while time_s < duration:
+            period = self.advance_period(time_s)
+            for r in range(model.n_racks):
+                trace.racks[r].periods.append(period.rack_decisions[r])
+                trace.racks[r].chiller_power_w.append(period.rack_chiller_power_w[r])
+            trace.setpoint_c.append(period.setpoint_c)
+            trace.plant_power_w.append(period.plant_power_w)
+            window_peak = max(window_peak, period.worst_period_peak_case_c)
+            period_index += 1
+            # Accumulate exactly like run_rack_trace so the per-period phase
+            # lookups see bit-identical times on a fixed-setpoint run.
+            time_s += model.control_period_s
+            if (
+                supervisory is not None
+                and period_index % periods_per_window == 0
+                and time_s < duration
+            ):
+                decision = supervisory.decide(time_s, self.setpoint_c, window_peak)
+                trace.supervisory_decisions.append(decision)
+                self.set_setpoint(decision.next_setpoint_c)
+                window_peak = float("-inf")
+        if stats_before is not None and cache is not None:
+            trace.cache_stats = cache.stats.delta(stats_before)
+            trace.factorizations = trace.cache_stats.misses
+        return trace

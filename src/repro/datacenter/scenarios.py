@@ -1,0 +1,287 @@
+"""Datacenter workload scenarios: seeded, replayable floor-wide load shapes.
+
+Experiments so far hand-built their traces (one
+:func:`~repro.workloads.trace.generate_trace` per benchmark).  Datacenter
+studies need *floor-wide* load shapes — the whole point of a shared chiller
+plant is how racks load it together — so this module composes the existing
+PARSEC phase traces with slow envelope functions into the classic
+datacenter patterns:
+
+``diurnal``
+    Every rack follows a day curve (compressed to the scenario duration)
+    with a small seeded phase offset per rack — the canonical
+    follow-the-sun web load.
+``flash_crowd``
+    A low baseline with one seeded burst window per rack ramping to
+    overload — the cache-stampede / breaking-news shape.
+``rolling_batch``
+    Racks take turns running flat-out while the rest idle — staggered
+    batch windows rolling across the floor.
+``mixed``
+    Each rack draws its envelope kind *and* its benchmark assignment from
+    the seeded generator — the heterogeneous steady state of a real floor.
+
+Every scenario is deterministic in ``(kind, seed, shape arguments)``: the
+same call returns phase-for-phase identical traces, so experiments are
+replayable and failures reproducible.  The envelopes are applied through
+the vectorized :meth:`PhasedTrace.resample`, one array multiply per server.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mapping import ThreadMapper
+from repro.core.mapping_policies import MappingPolicy, ProposedThermalAwareMapping
+from repro.core.runtime_controller import RackServer
+from repro.datacenter.model import RackSpec
+from repro.exceptions import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN, ThermosyphonDesign
+from repro.utils.validation import check_positive
+from repro.workloads.configuration import Configuration
+from repro.workloads.parsec import get_benchmark
+from repro.workloads.qos import QoSConstraint
+from repro.workloads.trace import PhasedTrace, TracePhase, generate_trace
+
+#: The scenario families the engine can build.
+SCENARIO_KINDS: tuple[str, ...] = ("diurnal", "flash_crowd", "rolling_batch", "mixed")
+
+#: Default benchmark rotation: two compute-heavy and two memory-bound codes.
+DEFAULT_BENCHMARKS: tuple[str, ...] = ("x264", "canneal", "ferret", "streamcluster")
+
+#: Activity clamp matching the jitter range of :func:`generate_trace`.
+_MAX_ACTIVITY = 1.3
+
+
+@dataclass(frozen=True)
+class DatacenterScenario:
+    """A fully resolved, replayable floor-wide workload assignment."""
+
+    name: str
+    kind: str
+    seed: int
+    duration_s: float
+    racks: tuple[RackSpec, ...]
+    description: str = ""
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks in the scenario."""
+        return len(self.racks)
+
+    @property
+    def n_servers(self) -> int:
+        """Total number of servers across the scenario's racks."""
+        return sum(rack.n_servers for rack in self.racks)
+
+
+def modulate_trace(
+    base: PhasedTrace,
+    envelope: Callable[[np.ndarray], np.ndarray],
+    dt_s: float,
+    *,
+    name: str | None = None,
+) -> PhasedTrace:
+    """Multiply a phase trace by a slow activity envelope.
+
+    Resamples ``base`` on a uniform ``dt_s`` grid (one vectorized
+    :meth:`PhasedTrace.resample` call), scales the activity samples by
+    ``envelope(times)`` and rebuilds a :class:`PhasedTrace`; memory
+    intensity is carried through unchanged.
+    """
+    check_positive(dt_s, "dt_s")
+    times, activities, memory = base.resample(dt_s)
+    scale = np.asarray(envelope(times), dtype=float)
+    if scale.shape != times.shape:
+        raise ConfigurationError(
+            f"envelope returned shape {scale.shape} for {times.shape} samples"
+        )
+    scaled = np.clip(activities * scale, 0.0, _MAX_ACTIVITY)
+    # The final sample covers only the remainder of the base trace, so the
+    # modulated trace keeps the base duration even when dt does not divide
+    # it (otherwise the floor would run extra control periods).  A float
+    # artifact in the cumsum-derived duration can land the last arange
+    # sample exactly on the trace end (zero remainder) — drop that sample
+    # and fold its span into the previous phase.
+    durations = np.full(times.shape, dt_s)
+    durations[-1] = base.duration_s - times[-1]
+    if durations[-1] <= 0.0 and times.size > 1:
+        times, scaled, memory = times[:-1], scaled[:-1], memory[:-1]
+        durations = durations[:-1]
+        durations[-1] = base.duration_s - times[-1]
+    phases = tuple(
+        TracePhase(
+            duration_s=float(d), activity_factor=float(a), memory_intensity=float(m)
+        )
+        for d, a, m in zip(durations, scaled, memory)
+    )
+    return PhasedTrace(name if name is not None else base.name, phases)
+
+
+# --------------------------------------------------------------------------- #
+# Envelope families (each returns a vectorized callable over a times array)
+# --------------------------------------------------------------------------- #
+def _diurnal_envelope(
+    duration_s: float, offset: float, *, floor: float = 0.40, peak: float = 1.05
+) -> Callable[[np.ndarray], np.ndarray]:
+    """One compressed day: a raised cosine from night floor to midday peak."""
+
+    def envelope(times: np.ndarray) -> np.ndarray:
+        phase = times / duration_s + offset
+        return floor + (peak - floor) * 0.5 * (1.0 - np.cos(2.0 * np.pi * phase))
+
+    return envelope
+
+
+def _flash_crowd_envelope(
+    burst_start_s: float,
+    burst_width_s: float,
+    *,
+    baseline: float = 0.45,
+    burst: float = 1.25,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Low baseline with one rectangular overload window."""
+
+    def envelope(times: np.ndarray) -> np.ndarray:
+        in_burst = (times >= burst_start_s) & (times < burst_start_s + burst_width_s)
+        return np.where(in_burst, burst, baseline)
+
+    return envelope
+
+
+def _rolling_batch_envelope(
+    window_start_s: float,
+    window_width_s: float,
+    *,
+    idle: float = 0.35,
+    busy: float = 1.10,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Idle except for this rack's turn in the rolling batch schedule."""
+
+    def envelope(times: np.ndarray) -> np.ndarray:
+        in_window = (times >= window_start_s) & (times < window_start_s + window_width_s)
+        return np.where(in_window, busy, idle)
+
+    return envelope
+
+
+def _rack_envelope(
+    kind: str, rack_index: int, n_racks: int, duration_s: float, rng: np.random.Generator
+) -> Callable[[np.ndarray], np.ndarray]:
+    """The (seeded) envelope one rack follows under a scenario kind."""
+    if kind == "diurnal":
+        offset = rack_index / max(n_racks, 1) * 0.08 + float(rng.uniform(-0.02, 0.02))
+        return _diurnal_envelope(duration_s, offset)
+    if kind == "flash_crowd":
+        start = float(rng.uniform(0.15, 0.45)) * duration_s
+        width = float(rng.uniform(0.15, 0.30)) * duration_s
+        return _flash_crowd_envelope(start, width)
+    if kind == "rolling_batch":
+        width = duration_s / max(n_racks, 1)
+        jitter = float(rng.uniform(0.0, 0.1)) * width
+        return _rolling_batch_envelope(rack_index * width + jitter, width)
+    raise ConfigurationError(f"unknown envelope kind {kind!r}")
+
+
+def build_scenario(
+    kind: str,
+    *,
+    n_racks: int = 2,
+    servers_per_rack: int = 4,
+    duration_s: float = 120.0,
+    seed: int = 0,
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    qos_factor: float = 2.0,
+    frequency_ghz: float = 3.2,
+    phase_dt_s: float | None = None,
+    floorplan: Floorplan | None = None,
+    design: ThermosyphonDesign = PAPER_OPTIMIZED_DESIGN,
+    policy: MappingPolicy | None = None,
+) -> DatacenterScenario:
+    """Build a replayable datacenter scenario of the given kind.
+
+    Servers rotate through ``benchmarks`` (seeded random draws under
+    ``kind="mixed"``); each server's phase trace is the benchmark's
+    deterministic :func:`generate_trace` modulated by the rack's envelope.
+    ``floorplan``/``design``/``policy`` must match the
+    :class:`~repro.datacenter.model.DatacenterModel` the scenario will run
+    on (the thread mappings are resolved here, once, not per period).
+    ``phase_dt_s`` is the envelope sampling step (default: 1/24 of the
+    duration — one "hour" of the compressed day).
+    """
+    if kind not in SCENARIO_KINDS:
+        raise ConfigurationError(
+            f"kind must be one of {SCENARIO_KINDS}, got {kind!r}"
+        )
+    if n_racks < 1 or servers_per_rack < 1:
+        raise ConfigurationError(
+            f"need at least one rack and one server per rack, got "
+            f"{n_racks} x {servers_per_rack}"
+        )
+    check_positive(duration_s, "duration_s")
+    if not benchmarks:
+        raise ConfigurationError("benchmarks must not be empty")
+    dt_s = phase_dt_s if phase_dt_s is not None else max(duration_s / 24.0, 1e-3)
+    floorplan = floorplan if floorplan is not None else build_xeon_e5_v4_floorplan()
+    policy = policy if policy is not None else ProposedThermalAwareMapping()
+    mapper = ThreadMapper(floorplan, orientation=design.orientation)
+    configuration = Configuration(8, 2, frequency_ghz)
+    constraint = QoSConstraint(qos_factor)
+    # One mapping per distinct benchmark; mapping resolution is deterministic.
+    mappings = {
+        name: mapper.map(get_benchmark(name), configuration, policy)
+        for name in dict.fromkeys(benchmarks)
+    }
+
+    racks: list[RackSpec] = []
+    for rack_index in range(n_racks):
+        # Per-rack generator seeded by (seed, rack): racks are independent
+        # and the scenario replays identically regardless of build order.
+        rng = np.random.default_rng([seed, rack_index])
+        envelope_kind = (
+            str(rng.choice(("diurnal", "flash_crowd", "rolling_batch")))
+            if kind == "mixed"
+            else kind
+        )
+        envelope = _rack_envelope(envelope_kind, rack_index, n_racks, duration_s, rng)
+        servers = []
+        for server_index in range(servers_per_rack):
+            if kind == "mixed":
+                benchmark_name = str(rng.choice(benchmarks))
+            else:
+                rotation = rack_index * servers_per_rack + server_index
+                benchmark_name = benchmarks[rotation % len(benchmarks)]
+            benchmark = get_benchmark(benchmark_name)
+            base = generate_trace(benchmark, total_duration_s=duration_s)
+            trace = modulate_trace(
+                base,
+                envelope,
+                dt_s,
+                name=f"{benchmark_name}@{kind}-r{rack_index}s{server_index}",
+            )
+            servers.append(
+                RackServer(
+                    benchmark=benchmark,
+                    mapping=mappings[benchmark_name],
+                    constraint=constraint,
+                    trace=trace,
+                )
+            )
+        racks.append(RackSpec(name=f"rack{rack_index}", servers=tuple(servers)))
+    name = f"{kind}-{n_racks}x{servers_per_rack}-seed{seed}"
+    return DatacenterScenario(
+        name=name,
+        kind=kind,
+        seed=seed,
+        duration_s=duration_s,
+        racks=tuple(racks),
+        description=(
+            f"{kind} floor: {n_racks} racks x {servers_per_rack} servers, "
+            f"{duration_s:.0f} s, benchmarks {tuple(dict.fromkeys(benchmarks))}"
+        ),
+    )

@@ -1,0 +1,149 @@
+"""Supervisory chiller-setpoint controller: the slow outer control loop.
+
+The paper's runtime story has two time scales: the water valve and DVFS act
+within a control period (seconds), while the chiller water supply
+temperature is set per rack and "changes only slowly"
+(:class:`~repro.thermosyphon.water_loop.WaterLoop`).  This module is that
+slow loop.  Every supervisory period it looks at the worst within-period
+peak case temperature any server on the floor reported since its last
+decision and moves the shared supply setpoint:
+
+* **raise** the setpoint one step when even the *predicted* peak at the
+  raised setpoint stays under ``T_CASE_MAX`` by a guard margin — warmer
+  supply water means a smaller chiller lift (better COP) and more free
+  cooling, so every degree gained is electrical power saved at the plant;
+* **lower** it one step as soon as any server's peak enters the violation
+  band, handing headroom back to the fast per-server controllers;
+* **hold** otherwise.
+
+The prediction is deliberately a conservative bound rather than a model
+call: the case temperature rises at most one-for-one with the condenser
+water supply temperature (the thermosyphon saturation point tracks the
+water inlet with sensitivity < 1), so ``peak + peak_sensitivity * step``
+with ``peak_sensitivity = 1`` upper-bounds the post-raise peak without
+paying a speculative rack solve.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.session import T_CASE_MAX_C
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class SupervisoryAction(enum.Enum):
+    """What the supervisory loop did at one of its decision points."""
+
+    HOLD = "hold"
+    RAISE_SETPOINT = "raise_setpoint"
+    LOWER_SETPOINT = "lower_setpoint"
+
+
+@dataclass(frozen=True)
+class SupervisoryDecision:
+    """One decision of the slow setpoint loop.
+
+    ``setpoint_c`` is the supply temperature the elapsed window *ran* with;
+    ``next_setpoint_c`` is what the following window will run with.
+    ``worst_peak_case_c`` is the highest within-period peak case temperature
+    any server reported during the window, and ``predicted_peak_case_c`` the
+    conservative bound used to authorize a raise.
+    """
+
+    time_s: float
+    setpoint_c: float
+    next_setpoint_c: float
+    action: SupervisoryAction
+    worst_peak_case_c: float
+    predicted_peak_case_c: float
+
+
+class SupervisoryController:
+    """Slow outer-loop actuator on the shared chiller supply temperature.
+
+    Parameters
+    ----------
+    period_s:
+        Supervisory decision period; must be an integer multiple of the
+        fast control period it is layered over (validated by the
+        datacenter session).
+    setpoint_min_c, setpoint_max_c:
+        Clamp range of the supply setpoint (plant limits).
+    step_c:
+        Setpoint move per decision — the actuator is slow and smooth, one
+        step per supervisory period.
+    guard_margin_c:
+        Raises are only authorized while the predicted peak stays below
+        ``t_case_max_c - guard_margin_c``.
+    violation_margin_c:
+        Lowers trigger once the observed peak reaches
+        ``t_case_max_c - violation_margin_c`` (0 = only on an actual
+        limit hit).
+    peak_sensitivity:
+        Assumed worst-case rise of the peak case temperature per degree of
+        setpoint raise (1.0 is a physical upper bound for a loop whose
+        saturation point tracks the water inlet).
+    """
+
+    def __init__(
+        self,
+        *,
+        period_s: float = 8.0,
+        setpoint_min_c: float = 18.0,
+        setpoint_max_c: float = 45.0,
+        step_c: float = 1.0,
+        guard_margin_c: float = 2.0,
+        violation_margin_c: float = 0.0,
+        peak_sensitivity: float = 1.0,
+        t_case_max_c: float = T_CASE_MAX_C,
+    ) -> None:
+        self.period_s = check_positive(period_s, "period_s")
+        if setpoint_min_c > setpoint_max_c:
+            raise ValueError(
+                f"setpoint_min_c {setpoint_min_c} must be <= setpoint_max_c "
+                f"{setpoint_max_c}"
+            )
+        self.setpoint_min_c = setpoint_min_c
+        self.setpoint_max_c = setpoint_max_c
+        self.step_c = check_positive(step_c, "step_c")
+        self.guard_margin_c = check_non_negative(guard_margin_c, "guard_margin_c")
+        self.violation_margin_c = check_non_negative(
+            violation_margin_c, "violation_margin_c"
+        )
+        self.peak_sensitivity = check_non_negative(peak_sensitivity, "peak_sensitivity")
+        self.t_case_max_c = t_case_max_c
+
+    def clamp(self, setpoint_c: float) -> float:
+        """The setpoint clamped to the plant's range."""
+        return min(max(setpoint_c, self.setpoint_min_c), self.setpoint_max_c)
+
+    def decide(
+        self, time_s: float, setpoint_c: float, worst_peak_case_c: float
+    ) -> SupervisoryDecision:
+        """One slow-loop decision from the window's worst observed peak."""
+        predicted = worst_peak_case_c + self.peak_sensitivity * self.step_c
+        if (
+            worst_peak_case_c >= self.t_case_max_c - self.violation_margin_c
+            and setpoint_c > self.setpoint_min_c
+        ):
+            action = SupervisoryAction.LOWER_SETPOINT
+            next_setpoint = self.clamp(setpoint_c - self.step_c)
+        elif (
+            predicted <= self.t_case_max_c - self.guard_margin_c
+            and setpoint_c < self.setpoint_max_c
+        ):
+            action = SupervisoryAction.RAISE_SETPOINT
+            next_setpoint = self.clamp(setpoint_c + self.step_c)
+        else:
+            action = SupervisoryAction.HOLD
+            next_setpoint = setpoint_c
+        return SupervisoryDecision(
+            time_s=time_s,
+            setpoint_c=setpoint_c,
+            next_setpoint_c=next_setpoint,
+            action=action,
+            worst_peak_case_c=worst_peak_case_c,
+            predicted_peak_case_c=predicted,
+        )

@@ -1,0 +1,159 @@
+"""Datacenter trace study — fixed chiller setpoint vs supervisory control.
+
+The datacenter companion of the fig9 rack study and the runtime answer to
+the paper's Section VIII argument: the warmer the chiller water, the
+cheaper the cooling — *if* every CPU stays under its case-temperature
+limit.  A seeded scenario (diurnal by default) drives a floor of racks
+behind one shared chiller plant twice:
+
+* **fixed** — the chiller supply stays at the design setpoint for the
+  whole trace; only the paper's fast per-server valve/DVFS rule acts.
+* **supervisory** — the slow outer loop of
+  :class:`~repro.datacenter.supervisory.SupervisoryController` raises the
+  setpoint step by step while every server's predicted peak case
+  temperature clears ``T_CASE_MAX`` by a guard margin, and drops it on a
+  violation.
+
+Both runs share the identical floor, scenario and fast rule, so the report
+isolates the supervisory loop's contribution: plant energy saved at zero
+thermal violations, plus the floor-wide operator-factorization count that
+the shared solver cache keeps low (every rack draws from one cache).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.datacenter.model import DatacenterModel, DatacenterTrace
+from repro.datacenter.scenarios import DatacenterScenario, build_scenario
+from repro.datacenter.supervisory import SupervisoryController
+from repro.experiments.common import Platform, build_platform
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermosyphon.chiller import ChillerPlant
+from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+
+
+@dataclass
+class Fig10Result:
+    """Fixed-setpoint vs supervisory-setpoint run of one datacenter scenario."""
+
+    scenario: DatacenterScenario
+    setpoint_c: float
+    fixed: DatacenterTrace
+    fixed_wall_time_s: float
+    supervisory: DatacenterTrace
+    supervisory_wall_time_s: float
+
+    @property
+    def plant_energy_saved_pct(self) -> float:
+        """Plant electrical energy saved by the supervisory loop."""
+        baseline = self.fixed.plant_energy_j
+        if baseline <= 0.0:
+            return 0.0
+        return (baseline - self.supervisory.plant_energy_j) / baseline * 100.0
+
+    def as_table(self) -> str:
+        """Textual report of both runs."""
+        scenario = self.scenario
+        header = (
+            f"Datacenter trace - {scenario.kind} scenario, {scenario.n_racks} racks x "
+            f"{scenario.racks[0].n_servers} servers, {scenario.duration_s:.0f} s, "
+            f"seed {scenario.seed}"
+        )
+        columns = (
+            f"{'control':>12} {'setpoint':>14} {'plant E (kJ)':>13} {'viol.':>6} "
+            f"{'peak T_case':>12} {'factor.':>8} {'time (s)':>9}"
+        )
+        rows = []
+        for label, trace, wall in (
+            ("fixed", self.fixed, self.fixed_wall_time_s),
+            ("supervisory", self.supervisory, self.supervisory_wall_time_s),
+        ):
+            first = trace.setpoint_c[0] if trace.setpoint_c else float("nan")
+            last = trace.setpoint_c[-1] if trace.setpoint_c else float("nan")
+            rows.append(
+                f"{label:>12} {first:>5.1f} -> {last:>4.1f} C "
+                f"{trace.plant_energy_j / 1e3:>13.2f} {trace.thermal_violations:>6} "
+                f"{trace.peak_period_case_temperature_c:>11.1f}C "
+                f"{trace.factorizations if trace.factorizations is not None else 0:>8} "
+                f"{wall:>9.2f}"
+            )
+        footer = (
+            f"supervisory setpoint control: {self.plant_energy_saved_pct:.1f}% plant "
+            f"energy saved ({self.supervisory.setpoint_raises} raises, "
+            f"{self.supervisory.setpoint_lowers} lowers) at "
+            f"{self.supervisory.thermal_violations} thermal violations"
+        )
+        return "\n".join([header, columns, *rows, footer])
+
+
+def run_fig10(
+    platform: Platform | None = None,
+    *,
+    scenario_kind: str = "diurnal",
+    n_racks: int = 2,
+    servers_per_rack: int = 4,
+    duration_s: float = 40.0,
+    control_period_s: float = 2.0,
+    supervisory_period_s: float = 8.0,
+    seed: int = 7,
+    setpoint_c: float | None = None,
+    setpoint_max_c: float = 40.0,
+    outdoor_temperature_c: float = 18.0,
+) -> Fig10Result:
+    """Run one scenario under fixed and supervisory setpoint control.
+
+    Each run gets a fresh thermal simulator (empty factorization cache) —
+    the fig9 convention — so the reported wall times and factorization
+    counts are cold-cache and comparable; within a run, every rack still
+    shares that one simulator/cache.
+    """
+    platform = platform if platform is not None else build_platform()
+    scenario = build_scenario(
+        scenario_kind,
+        n_racks=n_racks,
+        servers_per_rack=servers_per_rack,
+        duration_s=duration_s,
+        seed=seed,
+        floorplan=platform.floorplan,
+    )
+    plant = ChillerPlant(free_cooling_outdoor_c=outdoor_temperature_c)
+    setpoint = (
+        setpoint_c
+        if setpoint_c is not None
+        else PAPER_OPTIMIZED_DESIGN.water_inlet_temperature_c
+    )
+
+    def floor() -> DatacenterModel:
+        return DatacenterModel(
+            scenario.racks,
+            plant=plant,
+            floorplan=platform.floorplan,
+            power_model=platform.power_model,
+            thermal_simulator=ThermalSimulator(
+                platform.floorplan, cell_size_mm=platform.cell_size_mm
+            ),
+            control_period_s=control_period_s,
+            supply_setpoint_c=setpoint,
+        )
+
+    start = time.perf_counter()
+    fixed = floor().run_trace(duration_s=duration_s)
+    fixed_wall_time_s = time.perf_counter() - start
+
+    supervisory = SupervisoryController(
+        period_s=supervisory_period_s, setpoint_max_c=setpoint_max_c
+    )
+    start = time.perf_counter()
+    controlled = floor().run_trace(duration_s=duration_s, supervisory=supervisory)
+    supervisory_wall_time_s = time.perf_counter() - start
+
+    return Fig10Result(
+        scenario=scenario,
+        setpoint_c=setpoint,
+        fixed=fixed,
+        fixed_wall_time_s=fixed_wall_time_s,
+        supervisory=controlled,
+        supervisory_wall_time_s=supervisory_wall_time_s,
+    )

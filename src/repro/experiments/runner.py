@@ -20,6 +20,7 @@ from repro.experiments.fig6_mapping_scenarios import run_fig6
 from repro.experiments.fig7_thermal_maps import run_fig7
 from repro.experiments.fig8_controller_trace import run_fig8
 from repro.experiments.fig9_rack_trace import run_fig9
+from repro.experiments.fig10_datacenter_trace import run_fig10
 from repro.experiments.table1_cstates import run_table1
 from repro.experiments.table2_hotspots import run_table2
 from repro.workloads.parsec import PARSEC_BENCHMARK_NAMES
@@ -65,6 +66,14 @@ def run_all(
                 platform,
                 n_servers=2 if quick else 4,
                 duration_s=20.0 if quick else 40.0,
+            ).as_table()
+        )
+        sections.append(
+            run_fig10(
+                platform,
+                n_racks=2,
+                servers_per_rack=2 if quick else 4,
+                duration_s=24.0 if quick else 48.0,
             ).as_table()
         )
         sections.append(

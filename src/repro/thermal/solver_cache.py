@@ -87,6 +87,21 @@ class CacheStats:
             return self
         return NotImplemented
 
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        """The activity between two snapshots of the same cache.
+
+        Hit/miss counters become the difference since ``before``; the entry
+        counts stay at this (later) snapshot's values — entries are a state,
+        not an accumulator.  The single source of the before/after
+        bookkeeping trace engines report (rack traces, datacenter runs).
+        """
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            steady_entries=self.steady_entries,
+            transient_entries=self.transient_entries,
+        )
+
 
 @dataclass(frozen=True)
 class SteadyOperator:

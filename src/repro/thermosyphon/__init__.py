@@ -30,7 +30,7 @@ from repro.thermosyphon.evaporator import (
 )
 from repro.thermosyphon.condenser import CondenserModel
 from repro.thermosyphon.water_loop import WaterLoop
-from repro.thermosyphon.chiller import ChillerModel, chiller_power_w
+from repro.thermosyphon.chiller import ChillerModel, ChillerPlant, chiller_power_w
 from repro.thermosyphon.design import (
     PAPER_OPTIMIZED_DESIGN,
     SEURET_REFERENCE_DESIGN,
@@ -50,6 +50,7 @@ __all__ = [
     "CondenserModel",
     "WaterLoop",
     "ChillerModel",
+    "ChillerPlant",
     "chiller_power_w",
     "ThermosyphonDesign",
     "PAPER_OPTIMIZED_DESIGN",

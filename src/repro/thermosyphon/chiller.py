@@ -1,4 +1,4 @@
-"""Chiller cooling-power model (Eq. 1 of the paper).
+"""Chiller cooling-power model (Eq. 1 of the paper) and the shared plant.
 
 The paper estimates the electrical power needed to cool the return water
 back to the supply temperature as
@@ -11,12 +11,24 @@ thermodynamic heat rate removed from the water; an optional coefficient of
 performance converts it into compressor electrical power, and an optional
 free-cooling fraction models the case where outside air removes part of the
 load (the paper notes the real chiller burden is lower than Eq. 1 suggests).
+
+:class:`ChillerPlant` extends the fixed-COP :class:`ChillerModel` into the
+datacenter's supply-setpoint lever: the compressor COP follows a
+Carnot-fraction law in the supply temperature and the free-cooling fraction
+ramps in once the setpoint clears the outdoor air temperature, so *raising*
+the chiller water supply temperature lowers the electrical power drawn for
+the same heat load — the saving the supervisory setpoint controller of
+:mod:`repro.datacenter` chases.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.exceptions import ConfigurationError
 from repro.thermosyphon.water_loop import WaterLoop
 from repro.utils.validation import check_fraction, check_non_negative, check_positive
 
@@ -68,6 +80,162 @@ class ChillerModel:
         remaining = thermal * (1.0 - self.free_cooling_fraction)
         return remaining / self.coefficient_of_performance
 
-    def rack_cooling_power_w(self, water_loops_and_heats: list[tuple[WaterLoop, float]]) -> float:
-        """Total chiller power for every thermosyphon fed by this rack chiller."""
+    def cooling_power_w_many(
+        self,
+        water_loops: Sequence[WaterLoop] | WaterLoop,
+        heats_w,
+    ) -> np.ndarray:
+        """Array-valued :meth:`cooling_power_w` for batched per-rack accounting.
+
+        ``heats_w`` is an array of per-server (or per-rack) heat loads;
+        ``water_loops`` is either one loop per entry or a single
+        :class:`WaterLoop` broadcast across all of them (the shared-chiller
+        case).  COP and free cooling are applied per loop exactly as in the
+        scalar path, so ``cooling_power_w_many(loops, heats)[i] ==
+        cooling_power_w(loops[i], heats[i])``.
+        """
+        heats = np.asarray(heats_w, dtype=float)
+        if heats.ndim != 1:
+            raise ConfigurationError(
+                f"heats_w must be one-dimensional, got shape {heats.shape}"
+            )
+        if np.any(heats < 0.0):
+            raise ConfigurationError("heats_w must be non-negative")
+        if isinstance(water_loops, WaterLoop):
+            loops: Sequence[WaterLoop] = (water_loops,) * heats.size
+        else:
+            loops = tuple(water_loops)
+            if len(loops) != heats.size:
+                raise ConfigurationError(
+                    f"got {len(loops)} water loops for {heats.size} heat loads"
+                )
+        volumetric_l_s = np.array([loop.volumetric_flow_l_s for loop in loops])
+        density_kg_l = np.array([loop.density_kg_m3 for loop in loops]) / 1000.0
+        specific_heat = np.array([loop.specific_heat_j_kgk for loop in loops])
+        rates = np.array([loop.heat_capacity_rate_w_per_k for loop in loops])
+        delta_t = heats / rates
+        thermal = volumetric_l_s * density_kg_l * specific_heat * delta_t
+        return thermal * (1.0 - self.free_cooling_fraction) / self.coefficient_of_performance
+
+    def rack_cooling_power_w(
+        self, water_loops_and_heats: Iterable[tuple[WaterLoop, float]]
+    ) -> float:
+        """Total chiller power for every thermosyphon fed by this rack chiller.
+
+        Accepts any iterable of ``(water_loop, heat_w)`` pairs; the COP and
+        free-cooling corrections are applied per loop (each term is one
+        Eq. 1 evaluation scaled by ``(1 - free_cooling) / COP``), so the
+        total equals the sum of the individual :meth:`cooling_power_w`
+        calls.
+        """
         return sum(self.cooling_power_w(loop, heat) for loop, heat in water_loops_and_heats)
+
+
+@dataclass(frozen=True)
+class ChillerPlant:
+    """Shared chiller plant whose efficiency tracks the supply setpoint.
+
+    One plant serves every rack of the datacenter floor.  Two effects make
+    the water supply temperature an energy lever (both well established in
+    datacenter practice, and the reason the paper's Section VIII pushes for
+    the warmest feasible water temperature):
+
+    * **Compressor COP** follows a Carnot-fraction law,
+      ``COP = eta * T_supply / (T_reject - T_supply)`` (temperatures in
+      kelvin), so a warmer supply setpoint means a smaller thermal lift and
+      a more efficient compressor.
+    * **Free cooling** ramps in once the setpoint clears the outdoor air
+      temperature by an approach margin: part of the load is rejected
+      without running the compressor at all.
+
+    Attributes
+    ----------
+    carnot_efficiency:
+        Fraction of the ideal (Carnot) COP the real compressor achieves.
+    heat_rejection_temperature_c:
+        Condenser-side (heat rejection) temperature of the chiller.
+    max_cop:
+        Upper clamp on the COP as the lift approaches zero.
+    min_lift_c:
+        Lower clamp on ``T_reject - T_supply`` guarding the Carnot pole.
+    free_cooling_outdoor_c:
+        Outdoor air (wet-bulb) temperature; ``None`` disables free cooling.
+    free_cooling_approach_c:
+        The setpoint must exceed the outdoor temperature by this margin
+        before any free cooling is available.
+    free_cooling_ramp_c:
+        Span (degC above the approach point) over which the free-cooling
+        fraction ramps from zero to ``max_free_cooling_fraction``.
+    max_free_cooling_fraction:
+        Largest fraction of the load the free-cooling path can absorb.
+    """
+
+    carnot_efficiency: float = 0.35
+    heat_rejection_temperature_c: float = 45.0
+    max_cop: float = 10.0
+    min_lift_c: float = 2.0
+    free_cooling_outdoor_c: float | None = None
+    free_cooling_approach_c: float = 4.0
+    free_cooling_ramp_c: float = 10.0
+    max_free_cooling_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive(self.carnot_efficiency, "carnot_efficiency")
+        check_positive(self.max_cop, "max_cop")
+        check_positive(self.min_lift_c, "min_lift_c")
+        check_non_negative(self.free_cooling_approach_c, "free_cooling_approach_c")
+        check_positive(self.free_cooling_ramp_c, "free_cooling_ramp_c")
+        check_fraction(self.max_free_cooling_fraction, "max_free_cooling_fraction")
+
+    def cop_at(self, supply_temperature_c: float) -> float:
+        """Compressor COP at a given water supply setpoint.
+
+        Monotonically non-decreasing in the setpoint: a warmer supply
+        shrinks the thermal lift, clamped to ``[min_lift_c, inf)`` below and
+        ``max_cop`` above so the model stays finite when the setpoint
+        approaches (or exceeds) the rejection temperature.
+        """
+        supply_k = supply_temperature_c + 273.15
+        lift_k = max(
+            self.heat_rejection_temperature_c - supply_temperature_c, self.min_lift_c
+        )
+        return min(self.carnot_efficiency * supply_k / lift_k, self.max_cop)
+
+    def free_cooling_fraction_at(self, supply_temperature_c: float) -> float:
+        """Fraction of the load removed for free at a given setpoint.
+
+        Zero until the setpoint clears the outdoor temperature by the
+        approach margin, then ramping linearly to the maximum fraction;
+        monotonically non-decreasing in the setpoint and non-increasing in
+        the outdoor temperature.
+        """
+        if self.free_cooling_outdoor_c is None:
+            return 0.0
+        onset = self.free_cooling_outdoor_c + self.free_cooling_approach_c
+        headroom = supply_temperature_c - onset
+        if headroom <= 0.0:
+            return 0.0
+        fraction = headroom / self.free_cooling_ramp_c * self.max_free_cooling_fraction
+        return min(fraction, self.max_free_cooling_fraction)
+
+    def chiller_at(self, supply_temperature_c: float) -> ChillerModel:
+        """The per-rack :class:`ChillerModel` this plant presents at a setpoint."""
+        return ChillerModel(
+            coefficient_of_performance=self.cop_at(supply_temperature_c),
+            free_cooling_fraction=self.free_cooling_fraction_at(supply_temperature_c),
+        )
+
+    def plant_power_w(
+        self,
+        supply_temperature_c: float,
+        water_loops_and_heats: Iterable[tuple[WaterLoop, float]],
+    ) -> float:
+        """Total plant electrical power across every loop it feeds.
+
+        Equals the sum of the per-rack chiller powers at the same setpoint
+        (:meth:`chiller_at` + :meth:`ChillerModel.rack_cooling_power_w`) —
+        the plant is one chiller shared by all racks, not a second model.
+        """
+        return self.chiller_at(supply_temperature_c).rack_cooling_power_w(
+            water_loops_and_heats
+        )

@@ -46,6 +46,9 @@ class PhasedTrace:
         self.name = name
         self.phases = tuple(phases)
         self._boundaries = np.cumsum([phase.duration_s for phase in self.phases])
+        # Per-phase value vectors so resampling is a single fancy-index.
+        self._activities = np.array([phase.activity_factor for phase in self.phases])
+        self._memory = np.array([phase.memory_intensity for phase in self.phases])
 
     @property
     def duration_s(self) -> float:
@@ -68,17 +71,33 @@ class PhasedTrace:
         """Memory intensity at ``time_s``."""
         return self.phase_at(time_s).memory_intensity
 
+    def phase_indices_at(self, times_s) -> np.ndarray:
+        """Vectorized phase lookup: the phase index active at each time.
+
+        One ``np.searchsorted`` over the whole time grid, matching
+        :meth:`phase_at` (the scalar golden model) sample for sample —
+        including the clamps for negative-side validation and times at or
+        beyond the trace end.
+        """
+        times = np.asarray(times_s, dtype=float)
+        if times.size and float(times.min()) < 0.0:
+            raise ConfigurationError(f"time must be >= 0, got {float(times.min())}")
+        clamped = np.minimum(times, self.duration_s)
+        indices = np.searchsorted(self._boundaries, clamped, side="right")
+        return np.minimum(indices, len(self.phases) - 1)
+
     def resample(self, dt_s: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Sample the trace on a uniform grid.
 
         Returns ``(times, activities, memory_intensities)`` arrays; the last
-        sample falls at or before the trace end.
+        sample falls at or before the trace end.  The whole grid is resolved
+        by one :meth:`phase_indices_at` search instead of a per-sample
+        Python loop.
         """
         check_positive(dt_s, "dt_s")
         times = np.arange(0.0, self.duration_s, dt_s)
-        activities = np.array([self.activity_at(t) for t in times])
-        memory = np.array([self.memory_intensity_at(t) for t in times])
-        return times, activities, memory
+        indices = self.phase_indices_at(times)
+        return times, self._activities[indices], self._memory[indices]
 
     def average_activity(self) -> float:
         """Duration-weighted average activity factor."""

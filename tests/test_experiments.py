@@ -179,3 +179,21 @@ class TestCoolingPower:
             <= result.proposed.water_inlet_temperature_c
         )
         assert "Chiller power reduction" in result.as_table()
+
+
+class TestFig10:
+    def test_supervisory_saves_plant_energy(self, coarse_platform):
+        from repro.experiments.fig10_datacenter_trace import run_fig10
+
+        result = run_fig10(
+            coarse_platform, n_racks=2, servers_per_rack=2, duration_s=16.0
+        )
+        assert result.fixed.n_periods == result.supervisory.n_periods == 8
+        assert result.supervisory.plant_energy_j < result.fixed.plant_energy_j
+        assert result.plant_energy_saved_pct > 0.0
+        assert result.supervisory.thermal_violations == 0
+        # The fixed run never moves the setpoint; the supervisory run does.
+        assert len(set(result.fixed.setpoint_c)) == 1
+        assert result.supervisory.setpoint_raises > 0
+        text = result.as_table()
+        assert "supervisory" in text and "plant" in text

@@ -282,3 +282,53 @@ class TestTransientMode:
         assert steady.factorizations >= 25
         # ...while the transient path runs on a handful of operators.
         assert transient.factorizations * 10 <= steady.factorizations
+
+
+class TestDecisionDispatch:
+    def test_subclass_decide_override_steers_rack_traces(
+        self, floorplan, power_model, x264, mapping
+    ):
+        """run_rack_trace dispatches through self, so overrides keep working."""
+        from repro.core.pipeline import CooledServerSimulation
+        from repro.core.runtime_controller import RackServer
+        from repro.thermal.simulator import ThermalSimulator
+        from repro.workloads.trace import generate_trace
+
+        class PassiveController(ThermosyphonController):
+            def decide(self, result, water_loop, benchmark, constraint):
+                return ControllerAction.NONE, water_loop, result.configuration.frequency_ghz
+
+        simulation = CooledServerSimulation(
+            floorplan,
+            power_model=power_model,
+            thermal_simulator=ThermalSimulator(floorplan, cell_size_mm=2.5),
+        )
+        controller = PassiveController(simulation, control_period_s=2.0)
+        trace = generate_trace(x264, total_duration_s=6.0)
+        rack = controller.run_rack_trace(
+            [RackServer(x264, mapping, QoSConstraint(2.0))], trace
+        )
+        # The base rule would close the valve on these cool periods; the
+        # override forces NONE everywhere.
+        assert all(
+            d.action is ControllerAction.NONE for period in rack.periods for d in period
+        )
+
+    def test_subclass_qos_override_steers_decide(self, simulation, x264, mapping):
+        """A custom _qos_allows_frequency flows through the DecisionPolicy."""
+
+        class NoDvfsController(ThermosyphonController):
+            def _qos_allows_frequency(self, *args, **kwargs):
+                return False
+
+        controller = NoDvfsController(simulation, t_case_max_c=40.0)
+        water_loop = PAPER_OPTIMIZED_DESIGN.water_loop().with_flow_rate(1000.0)
+        assert water_loop.at_maximum_flow
+        result = _evaluate(simulation, x264, mapping, water_loop)
+        # Even a 3x QoS budget cannot authorize DVFS when the subclass
+        # vetoes every frequency: the emergency is reported instead.
+        action, _, frequency = controller.decide(
+            result, water_loop, x264, QoSConstraint(3.0)
+        )
+        assert action is ControllerAction.EMERGENCY
+        assert frequency == 3.2

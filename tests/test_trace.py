@@ -91,3 +91,56 @@ class TestGeneratedTraces:
     def test_invalid_phase_count(self, x264):
         with pytest.raises(ConfigurationError):
             generate_trace(x264, n_steady_phases=0)
+
+
+class TestResampleEquivalence:
+    """The vectorized resample against the scalar golden model.
+
+    ``phase_at``/``activity_at``/``memory_intensity_at`` remain the scalar
+    reference; the vectorized ``phase_indices_at``/``resample`` fast path
+    must reproduce them sample for sample.
+    """
+
+    def _golden_resample(self, trace, dt_s):
+        times = np.arange(0.0, trace.duration_s, dt_s)
+        activities = np.array([trace.activity_at(t) for t in times])
+        memory = np.array([trace.memory_intensity_at(t) for t in times])
+        return times, activities, memory
+
+    @pytest.mark.parametrize("dt_s", [0.1, 0.5, 1.0, 2.0, 3.7, 100.0])
+    def test_matches_scalar_golden_model(self, x264, dt_s):
+        trace = generate_trace(x264, n_steady_phases=7, total_duration_s=30.0)
+        times, activities, memory = trace.resample(dt_s)
+        golden_times, golden_activities, golden_memory = self._golden_resample(
+            trace, dt_s
+        )
+        np.testing.assert_array_equal(times, golden_times)
+        np.testing.assert_array_equal(activities, golden_activities)
+        np.testing.assert_array_equal(memory, golden_memory)
+
+    def test_matches_on_exact_phase_boundaries(self):
+        """Samples landing exactly on boundaries pick the same phase."""
+        trace = PhasedTrace(
+            "t",
+            (
+                TracePhase(1.0, 0.2, 0.1),
+                TracePhase(1.0, 0.4, 0.2),
+                TracePhase(1.0, 0.8, 0.3),
+            ),
+        )
+        times = np.array([0.0, 1.0, 2.0, 2.999999, 3.0, 50.0])
+        indices = trace.phase_indices_at(times)
+        for t, index in zip(times, indices):
+            assert trace.phases[index] is trace.phase_at(t)
+
+    def test_vectorized_lookup_rejects_negative_times(self):
+        trace = PhasedTrace("t", (TracePhase(1.0, 1.0, 0.5),))
+        with pytest.raises(ConfigurationError):
+            trace.phase_indices_at(np.array([0.0, -0.5]))
+
+    def test_single_phase_trace(self):
+        trace = PhasedTrace("t", (TracePhase(2.0, 0.7, 0.4),))
+        times, activities, memory = trace.resample(0.4)
+        assert np.all(activities == 0.7)
+        assert np.all(memory == 0.4)
+        assert times.size == 5

@@ -1,9 +1,10 @@
 """Water loop, condenser and chiller model tests."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.thermosyphon.chiller import ChillerModel, chiller_power_w
+from repro.thermosyphon.chiller import ChillerModel, ChillerPlant, chiller_power_w
 from repro.thermosyphon.condenser import CondenserModel
 from repro.thermosyphon.water_loop import WaterLoop
 
@@ -130,3 +131,129 @@ class TestChiller:
             nominal_loop.delta_t_c(heat),
         )
         assert chiller.cooling_power_w(nominal_loop, heat) == pytest.approx(expected)
+
+
+class TestCoolingPowerMany:
+    def test_matches_scalar_path(self, nominal_loop):
+        """Batched accounting equals the scalar Eq. 1 path per entry."""
+        chiller = ChillerModel(coefficient_of_performance=3.0, free_cooling_fraction=0.2)
+        loops = [
+            nominal_loop,
+            nominal_loop.with_flow_rate(12.0),
+            nominal_loop.with_inlet_temperature(35.0),
+        ]
+        heats = np.array([40.0, 75.0, 0.0])
+        batched = chiller.cooling_power_w_many(loops, heats)
+        scalar = [chiller.cooling_power_w(loop, heat) for loop, heat in zip(loops, heats)]
+        assert batched == pytest.approx(scalar, abs=1e-12)
+
+    def test_single_loop_broadcasts(self, nominal_loop):
+        """One shared water loop (the rack chiller case) broadcasts."""
+        chiller = ChillerModel()
+        heats = np.array([10.0, 20.0, 30.0])
+        batched = chiller.cooling_power_w_many(nominal_loop, heats)
+        assert batched.shape == (3,)
+        assert batched[2] == pytest.approx(chiller.cooling_power_w(nominal_loop, 30.0))
+
+    def test_rejects_mismatched_lengths_and_negative_heat(self, nominal_loop):
+        chiller = ChillerModel()
+        with pytest.raises(ConfigurationError):
+            chiller.cooling_power_w_many([nominal_loop], np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            chiller.cooling_power_w_many(nominal_loop, np.array([-1.0]))
+
+    def test_rack_power_accepts_any_iterable(self, nominal_loop):
+        """Generators (not just lists) are valid rack accounting input."""
+        chiller = ChillerModel(coefficient_of_performance=2.0)
+        pairs = [(nominal_loop, 30.0), (nominal_loop, 50.0)]
+        from_list = chiller.rack_cooling_power_w(pairs)
+        from_generator = chiller.rack_cooling_power_w(pair for pair in pairs)
+        from_tuple = chiller.rack_cooling_power_w(tuple(pairs))
+        assert from_generator == pytest.approx(from_list)
+        assert from_tuple == pytest.approx(from_list)
+
+
+class TestChillerPlant:
+    def test_cop_monotonic_in_setpoint(self):
+        """Warmer supply water -> smaller lift -> higher (clamped) COP."""
+        plant = ChillerPlant()
+        setpoints = np.linspace(10.0, 50.0, 41)
+        cops = [plant.cop_at(t) for t in setpoints]
+        assert all(b >= a for a, b in zip(cops, cops[1:]))
+        assert max(cops) <= plant.max_cop
+        assert min(cops) > 0.0
+
+    def test_cop_clamped_at_and_beyond_rejection_temperature(self):
+        plant = ChillerPlant()
+        at_rejection = plant.cop_at(plant.heat_rejection_temperature_c)
+        beyond = plant.cop_at(plant.heat_rejection_temperature_c + 10.0)
+        assert at_rejection == pytest.approx(plant.max_cop)
+        assert beyond == pytest.approx(plant.max_cop)
+
+    def test_free_cooling_monotonic_in_setpoint(self):
+        """More free cooling the further the setpoint clears the outdoor air."""
+        plant = ChillerPlant(free_cooling_outdoor_c=18.0)
+        setpoints = np.linspace(15.0, 45.0, 31)
+        fractions = [plant.free_cooling_fraction_at(t) for t in setpoints]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[0] == 0.0
+        assert max(fractions) <= plant.max_free_cooling_fraction
+        # Below the approach point nothing is free.
+        onset = plant.free_cooling_outdoor_c + plant.free_cooling_approach_c
+        assert plant.free_cooling_fraction_at(onset) == 0.0
+        assert plant.free_cooling_fraction_at(onset + 1e-6) > 0.0
+
+    def test_free_cooling_monotonic_in_outdoor_temperature(self):
+        """A hotter outdoor air gives less free cooling at the same setpoint."""
+        setpoint = 32.0
+        outdoor = np.linspace(5.0, 35.0, 31)
+        fractions = [
+            ChillerPlant(free_cooling_outdoor_c=t).free_cooling_fraction_at(setpoint)
+            for t in outdoor
+        ]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_free_cooling_disabled_without_outdoor_temperature(self):
+        assert ChillerPlant().free_cooling_fraction_at(40.0) == 0.0
+
+    def test_plant_power_decreases_with_setpoint(self, nominal_loop):
+        """The supervisory lever: warmer supply -> less electrical power."""
+        plant = ChillerPlant(free_cooling_outdoor_c=18.0)
+        heat_pairs = [(nominal_loop, 60.0), (nominal_loop, 40.0)]
+        powers = [
+            plant.plant_power_w(setpoint, heat_pairs)
+            for setpoint in np.linspace(25.0, 42.0, 18)
+        ]
+        assert all(b <= a for a, b in zip(powers, powers[1:]))
+        assert powers[-1] < powers[0]
+
+    def test_zero_heat_draws_zero_power(self, nominal_loop):
+        """Edge case: an idle floor costs the plant nothing."""
+        plant = ChillerPlant(free_cooling_outdoor_c=18.0)
+        assert plant.plant_power_w(30.0, [(nominal_loop, 0.0)]) == 0.0
+        chiller = plant.chiller_at(30.0)
+        assert chiller.cooling_power_w(nominal_loop, 0.0) == 0.0
+        assert chiller.cooling_power_w_many(nominal_loop, np.zeros(4)) == pytest.approx(
+            np.zeros(4)
+        )
+
+    def test_plant_total_is_sum_of_per_rack_powers(self, nominal_loop):
+        """At a fixed setpoint the plant is one chiller: total == sum of racks."""
+        plant = ChillerPlant(free_cooling_outdoor_c=18.0)
+        setpoint = 33.0
+        rack_a = [(nominal_loop, 55.0), (nominal_loop.with_flow_rate(10.0), 45.0)]
+        rack_b = [(nominal_loop, 70.0)]
+        chiller = plant.chiller_at(setpoint)
+        per_rack = chiller.rack_cooling_power_w(rack_a) + chiller.rack_cooling_power_w(
+            rack_b
+        )
+        total = plant.plant_power_w(setpoint, rack_a + rack_b)
+        assert total == pytest.approx(per_rack, abs=1e-12)
+
+    def test_chiller_at_carries_both_corrections(self):
+        plant = ChillerPlant(free_cooling_outdoor_c=18.0)
+        chiller = plant.chiller_at(34.0)
+        assert chiller.coefficient_of_performance == pytest.approx(plant.cop_at(34.0))
+        assert chiller.free_cooling_fraction == pytest.approx(
+            plant.free_cooling_fraction_at(34.0)
+        )
