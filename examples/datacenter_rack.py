@@ -1,17 +1,26 @@
-"""Datacenter demo: a shared chiller plant under supervisory setpoint control.
+"""Datacenter demo: a heterogeneous floor under supervisory setpoint control.
 
-Builds a seeded diurnal scenario — two racks of four servers, each server
-running its own PARSEC workload trace — behind one chiller plant, then runs
-the floor twice through :class:`repro.datacenter.DatacenterModel`:
+Builds a seeded diurnal scenario — four racks of four servers, each server
+running its own PARSEC workload trace — and makes the floor *mixed-SKU*:
+racks alternate between the paper-optimized thermosyphon design on the
+stock Xeon E5 v4 package and the Seuret reference design on a wider-spreader
+variant of the package, so the floor carries two hardware groups.  The
+:class:`repro.datacenter.FloorEngine` advances each group through one
+stacked multi-RHS back-substitution per cooling boundary per substep —
+there is no per-rack loop and no fallback path; a mixed floor runs through
+the same stacked engine as a homogeneous one.
+
+The floor then runs twice behind one shared chiller plant:
 
 1. with the chiller water supply fixed at the design setpoint, and
 2. with the supervisory outer loop raising the setpoint whenever every
    server's predicted peak case temperature clears ``T_CASE_MAX``,
 
-and reports the plant energy saved, the setpoint schedule and the floor's
-operator-factorization count (every rack draws from one shared solver
-cache).  The per-server fast loop (water valve first, DVFS second) is the
-paper's runtime controller in both runs.
+and reports the plant energy saved, the setpoint schedule, the floor's
+hardware-group count and its operator-factorization total (each hardware
+group draws from its own solver cache; the session merges the stats).
+The per-server fast loop (water valve first, DVFS second) is the paper's
+runtime controller in both runs.
 
 Run with::
 
@@ -27,20 +36,25 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.datacenter import (
     DatacenterModel,
+    RackSpec,
     SupervisoryController,
     build_scenario,
 )
 from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
 from repro.thermal.simulator import ThermalSimulator
 from repro.thermosyphon.chiller import ChillerPlant
+from repro.thermosyphon.design import (
+    PAPER_OPTIMIZED_DESIGN,
+    SEURET_REFERENCE_DESIGN,
+)
 
 DURATION_S = 48.0
 CELL_SIZE_MM = 1.5
 
 
-def build_floor(scenario, floorplan, thermal_simulator) -> DatacenterModel:
+def build_floor(racks, floorplan, thermal_simulator) -> DatacenterModel:
     return DatacenterModel(
-        scenario.racks,
+        racks,
         plant=ChillerPlant(free_cooling_outdoor_c=18.0),
         floorplan=floorplan,
         thermal_simulator=thermal_simulator,
@@ -49,28 +63,51 @@ def build_floor(scenario, floorplan, thermal_simulator) -> DatacenterModel:
 
 def main() -> None:
     floorplan = build_xeon_e5_v4_floorplan()
-    # One simulator for the whole study: every rack of both runs shares its
-    # factorization cache.
+    # The second SKU: same die, a wider heat spreader — a genuinely
+    # different thermal network, so its racks form a second hardware group
+    # with their own operator factorizations.
+    wide_spreader = build_xeon_e5_v4_floorplan(spreader_size_mm=42.0)
+    # One simulator for the whole study: racks on the stock package share
+    # its factorization cache across both runs.  The model builds (and
+    # reuses) a simulator per distinct floorplan for the rest.
     thermal_simulator = ThermalSimulator(floorplan, cell_size_mm=CELL_SIZE_MM)
     scenario = build_scenario(
         "diurnal",
-        n_racks=2,
+        n_racks=4,
         servers_per_rack=4,
         duration_s=DURATION_S,
         seed=7,
         floorplan=floorplan,
+        designs=(PAPER_OPTIMIZED_DESIGN, SEURET_REFERENCE_DESIGN),
     )
-    print(f"scenario: {scenario.description}\n")
+    racks = tuple(
+        RackSpec(
+            name=spec.name,
+            servers=spec.servers,
+            trace=spec.trace,
+            floorplan=None if index % 2 == 0 else wide_spreader,
+            design=spec.design,
+        )
+        for index, spec in enumerate(scenario.racks)
+    )
+    print(f"scenario: {scenario.description}")
+    designs = " / ".join(
+        f"{spec.name}: {spec.design.orientation.value if spec.design else 'default'}"
+        f"{' (wide spreader)' if index % 2 else ''}"
+        for index, spec in enumerate(racks)
+    )
+    print(f"designs:  {designs}\n")
 
-    fixed = build_floor(scenario, floorplan, thermal_simulator).run_trace(
-        duration_s=DURATION_S
-    )
+    model = build_floor(racks, floorplan, thermal_simulator)
+    print(f"hardware groups on the floor: {model.n_hardware_groups}\n")
+
+    fixed = model.run_trace(duration_s=DURATION_S)
     print("--- fixed setpoint ---")
     print(fixed.summary())
     print()
 
     supervisory = SupervisoryController(period_s=8.0, setpoint_max_c=40.0)
-    controlled = build_floor(scenario, floorplan, thermal_simulator).run_trace(
+    controlled = build_floor(racks, floorplan, thermal_simulator).run_trace(
         duration_s=DURATION_S, supervisory=supervisory
     )
     print("--- supervisory setpoint ---")

@@ -229,23 +229,45 @@ class RackSession:
         return loads
 
     def _evaluate_power(
-        self, loads: Sequence[ServerLoad]
+        self, loads: Sequence[ServerLoad], *, memo: dict | None = None
     ) -> tuple[list[PowerBreakdown], np.ndarray, list[WaterLoop]]:
-        """Per-server power models; returns breakdowns, stacked maps, loops."""
+        """Per-server power models; returns breakdowns, stacked maps, loops.
+
+        ``memo`` optionally caches ``(breakdown, power_map)`` pairs keyed by
+        the load's (benchmark, mapping, activity) identity — the power model
+        is a deterministic pure function of those, so servers carrying the
+        same workload at the same activity share one evaluation.  The floor
+        engine passes one memo per hardware group (mapper and power model
+        are fixed per group, so the key never crosses models).
+        """
         breakdowns: list[PowerBreakdown] = []
         maps: list[np.ndarray] = []
         water_loops: list[WaterLoop] = []
         for load in loads:
-            activities = self._mapper.activities(
-                load.benchmark, load.mapping, activity_factor=load.activity_factor
+            key = (
+                (id(load.benchmark), id(load.mapping), load.activity_factor)
+                if memo is not None
+                else None
             )
-            breakdown = self.power_model.evaluate(
-                activities,
-                load.mapping.configuration.frequency_ghz,
-                memory_intensity=load.benchmark.memory_intensity,
-            )
+            cached = memo.get(key) if memo is not None else None
+            if cached is None:
+                activities = self._mapper.activities(
+                    load.benchmark, load.mapping, activity_factor=load.activity_factor
+                )
+                breakdown = self.power_model.evaluate(
+                    activities,
+                    load.mapping.configuration.frequency_ghz,
+                    memory_intensity=load.benchmark.memory_intensity,
+                )
+                power_map = self.thermal_simulator.power_map(
+                    breakdown.component_power_w
+                )
+                if memo is not None:
+                    memo[key] = (breakdown, power_map)
+            else:
+                breakdown, power_map = cached
             breakdowns.append(breakdown)
-            maps.append(self.thermal_simulator.power_map(breakdown.component_power_w))
+            maps.append(power_map)
             water_loops.append(
                 load.water_loop if load.water_loop is not None else self.design.water_loop()
             )
@@ -388,6 +410,147 @@ class RackSession:
             total_power, state.total_power_w, self._effective_refresh_tol(server)
         )
 
+    def normalize_force_flags(
+        self, force_boundary_refresh: bool | Sequence[bool]
+    ) -> list[bool]:
+        """One refresh flag per server from a scalar or per-server sequence."""
+        if isinstance(force_boundary_refresh, bool):
+            return [force_boundary_refresh] * self.n_servers
+        force = [bool(flag) for flag in force_boundary_refresh]
+        if len(force) != self.n_servers:
+            raise ValidationError(
+                f"expected {self.n_servers} refresh flags, got {len(force)}"
+            )
+        return force
+
+    def plan_refresh(
+        self,
+        power_maps: np.ndarray,
+        water_loops: Sequence[WaterLoop],
+        force: Sequence[bool],
+    ) -> list[bool]:
+        """Which servers must rebuild their cooling boundary this period.
+
+        Pure planning — nothing is rebuilt yet.  The standalone
+        :meth:`advance` refreshes the flagged servers rack-locally through
+        :meth:`refresh_boundaries`; the datacenter floor engine instead
+        collects every flagged server on the floor and batches the loop
+        convergence and lane marches across racks before handing each
+        boundary back through :meth:`store_boundary`.
+        """
+        return [
+            self._needs_refresh(
+                index, float(power_maps[index].sum()), water_loops[index], force[index]
+            )
+            for index in range(self.n_servers)
+        ]
+
+    def store_boundary(
+        self,
+        index: int,
+        operating_point: LoopOperatingPoint,
+        boundary_result: BoundaryResult,
+        water_loop: WaterLoop,
+        total_power_w: float,
+    ) -> None:
+        """Hold one server's freshly converged cooling-boundary state."""
+        self._boundaries[index] = _HeldBoundary(
+            operating_point=operating_point,
+            boundary_result=boundary_result,
+            water_loop=water_loop,
+            total_power_w=total_power_w,
+        )
+
+    def refresh_boundaries(
+        self,
+        power_maps: np.ndarray,
+        water_loops: Sequence[WaterLoop],
+        refreshed: Sequence[bool],
+    ) -> None:
+        """Rebuild the flagged servers' boundaries, batched rack-locally."""
+        stale = [index for index in range(self.n_servers) if refreshed[index]]
+        if not stale:
+            return
+        operating_points = self._operating_points(power_maps, water_loops, stale)
+        boundary_map = self._cooling_boundaries(power_maps, operating_points)
+        for index in stale:
+            self.store_boundary(
+                index,
+                operating_points[index],
+                boundary_map[index],
+                water_loops[index],
+                float(power_maps[index].sum()),
+            )
+
+    def held_boundaries(self) -> list[_HeldBoundary]:
+        """Every server's held boundary state (raises before the first hold)."""
+        held = [state for state in self._boundaries if state is not None]
+        if len(held) != self.n_servers:
+            raise ValidationError(
+                "not every server holds a cooling boundary yet; refresh first"
+            )
+        return held
+
+    @property
+    def case_cell_index(self) -> int:
+        """Flat cell index of the ``T_CASE`` measurement point."""
+        return self._case_cell_index
+
+    @property
+    def fields(self) -> np.ndarray | None:
+        """The live stacked state array (no copy; None before a trace).
+
+        The floor engine reads this to seed its group arrays and rebinds it
+        through :meth:`finish_advance` — ordinary callers should use the
+        copying :attr:`temperatures` instead.
+        """
+        return self._temperatures
+
+    def finish_advance(
+        self,
+        loads: Sequence[ServerLoad],
+        breakdowns: Sequence[PowerBreakdown],
+        water_loops: Sequence[WaterLoop],
+        fields: np.ndarray,
+        residuals: np.ndarray,
+        peak_case: np.ndarray,
+        refreshed: Sequence[bool],
+        dt_s: float,
+        n_substeps: int,
+    ) -> RackAdvance:
+        """Adopt advanced fields and build the per-server results.
+
+        ``fields`` becomes the session's state — when the floor engine
+        calls this, it is a row-block **view** of the floor's stacked group
+        array, which is exactly how a rack session participates in a floor:
+        same API, state owned one level up.
+        """
+        self._temperatures = fields
+        held = self.held_boundaries()
+        servers = []
+        for index, load in enumerate(loads):
+            self._last_residuals[index] = float(residuals[index])
+            state = held[index]
+            result = build_evaluation_result(
+                benchmark_name=load.benchmark.name,
+                configuration=load.mapping.configuration,
+                mapping=load.mapping,
+                breakdown=breakdowns[index],
+                thermal_result=self.thermal_simulator.result_from_vector(fields[index]),
+                operating_point=state.operating_point,
+                boundary_result=state.boundary_result,
+                water_loop=water_loops[index],
+            )
+            servers.append(
+                ServerAdvance(
+                    result=result,
+                    settle_residual_c=float(residuals[index]),
+                    period_peak_case_c=float(peak_case[index]),
+                    boundary_refreshed=bool(refreshed[index]),
+                )
+            )
+        return RackAdvance(servers=tuple(servers), dt_s=dt_s, n_substeps=n_substeps)
+
     def advance(
         self,
         loads: Sequence[ServerLoad],
@@ -404,46 +567,25 @@ class RackSession:
         holding the same cooling boundary advance through one cached
         operator per substep.  ``force_boundary_refresh`` is one flag for
         the whole rack or one per server (per-server actuator events).
+
+        Composed of the same stages the datacenter floor engine drives —
+        power evaluation, refresh planning, boundary refresh, steady init,
+        substep marching, :meth:`finish_advance` — with the physics batched
+        rack-locally instead of floor-wide.
         """
         loads = self._check_loads(loads)
         check_positive(dt_s, "dt_s")
         if n_substeps < 1:
             raise ValueError(f"n_substeps must be >= 1, got {n_substeps}")
-        if isinstance(force_boundary_refresh, bool):
-            force = [force_boundary_refresh] * self.n_servers
-        else:
-            force = [bool(flag) for flag in force_boundary_refresh]
-            if len(force) != self.n_servers:
-                raise ValidationError(
-                    f"expected {self.n_servers} refresh flags, got {len(force)}"
-                )
+        force = self.normalize_force_flags(force_boundary_refresh)
 
         breakdowns, power_maps, water_loops = self._evaluate_power(loads)
 
         # Refresh stale boundaries, batching the loop/evaporator work of the
         # refreshing servers; the rest keep their held state.
-        refreshed = [
-            self._needs_refresh(
-                index, float(power_maps[index].sum()), water_loops[index], force[index]
-            )
-            for index in range(self.n_servers)
-        ]
-        stale = [index for index in range(self.n_servers) if refreshed[index]]
-        if stale:
-            operating_points = self._operating_points(power_maps, water_loops, stale)
-            boundary_map = self._cooling_boundaries(
-                power_maps, operating_points
-            )
-            for index in stale:
-                self._boundaries[index] = _HeldBoundary(
-                    operating_point=operating_points[index],
-                    boundary_result=boundary_map[index],
-                    water_loop=water_loops[index],
-                    total_power_w=float(power_maps[index].sum()),
-                )
-        held = [state for state in self._boundaries if state is not None]
-        assert len(held) == self.n_servers
-        boundaries = [state.boundary_result for state in held]
+        refreshed = self.plan_refresh(power_maps, water_loops, force)
+        self.refresh_boundaries(power_maps, water_loops, refreshed)
+        boundaries = [state.boundary_result for state in self.held_boundaries()]
 
         if self._temperatures is None:
             self._temperatures = self._steady_fields(power_maps, boundaries)
@@ -467,28 +609,15 @@ class RackSession:
             residuals = np.max(np.abs(new_fields - fields), axis=1)
             fields = new_fields
             peak_case = np.maximum(peak_case, fields[:, self._case_cell_index])
-        self._temperatures = fields
 
-        servers = []
-        for index, load in enumerate(loads):
-            self._last_residuals[index] = float(residuals[index])
-            state = held[index]
-            result = build_evaluation_result(
-                benchmark_name=load.benchmark.name,
-                configuration=load.mapping.configuration,
-                mapping=load.mapping,
-                breakdown=breakdowns[index],
-                thermal_result=self.thermal_simulator.result_from_vector(fields[index]),
-                operating_point=state.operating_point,
-                boundary_result=state.boundary_result,
-                water_loop=water_loops[index],
-            )
-            servers.append(
-                ServerAdvance(
-                    result=result,
-                    settle_residual_c=float(residuals[index]),
-                    period_peak_case_c=float(peak_case[index]),
-                    boundary_refreshed=refreshed[index],
-                )
-            )
-        return RackAdvance(servers=tuple(servers), dt_s=dt_s, n_substeps=n_substeps)
+        return self.finish_advance(
+            loads,
+            breakdowns,
+            water_loops,
+            fields,
+            residuals,
+            peak_case,
+            refreshed,
+            dt_s,
+            n_substeps,
+        )

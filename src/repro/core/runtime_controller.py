@@ -421,42 +421,41 @@ class RackTrace:
         return "\n".join(lines)
 
 
-def run_rack_period(
-    rack_session: RackSession,
+def build_rack_loads(
     servers: Sequence[RackServer],
     traces: Sequence[PhasedTrace],
     current_mappings: list[WorkloadMapping],
     frequencies: list[float],
-    water_loops: list[WaterLoop],
-    force_refresh: list[bool],
+    water_loops: Sequence[WaterLoop],
     time_s: float,
-    control_period_s: float,
-    transient_substeps: int,
-    policy,
-    chiller: ChillerModel,
-) -> tuple[tuple[ControllerDecision, ...], float]:
-    """One transient control period of one rack: physics + fast decisions.
+    *,
+    mapping_memo: dict | None = None,
+) -> list[ServerLoad]:
+    """Resolve one rack's :class:`ServerLoad` list for a control period.
 
-    The single source of the per-rack period step, shared by
-    :meth:`ThermosyphonController.run_rack_trace` and the datacenter floor
-    engine (:class:`repro.datacenter.model.DatacenterSession`), so the two
-    lanes cannot diverge — a fixed-setpoint datacenter run is bit-identical
-    to standalone rack traces *by construction*.  ``policy`` is anything
-    with the :meth:`DecisionPolicy.decide` signature (the controller passes
-    itself, so subclass overrides of ``decide`` keep working).
-
-    ``current_mappings``, ``frequencies``, ``water_loops`` and
-    ``force_refresh`` are the rack's per-server actuator state and are
-    updated **in place** with the decisions' outcomes.  Returns the
-    period's decisions and the rack chiller electrical power, both
-    evaluated at the settings the period actually ran with.
+    The load-building half of :func:`run_rack_period`, split out so the
+    datacenter floor engine can assemble every rack's loads first and then
+    batch the physics of the whole floor in one pass.  ``current_mappings``
+    is updated **in place** when a DVFS decision moved a server's frequency
+    away from its mapping's.  ``mapping_memo`` optionally memoizes
+    re-pinned mappings across servers and periods (keyed by the source
+    mapping's identity and the target frequency) — identical servers then
+    share one rebuilt mapping instead of recomputing it per server.
     """
     loads = []
     for index, server in enumerate(servers):
         if current_mappings[index].configuration.frequency_ghz != frequencies[index]:
-            current_mappings[index] = mapping_at_frequency(
-                server.mapping, frequencies[index]
-            )
+            if mapping_memo is None:
+                current_mappings[index] = mapping_at_frequency(
+                    server.mapping, frequencies[index]
+                )
+            else:
+                key = (id(server.mapping), frequencies[index])
+                mapped = mapping_memo.get(key)
+                if mapped is None:
+                    mapped = mapping_at_frequency(server.mapping, frequencies[index])
+                    mapping_memo[key] = mapped
+                current_mappings[index] = mapped
         phase = traces[index].phase_at(time_s)
         loads.append(
             ServerLoad(
@@ -466,12 +465,29 @@ def run_rack_period(
                 water_loop=water_loops[index],
             )
         )
-    advance = rack_session.advance(
-        loads,
-        control_period_s,
-        n_substeps=transient_substeps,
-        force_boundary_refresh=force_refresh,
-    )
+    return loads
+
+
+def apply_rack_decisions(
+    advance,
+    servers: Sequence[RackServer],
+    frequencies: list[float],
+    water_loops: list[WaterLoop],
+    force_refresh: list[bool],
+    time_s: float,
+    policy,
+    chiller: ChillerModel,
+) -> tuple[tuple[ControllerDecision, ...], float]:
+    """Apply the fast per-server rule to one rack's advanced physics.
+
+    The decision half of :func:`run_rack_period`: walks a
+    :class:`~repro.core.rack_session.RackAdvance`, charges the rack's
+    chiller power and lets ``policy`` pick each server's next actuator
+    settings.  ``frequencies``, ``water_loops`` and ``force_refresh`` are
+    updated **in place**; returns the period's decisions and the rack
+    chiller electrical power, both evaluated at the settings the period
+    actually ran with.
+    """
     decisions = []
     period_chiller_w = 0.0
     for index, server in enumerate(servers):
@@ -500,6 +516,56 @@ def run_rack_period(
             )
         )
     return tuple(decisions), period_chiller_w
+
+
+def run_rack_period(
+    rack_session: RackSession,
+    servers: Sequence[RackServer],
+    traces: Sequence[PhasedTrace],
+    current_mappings: list[WorkloadMapping],
+    frequencies: list[float],
+    water_loops: list[WaterLoop],
+    force_refresh: list[bool],
+    time_s: float,
+    control_period_s: float,
+    transient_substeps: int,
+    policy,
+    chiller: ChillerModel,
+) -> tuple[tuple[ControllerDecision, ...], float]:
+    """One transient control period of one rack: physics + fast decisions.
+
+    The single source of the per-rack period step, shared by
+    :meth:`ThermosyphonController.run_rack_trace` and the datacenter layer
+    (:class:`repro.datacenter.model.DatacenterSession`), so the two lanes
+    cannot diverge — a fixed-setpoint datacenter run is bit-identical to
+    standalone rack traces *by construction*.  ``policy`` is anything with
+    the :meth:`DecisionPolicy.decide` signature (the controller passes
+    itself, so subclass overrides of ``decide`` keep working).
+
+    Composed of :func:`build_rack_loads` (actuator state -> loads), one
+    :meth:`RackSession.advance` (physics) and :func:`apply_rack_decisions`
+    (fast rule).  The datacenter floor engine runs the same two bookend
+    helpers but batches the middle physics stage across every rack on the
+    floor, which is why the split exists.
+
+    ``current_mappings``, ``frequencies``, ``water_loops`` and
+    ``force_refresh`` are the rack's per-server actuator state and are
+    updated **in place** with the decisions' outcomes.  Returns the
+    period's decisions and the rack chiller electrical power, both
+    evaluated at the settings the period actually ran with.
+    """
+    loads = build_rack_loads(
+        servers, traces, current_mappings, frequencies, water_loops, time_s
+    )
+    advance = rack_session.advance(
+        loads,
+        control_period_s,
+        n_substeps=transient_substeps,
+        force_boundary_refresh=force_refresh,
+    )
+    return apply_rack_decisions(
+        advance, servers, frequencies, water_loops, force_refresh, time_s, policy, chiller
+    )
 
 
 class ThermosyphonController:

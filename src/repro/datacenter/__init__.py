@@ -1,19 +1,36 @@
-"""Datacenter layer: racks behind one chiller plant, two control loops.
+"""Datacenter layer: a floor of racks advanced through stacked group solves.
 
 The top of the scaling ladder this repository climbs (server -> rack ->
-datacenter).  A floor of racks shares one chiller plant
+datacenter).  A floor of racks — homogeneous or **mixed-SKU**, each
+:class:`~repro.datacenter.model.RackSpec` optionally carrying its own
+floorplan, thermosyphon design and power model — shares one chiller plant
 (:class:`~repro.thermosyphon.chiller.ChillerPlant`) whose water supply
 temperature is the *slow* actuator: the
 :class:`~repro.datacenter.supervisory.SupervisoryController` raises it to
 save plant electrical power while every server's predicted peak case
 temperature clears ``T_CASE_MAX``, and drops it the moment any server
 enters the violation band — layered on top of the paper's *fast*
-per-server valve/DVFS rule.  The scenario engine
+per-server valve/DVFS rule.
+
+The physics of every control period belongs to the
+:class:`~repro.datacenter.floor.FloorEngine`: servers across the whole
+floor are grouped by hardware (one
+:class:`~repro.thermal.simulator.ThermalSimulator` per distinct
+floorplan) and by cooling-boundary content, and each group advances
+through **one** stacked multi-RHS back-substitution per substep and one
+evaporator lane march per water-condition group — rack sessions become
+row-block views over the floor's group arrays.  A homogeneous N-rack
+floor therefore costs roughly one rack's factorizations and solves, and
+a heterogeneous floor simply stacks fewer rows per group; both stay
+bit-identical to standalone per-rack traces because batching never
+changes the arithmetic.  The scenario engine
 (:mod:`repro.datacenter.scenarios`) generates seeded, replayable
 floor-wide load shapes (diurnal, flash crowd, rolling batch, mixed) from
-the existing PARSEC phase traces.
+the existing PARSEC phase traces, optionally cycling several thermosyphon
+designs across racks for mixed-SKU floors.
 """
 
+from repro.datacenter.floor import FloorAdvance, FloorEngine
 from repro.datacenter.model import (
     DatacenterModel,
     DatacenterPeriod,
@@ -39,6 +56,8 @@ __all__ = [
     "DatacenterPeriod",
     "DatacenterSession",
     "DatacenterTrace",
+    "FloorAdvance",
+    "FloorEngine",
     "RackSpec",
     "DatacenterScenario",
     "DEFAULT_BENCHMARKS",

@@ -1,0 +1,411 @@
+"""Floor engine: every server on the floor stacked through shared operators.
+
+PR 5's datacenter layer advanced racks one :class:`RackSession` at a time,
+so a homogeneous 20-rack floor paid 20 multi-RHS back-substitutions per
+substep where the physics permits one.  :class:`FloorEngine` inverts the
+ownership of floor state: the *floor* holds one stacked
+``(n_servers_in_group, n_cells)`` temperature array per **hardware group**
+(racks sharing one thermal network, i.e. one
+:class:`~repro.thermal.simulator.ThermalSimulator`), and every rack
+session's state becomes a row-block view into its group's array.  Each
+control period runs four floor-wide batched stages:
+
+1. **Power** — per-server power models, memoized per hardware group:
+   servers carrying the same (benchmark, mapping, activity) triple share
+   one evaluation, because the power model is a deterministic pure
+   function of them.
+2. **Refresh** — every stale cooling boundary on the floor is grouped by
+   (thermosyphon design, water condition, total power); each group
+   converges the loop operating point *once* and marches its evaporator
+   lanes through **one** stacked
+   :meth:`~repro.thermosyphon.loop.ThermosyphonLoop.cooling_boundaries`
+   call per water-condition group — across racks, not per rack.
+3. **Solve** — steady initialization and every backward-Euler substep run
+   one :meth:`~repro.thermal.simulator.ThermalSimulator.\
+transient_step_many_from_maps` (or ``steady_state_many_from_maps``) per
+   (hardware group, cooling-boundary content) — one factorization and one
+   multi-RHS back-substitution for *all* servers sharing an operator,
+   whatever rack they sit in.
+4. **Finish** — each rack session adopts its row-block view of the group
+   array through :meth:`RackSession.finish_advance`, so the rack-level API
+   (results, residual tracking, boundary hold policy) is unchanged.
+
+Because SuperLU back-substitutes multi-column right-hand sides column by
+column and the lane march is elementwise across servers, stacking across
+racks changes *nothing numerically*: a fixed-setpoint floor run is
+bit-identical to standalone per-rack traces, which remain the golden
+model.  Heterogeneous floors (mixed SKUs/designs) need no fallback — each
+hardware group simply stacks fewer rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rack_session import RackAdvance, RackSession, ServerLoad
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.thermosyphon.loop import BoundaryResult, LoopOperatingPoint
+
+__all__ = ["FloorAdvance", "FloorEngine"]
+
+
+@dataclass(frozen=True)
+class FloorAdvance:
+    """Outcome of one floor-wide control period of physics.
+
+    ``racks[r]`` is rack ``r``'s :class:`RackAdvance`, exactly as the
+    per-rack engine would have produced it.  ``worst_period_peak_case_c``
+    is the highest within-period case temperature across *every* server on
+    the floor, computed vectorized from the stacked group arrays — the
+    floor-level predicted-peak input of the supervisory setpoint loop.
+    """
+
+    racks: tuple[RackAdvance, ...]
+    worst_period_peak_case_c: float
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks advanced."""
+        return len(self.racks)
+
+
+class _HardwareGroup:
+    """One stack of racks sharing a thermal network (and its cache)."""
+
+    def __init__(self, rack_indices: list[int], sessions: Sequence[RackSession]):
+        self.rack_indices = rack_indices
+        self.simulator = sessions[rack_indices[0]].thermal_simulator
+        self.case_cell_index = sessions[rack_indices[0]].case_cell_index
+        self.n_servers = sum(sessions[r].n_servers for r in rack_indices)
+        # Contiguous row blocks, one per rack, in rack order.
+        self.rack_rows: dict[int, slice] = {}
+        offset = 0
+        for r in rack_indices:
+            self.rack_rows[r] = slice(offset, offset + sessions[r].n_servers)
+            offset += sessions[r].n_servers
+        self.fields: np.ndarray | None = None
+
+
+class FloorEngine:
+    """Advances every rack on the floor through stacked group solves.
+
+    Parameters
+    ----------
+    rack_sessions:
+        One :class:`RackSession` per rack.  Sessions sharing a thermal
+        simulator form one hardware group and stack their state; sessions
+        with distinct simulators (mixed SKUs) form separate groups — the
+        engine handles any mix, there is no homogeneous-only fast path to
+        fall back from.
+    """
+
+    def __init__(self, rack_sessions: Sequence[RackSession]) -> None:
+        self.rack_sessions = list(rack_sessions)
+        if not self.rack_sessions:
+            raise ConfigurationError("a floor engine needs at least one rack session")
+        by_simulator: dict[int, list[int]] = {}
+        for r, session in enumerate(self.rack_sessions):
+            by_simulator.setdefault(id(session.thermal_simulator), []).append(r)
+        self._groups = [
+            _HardwareGroup(rack_indices, self.rack_sessions)
+            for rack_indices in by_simulator.values()
+        ]
+        self._group_of_rack: dict[int, _HardwareGroup] = {}
+        for group in self._groups:
+            for r in group.rack_indices:
+                self._group_of_rack[r] = group
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_racks(self) -> int:
+        """Number of racks on the floor."""
+        return len(self.rack_sessions)
+
+    @property
+    def n_servers(self) -> int:
+        """Total number of servers across the floor."""
+        return sum(session.n_servers for session in self.rack_sessions)
+
+    @property
+    def n_hardware_groups(self) -> int:
+        """Number of distinct thermal networks (stacked state arrays)."""
+        return len(self._groups)
+
+    def boundary_groups(self) -> list[list[tuple[int, int]]]:
+        """Current solve partition: ``(rack, server)`` pairs per operator.
+
+        Servers land in the same group when they share both a thermal
+        network and a cooling-boundary content
+        (:meth:`~repro.thermal.boundary.CoolingBoundary.cache_token`) —
+        exactly the servers whose next substep is one stacked solve.  A
+        valve action, DVFS move or water-setpoint change re-partitions the
+        floor at the next advance.  Servers that have not held a boundary
+        yet (before the first advance) are omitted.
+        """
+        partition: dict[tuple, list[tuple[int, int]]] = {}
+        for group in self._groups:
+            for r in group.rack_indices:
+                session = self.rack_sessions[r]
+                for s, state in enumerate(session._boundaries):
+                    if state is None:
+                        continue
+                    token = (id(group), state.boundary_result.boundary.cache_token())
+                    partition.setdefault(token, []).append((r, s))
+        return list(partition.values())
+
+    def reset(self) -> None:
+        """Cold-start the floor: group arrays and every rack session."""
+        for group in self._groups:
+            group.fields = None
+        for session in self.rack_sessions:
+            session.reset()
+
+    # ------------------------------------------------------------------ #
+    # The floor-wide period step
+    # ------------------------------------------------------------------ #
+    def advance(
+        self,
+        rack_loads: Sequence[Sequence[ServerLoad]],
+        dt_s: float,
+        *,
+        n_substeps: int = 1,
+        force_boundary_refresh: Sequence[bool | Sequence[bool]] | None = None,
+    ) -> FloorAdvance:
+        """Advance every server on the floor by ``dt_s``.
+
+        ``rack_loads[r]`` is rack ``r``'s per-server loads (as for
+        :meth:`RackSession.advance`); ``force_boundary_refresh[r]`` is that
+        rack's flag or per-server flags.  Results are bit-identical to
+        calling each rack session's own ``advance`` in rack order — the
+        stacking only changes how many rows each factorized operator
+        back-substitutes at once.
+        """
+        if len(rack_loads) != self.n_racks:
+            raise ValidationError(
+                f"expected loads for {self.n_racks} racks, got {len(rack_loads)}"
+            )
+        if n_substeps < 1:
+            raise ValueError(f"n_substeps must be >= 1, got {n_substeps}")
+        if force_boundary_refresh is None:
+            force_boundary_refresh = [False] * self.n_racks
+        elif len(force_boundary_refresh) != self.n_racks:
+            raise ValidationError(
+                f"expected refresh flags for {self.n_racks} racks, "
+                f"got {len(force_boundary_refresh)}"
+            )
+
+        # Stage 1: power models, memoized within each hardware group.  The
+        # memo key is (benchmark, mapping, activity) identity, so it is only
+        # shared between sessions agreeing on power model, mapper
+        # orientation and grid — keyed accordingly.
+        memos: dict[tuple, dict] = {}
+        loads: list[list[ServerLoad]] = []
+        breakdowns: list[list] = []
+        power_maps: list[np.ndarray] = []
+        water_loops: list[list] = []
+        refreshed: list[list[bool]] = []
+        for r, session in enumerate(self.rack_sessions):
+            checked = session._check_loads(rack_loads[r])
+            force = session.normalize_force_flags(force_boundary_refresh[r])
+            memo = memos.setdefault(
+                (
+                    id(session.thermal_simulator),
+                    id(session.power_model),
+                    session.design.orientation,
+                ),
+                {},
+            )
+            rack_breakdowns, rack_maps, rack_loops = session._evaluate_power(
+                checked, memo=memo
+            )
+            loads.append(checked)
+            breakdowns.append(rack_breakdowns)
+            power_maps.append(rack_maps)
+            water_loops.append(rack_loops)
+            refreshed.append(session.plan_refresh(rack_maps, rack_loops, force))
+
+        self._refresh_boundaries_floor_wide(power_maps, water_loops, refreshed)
+
+        boundaries = [
+            [state.boundary_result for state in self.rack_sessions[r].held_boundaries()]
+            for r in range(self.n_racks)
+        ]
+
+        # Stages 3-4 run per hardware group on the stacked arrays.
+        rack_advances: list[RackAdvance | None] = [None] * self.n_racks
+        worst_peak = float("-inf")
+        for group in self._groups:
+            group_peak = self._advance_group(
+                group,
+                loads,
+                breakdowns,
+                power_maps,
+                water_loops,
+                boundaries,
+                refreshed,
+                rack_advances,
+                dt_s,
+                n_substeps,
+            )
+            worst_peak = max(worst_peak, group_peak)
+        return FloorAdvance(
+            racks=tuple(rack_advances),  # type: ignore[arg-type]
+            worst_period_peak_case_c=worst_peak,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: floor-wide boundary refresh
+    # ------------------------------------------------------------------ #
+    def _refresh_boundaries_floor_wide(
+        self,
+        power_maps: Sequence[np.ndarray],
+        water_loops: Sequence[Sequence],
+        refreshed: Sequence[Sequence[bool]],
+    ) -> None:
+        """Converge and march every stale boundary on the floor, batched.
+
+        Identical hardware at the same water condition and heat load
+        reaches the same loop operating point, so the condenser iteration
+        runs once per distinct (design, water loop, total power) across the
+        *whole floor*; the evaporator lane march then runs once per
+        operating-point group with the power maps of every member server —
+        whatever rack it sits in — stacked into a single call.
+        """
+        # (design, water loop, total power) -> [(rack, server, total), ...]
+        point_members: dict[tuple, list[tuple[int, int, float]]] = {}
+        for r, session in enumerate(self.rack_sessions):
+            for s in range(session.n_servers):
+                if not refreshed[r][s]:
+                    continue
+                total = float(power_maps[r][s].sum())
+                key = (session.design, water_loops[r][s], total)
+                point_members.setdefault(key, []).append((r, s, total))
+        if not point_members:
+            return
+
+        # One loop convergence per group, then one lane march per group of
+        # members sharing the grid pitch (the pitch is fixed per hardware
+        # group; designs shared across SKUs march separately per pitch).
+        for (design, water_loop, total), members in point_members.items():
+            first_session = self.rack_sessions[members[0][0]]
+            point: LoopOperatingPoint = first_session.loop.operating_point(
+                total, water_loop
+            )
+            by_pitch: dict[tuple, list[tuple[int, int, float]]] = {}
+            for r, s, member_total in members:
+                pitch = self.rack_sessions[r].thermal_simulator.grid.cell_pitch_mm()
+                by_pitch.setdefault(tuple(pitch), []).append((r, s, member_total))
+            for pitch_members in by_pitch.values():
+                r0 = pitch_members[0][0]
+                session0 = self.rack_sessions[r0]
+                pitch = session0.thermal_simulator.grid.cell_pitch_mm()
+                stacked = np.stack(
+                    [power_maps[r][s] for r, s, _ in pitch_members]
+                )
+                results: list[BoundaryResult] = session0.loop.cooling_boundaries(
+                    stacked, pitch, point
+                )
+                for (r, s, member_total), result in zip(pitch_members, results):
+                    self.rack_sessions[r].store_boundary(
+                        s, point, result, water_loops[r][s], member_total
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Stages 3-4: stacked init and substep marching of one hardware group
+    # ------------------------------------------------------------------ #
+    def _advance_group(
+        self,
+        group: _HardwareGroup,
+        loads: Sequence[Sequence[ServerLoad]],
+        breakdowns: Sequence[Sequence],
+        power_maps: Sequence[np.ndarray],
+        water_loops: Sequence[Sequence],
+        boundaries: Sequence[Sequence[BoundaryResult]],
+        refreshed: Sequence[Sequence[bool]],
+        rack_advances: list[RackAdvance | None],
+        dt_s: float,
+        n_substeps: int,
+    ) -> float:
+        simulator = group.simulator
+        n_cells = simulator.grid.n_cells
+
+        # Stack this group's power maps and boundaries in rack-row order.
+        group_maps = np.concatenate([power_maps[r] for r in group.rack_indices])
+        group_boundaries: list[BoundaryResult] = []
+        for r in group.rack_indices:
+            group_boundaries.extend(boundaries[r])
+
+        # Solve partition: rows sharing a cooling-boundary content advance
+        # through one cached factorization per substep.
+        token_rows: dict[tuple, list[int]] = {}
+        for row, boundary in enumerate(group_boundaries):
+            token_rows.setdefault(boundary.boundary.cache_token(), []).append(row)
+        row_groups = list(token_rows.values())
+
+        # Steady initialization of any cold rack, batched per operator
+        # across the whole group; warm racks keep their carried fields.  A
+        # session advanced standalone (or reset) between floor periods no
+        # longer views the group array, so its rows are re-seeded from its
+        # own state.
+        fields = group.fields
+        warm = fields is not None and all(
+            self.rack_sessions[r].fields is not None
+            and self.rack_sessions[r].fields.base is fields
+            for r in group.rack_indices
+        )
+        if not warm:
+            fields = np.empty((group.n_servers, n_cells), dtype=float)
+            cold_rows: list[int] = []
+            for r in group.rack_indices:
+                rows = group.rack_rows[r]
+                carried = self.rack_sessions[r].fields
+                if carried is None:
+                    cold_rows.extend(range(rows.start, rows.stop))
+                else:
+                    fields[rows] = carried
+            cold = set(cold_rows)
+            for rows in row_groups:
+                init_rows = [row for row in rows if row in cold]
+                if init_rows:
+                    fields[init_rows] = simulator.steady_state_many_from_maps(
+                        group_maps[init_rows], group_boundaries[init_rows[0]].boundary
+                    )
+
+        sub_dt = dt_s / n_substeps
+        residuals = np.zeros(group.n_servers, dtype=float)
+        peak_case = np.full(group.n_servers, float("-inf"), dtype=float)
+        for _ in range(n_substeps):
+            new_fields = np.empty_like(fields)
+            for rows in row_groups:
+                new_fields[rows] = simulator.transient_step_many_from_maps(
+                    fields[rows],
+                    group_maps[rows],
+                    group_boundaries[rows[0]].boundary,
+                    sub_dt,
+                )
+            residuals = np.max(np.abs(new_fields - fields), axis=1)
+            fields = new_fields
+            peak_case = np.maximum(peak_case, fields[:, group.case_cell_index])
+        group.fields = fields
+
+        # Stage 5: every rack session adopts its row-block view and builds
+        # its per-server results — the rack is now a view over floor state.
+        for r in group.rack_indices:
+            rows = group.rack_rows[r]
+            rack_advances[r] = self.rack_sessions[r].finish_advance(
+                loads[r],
+                breakdowns[r],
+                water_loops[r],
+                fields[rows],
+                residuals[rows],
+                peak_case[rows],
+                refreshed[r],
+                dt_s,
+                n_substeps,
+            )
+        return float(peak_case.max())

@@ -2,24 +2,30 @@
 
 The top layer of the simulation stack.  A :class:`DatacenterModel` owns a
 floor of racks — each rack a set of servers with their own workloads,
-mappings, QoS contracts and phased activity traces — plus one shared
-:class:`~repro.thermosyphon.chiller.ChillerPlant` supplying every rack's
+mappings, QoS contracts, phased activity traces and (optionally) its own
+hardware: a :class:`RackSpec` may carry a per-rack floorplan, thermosyphon
+design and power model, so the floor can mix SKUs.  One shared
+:class:`~repro.thermosyphon.chiller.ChillerPlant` supplies every rack's
 condenser water.  :class:`DatacenterSession` executes the floor over time:
 
-* every control period, each rack steps through its own
-  :class:`~repro.core.rack_session.RackSession` — all rack sessions are
-  built on **one shared thermal simulator**, so racks with identical
-  hardware draw their operators from the same
-  :class:`~repro.thermal.solver_cache.FactorizationCache` (a homogeneous
-  4-rack x 8-server floor still pays roughly one factorization per distinct
-  cooling boundary, not one per rack);
+* every control period, the
+  :class:`~repro.datacenter.floor.FloorEngine` advances **every server on
+  the floor** through stacked per-hardware-group state arrays — one
+  :class:`~repro.thermal.simulator.ThermalSimulator` (and factorization
+  cache) per distinct floorplan, one multi-RHS back-substitution per
+  (hardware group, cooling boundary) per substep, one lane march per
+  water-condition group across racks.  Each rack's
+  :class:`~repro.core.rack_session.RackSession` becomes a row-block view
+  over its group array; ``engine="per-rack"`` keeps the rack-at-a-time
+  loop as a reference baseline;
 * each server then runs the paper's fast flow-first/DVFS-second rule
   (:class:`~repro.core.runtime_controller.DecisionPolicy` — the exact rule
   :meth:`ThermosyphonController.run_rack_trace` applies, so a fixed-setpoint
   datacenter trace reproduces the standalone rack traces bit for bit);
 * a :class:`~repro.datacenter.supervisory.SupervisoryController`, when
   given, closes the slow outer loop on the chiller water supply setpoint,
-  trading thermal headroom for plant electrical power.
+  reading the floor-level within-period peak straight off the stacked
+  group arrays and trading thermal headroom for plant electrical power.
 
 The result is a :class:`DatacenterTrace`: per-rack
 :class:`~repro.core.runtime_controller.RackTrace` series, the setpoint
@@ -37,10 +43,13 @@ from repro.core.runtime_controller import (
     DecisionPolicy,
     RackServer,
     RackTrace,
+    apply_rack_decisions,
+    build_rack_loads,
     mapping_at_frequency,
     run_rack_period,
 )
 from repro.core.session import T_CASE_MAX_C
+from repro.datacenter.floor import FloorEngine
 from repro.datacenter.supervisory import SupervisoryController, SupervisoryDecision
 from repro.exceptions import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
@@ -56,16 +65,26 @@ from repro.utils.validation import check_positive
 
 @dataclass(frozen=True)
 class RackSpec:
-    """One rack of the floor: its name, servers and optional shared trace.
+    """One rack of the floor: name, servers, trace and optional hardware.
 
     ``trace`` is the rack-level fallback activity trace; servers carrying
     their own :attr:`RackServer.trace` follow that instead.  Every server
     must end up with a trace one way or the other.
+
+    ``floorplan``, ``design`` and ``power_model`` override the floor-wide
+    hardware substrate for this rack (``None`` inherits the model default).
+    Racks naming the same floorplan object share one thermal simulator and
+    factorization cache; racks with distinct floorplans form separate
+    hardware groups in the floor engine — that is what a mixed-SKU floor
+    looks like.
     """
 
     name: str
     servers: tuple[RackServer, ...]
     trace: PhasedTrace | None = None
+    floorplan: Floorplan | None = None
+    design: ThermosyphonDesign | None = None
+    power_model: ServerPowerModel | None = None
 
     def __post_init__(self) -> None:
         if not self.servers:
@@ -258,8 +277,18 @@ class DatacenterModel:
         The shared :class:`ChillerPlant`; its COP/free-cooling laws make
         the supply setpoint an energy lever.
     floorplan, design, power_model, thermal_simulator, cell_size_mm:
-        The (homogeneous) hardware substrate.  One thermal simulator —
-        and therefore one factorization cache — is shared by every rack.
+        The *default* hardware substrate — racks whose :class:`RackSpec`
+        does not override it share this floorplan, design, power model and
+        thermal simulator (and therefore one factorization cache).  Racks
+        carrying their own floorplan get one simulator per distinct
+        floorplan, built at the default simulator's cell size.
+    engine:
+        ``"floor"`` (default) advances the whole floor through the stacked
+        :class:`~repro.datacenter.floor.FloorEngine`; ``"per-rack"`` keeps
+        the rack-at-a-time loop of the earlier datacenter layer as a
+        reference baseline.  Both are bit-identical — the floor engine
+        only changes how many rows each factorized operator
+        back-substitutes at once.
     control_period_s, transient_substeps:
         The fast loop's period and backward-Euler substeps, as in
         :meth:`ThermosyphonController.run_rack_trace`.
@@ -283,6 +312,7 @@ class DatacenterModel:
         power_model: ServerPowerModel | None = None,
         thermal_simulator: ThermalSimulator | None = None,
         cell_size_mm: float = 1.0,
+        engine: str = "floor",
         control_period_s: float = 2.0,
         transient_substeps: int = 4,
         policy: DecisionPolicy | None = None,
@@ -307,6 +337,48 @@ class DatacenterModel:
             if thermal_simulator is not None
             else ThermalSimulator(self.floorplan, cell_size_mm=cell_size_mm)
         )
+        if engine not in ("floor", "per-rack"):
+            raise ConfigurationError(
+                f"engine must be 'floor' or 'per-rack', got {engine!r}"
+            )
+        self.engine = engine
+        # Resolve each rack's hardware once: racks naming the same floorplan
+        # object share one simulator (and one power model, unless the spec
+        # carries its own) — the floor engine groups stacked state by these
+        # simulator identities.
+        simulators: dict[int, ThermalSimulator] = {
+            id(self.floorplan): self.thermal_simulator
+        }
+        power_models: dict[int, ServerPowerModel] = {
+            id(self.floorplan): self.power_model
+        }
+        rack_floorplans: list[Floorplan] = []
+        rack_designs: list[ThermosyphonDesign] = []
+        rack_power_models: list[ServerPowerModel] = []
+        rack_simulators: list[ThermalSimulator] = []
+        for rack in self.racks:
+            rack_floorplan = rack.floorplan if rack.floorplan is not None else self.floorplan
+            simulator = simulators.get(id(rack_floorplan))
+            if simulator is None:
+                simulator = ThermalSimulator(
+                    rack_floorplan, cell_size_mm=self.thermal_simulator.cell_size_mm
+                )
+                simulators[id(rack_floorplan)] = simulator
+            if rack.power_model is not None:
+                rack_power_model = rack.power_model
+            else:
+                rack_power_model = power_models.get(id(rack_floorplan))
+                if rack_power_model is None:
+                    rack_power_model = ServerPowerModel(rack_floorplan)
+                    power_models[id(rack_floorplan)] = rack_power_model
+            rack_floorplans.append(rack_floorplan)
+            rack_designs.append(rack.design if rack.design is not None else self.design)
+            rack_power_models.append(rack_power_model)
+            rack_simulators.append(simulator)
+        self.rack_floorplans = tuple(rack_floorplans)
+        self.rack_designs = tuple(rack_designs)
+        self.rack_power_models = tuple(rack_power_models)
+        self.rack_simulators = tuple(rack_simulators)
         self.control_period_s = check_positive(control_period_s, "control_period_s")
         if transient_substeps < 1:
             raise ConfigurationError(
@@ -331,6 +403,11 @@ class DatacenterModel:
     def n_servers(self) -> int:
         """Total number of servers across all racks."""
         return sum(rack.n_servers for rack in self.racks)
+
+    @property
+    def n_hardware_groups(self) -> int:
+        """Distinct thermal networks across the floor (1 when homogeneous)."""
+        return len({id(simulator) for simulator in self.rack_simulators})
 
     @property
     def duration_s(self) -> float:
@@ -361,10 +438,11 @@ class DatacenterModel:
 class DatacenterSession:
     """Executes a :class:`DatacenterModel` period by period.
 
-    Owns the mutable floor state: one :class:`RackSession` per rack (all on
-    the model's shared thermal simulator), the per-server actuator settings
-    (water valve and DVFS level) and the current chiller supply setpoint.
-    The per-rack, per-period logic mirrors
+    Owns the mutable floor state: one :class:`RackSession` per rack (each
+    on its rack's resolved hardware), the :class:`FloorEngine` stacking
+    those sessions into per-hardware-group state arrays, the per-server
+    actuator settings (water valve and DVFS level) and the current chiller
+    supply setpoint.  The per-period logic mirrors
     :meth:`ThermosyphonController.run_rack_trace` operation for operation,
     so a fixed-setpoint datacenter run reproduces standalone rack traces
     exactly; the supervisory loop only ever acts *between* periods by
@@ -381,54 +459,87 @@ class DatacenterSession:
         self.rack_sessions = [
             RackSession(
                 rack.n_servers,
-                floorplan=model.floorplan,
-                design=model.design,
-                power_model=model.power_model,
-                thermal_simulator=model.thermal_simulator,
+                floorplan=model.rack_floorplans[r],
+                design=model.rack_designs[r],
+                power_model=model.rack_power_models[r],
+                thermal_simulator=model.rack_simulators[r],
             )
-            for rack in model.racks
+            for r, rack in enumerate(model.racks)
         ]
         for session in self.rack_sessions:
             if model.boundary_refresh_tol is not None:
                 session.boundary_refresh_tol = model.boundary_refresh_tol
             if model.adaptive_boundary_refresh is not None:
                 session.adaptive_boundary_refresh = model.adaptive_boundary_refresh
-        base_loop = model.design.water_loop().with_inlet_temperature(self.setpoint_c)
+        self.floor_engine = (
+            FloorEngine(self.rack_sessions) if model.engine == "floor" else None
+        )
         self._traces = [
             [rack.server_trace(index) for index in range(rack.n_servers)]
             for rack in model.racks
         ]
-        self._water_loops = [[base_loop] * rack.n_servers for rack in model.racks]
+        base_loops = [
+            model.rack_designs[r].water_loop().with_inlet_temperature(self.setpoint_c)
+            for r in range(model.n_racks)
+        ]
+        self._water_loops = [
+            [base_loops[r]] * rack.n_servers for r, rack in enumerate(model.racks)
+        ]
         self._frequencies = [
             [server.mapping.configuration.frequency_ghz for server in rack.servers]
             for rack in model.racks
         ]
+        # Identical servers share mapping objects; memoize per (mapping,
+        # frequency) so the floor resolves each distinct pair once instead
+        # of once per server — here and on every later DVFS rebuild.
+        self._mapping_memo: dict = {}
         self._mappings = [
             [
-                mapping_at_frequency(server.mapping, server.mapping.configuration.frequency_ghz)
+                self._memoized_mapping(
+                    server.mapping, server.mapping.configuration.frequency_ghz
+                )
                 for server in rack.servers
             ]
             for rack in model.racks
         ]
         self._force_refresh = [[False] * rack.n_servers for rack in model.racks]
 
+    def _memoized_mapping(self, mapping, frequency_ghz: float):
+        key = (id(mapping), frequency_ghz)
+        resolved = self._mapping_memo.get(key)
+        if resolved is None:
+            resolved = mapping_at_frequency(mapping, frequency_ghz)
+            self._mapping_memo[key] = resolved
+        return resolved
+
     def reset(self) -> None:
-        """Cold-start every rack session (fields and held boundaries)."""
-        for session in self.rack_sessions:
-            session.reset()
+        """Cold-start the floor (group arrays, fields, held boundaries)."""
+        if self.floor_engine is not None:
+            self.floor_engine.reset()
+        else:
+            for session in self.rack_sessions:
+                session.reset()
+
+    def _distinct_caches(self) -> list:
+        """The floor's factorization caches, each exactly once.
+
+        Racks sharing a simulator share its cache; heterogeneous floors
+        carry one cache per hardware group.  Dedupe by cache identity so
+        merged floor-wide stats neither double-count a shared cache nor
+        drop a per-SKU one.
+        """
+        caches: dict[int, object] = {}
+        for simulator in self.model.rack_simulators:
+            cache = simulator.solver_cache
+            if cache is not None:
+                caches.setdefault(id(cache), cache)
+        return list(caches.values())
 
     def cache_stats(self) -> CacheStats:
-        """Counters of the floor's shared factorization cache.
-
-        Every rack session reports the same shared cache, so this is the
-        merged floor-wide view by construction — do **not** sum the
-        per-rack-session stats, that would count the shared cache once per
-        rack.
-        """
-        cache = self.model.thermal_simulator.solver_cache
-        if cache is None:
-            return CacheStats.zero()
-        return cache.stats
+        """Merged counters of every distinct factorization cache on the floor."""
+        return sum(
+            (cache.stats for cache in self._distinct_caches()), CacheStats.zero()
+        )
 
     def set_setpoint(self, setpoint_c: float) -> None:
         """Move the chiller supply setpoint (the slow actuator).
@@ -447,38 +558,76 @@ class DatacenterSession:
         ]
 
     def advance_period(self, time_s: float) -> DatacenterPeriod:
-        """One floor-wide control period: rack physics + fast decisions.
+        """One floor-wide control period: floor physics + fast decisions.
 
-        Each rack steps through :func:`run_rack_period` — the identical
-        code path :meth:`ThermosyphonController.run_rack_trace` runs — so
+        Loads are resolved per server through :func:`build_rack_loads` and
+        decisions applied through :func:`apply_rack_decisions` — the exact
+        stages :meth:`ThermosyphonController.run_rack_trace` composes — so
         fixed-setpoint parity with standalone rack traces holds by
-        construction, not by mirrored code.
+        construction, not by mirrored code.  Between them, the floor engine
+        advances every server through one stacked solve per (hardware
+        group, cooling boundary) per substep; ``engine="per-rack"`` models
+        step their racks one :func:`run_rack_period` at a time instead.
         """
         model = self.model
         chiller = model.plant.chiller_at(self.setpoint_c)
         rack_decisions: list[tuple[ControllerDecision, ...]] = []
         rack_chiller_w: list[float] = []
         worst_peak = float("-inf")
-        for r, rack in enumerate(model.racks):
-            decisions, period_chiller_w = run_rack_period(
-                self.rack_sessions[r],
-                rack.servers,
-                self._traces[r],
-                self._mappings[r],
-                self._frequencies[r],
-                self._water_loops[r],
-                self._force_refresh[r],
-                time_s,
+        if self.floor_engine is not None:
+            rack_loads = [
+                build_rack_loads(
+                    rack.servers,
+                    self._traces[r],
+                    self._mappings[r],
+                    self._frequencies[r],
+                    self._water_loops[r],
+                    time_s,
+                    mapping_memo=self._mapping_memo,
+                )
+                for r, rack in enumerate(model.racks)
+            ]
+            floor_advance = self.floor_engine.advance(
+                rack_loads,
                 model.control_period_s,
-                model.transient_substeps,
-                model.policy,
-                chiller,
+                n_substeps=model.transient_substeps,
+                force_boundary_refresh=self._force_refresh,
             )
-            worst_peak = max(
-                worst_peak, max(d.period_peak_case_c for d in decisions)
-            )
-            rack_decisions.append(decisions)
-            rack_chiller_w.append(period_chiller_w)
+            worst_peak = floor_advance.worst_period_peak_case_c
+            for r, rack in enumerate(model.racks):
+                decisions, period_chiller_w = apply_rack_decisions(
+                    floor_advance.racks[r],
+                    rack.servers,
+                    self._frequencies[r],
+                    self._water_loops[r],
+                    self._force_refresh[r],
+                    time_s,
+                    model.policy,
+                    chiller,
+                )
+                rack_decisions.append(decisions)
+                rack_chiller_w.append(period_chiller_w)
+        else:
+            for r, rack in enumerate(model.racks):
+                decisions, period_chiller_w = run_rack_period(
+                    self.rack_sessions[r],
+                    rack.servers,
+                    self._traces[r],
+                    self._mappings[r],
+                    self._frequencies[r],
+                    self._water_loops[r],
+                    self._force_refresh[r],
+                    time_s,
+                    model.control_period_s,
+                    model.transient_substeps,
+                    model.policy,
+                    chiller,
+                )
+                worst_peak = max(
+                    worst_peak, max(d.period_peak_case_c for d in decisions)
+                )
+                rack_decisions.append(decisions)
+                rack_chiller_w.append(period_chiller_w)
         return DatacenterPeriod(
             time_s=time_s,
             setpoint_c=self.setpoint_c,
@@ -516,8 +665,8 @@ class DatacenterSession:
                     f"{model.control_period_s} s"
                 )
         self.reset()
-        cache = model.thermal_simulator.solver_cache
-        stats_before = cache.stats if cache is not None else None
+        caches = self._distinct_caches()
+        stats_before = [cache.stats for cache in caches]
 
         trace = DatacenterTrace(
             rack_names=tuple(rack.name for rack in model.racks),
@@ -552,7 +701,13 @@ class DatacenterSession:
                 trace.supervisory_decisions.append(decision)
                 self.set_setpoint(decision.next_setpoint_c)
                 window_peak = float("-inf")
-        if stats_before is not None and cache is not None:
-            trace.cache_stats = cache.stats.delta(stats_before)
+        if caches:
+            trace.cache_stats = sum(
+                (
+                    cache.stats.delta(before)
+                    for cache, before in zip(caches, stats_before)
+                ),
+                CacheStats.zero(),
+            )
             trace.factorizations = trace.cache_stats.misses
         return trace

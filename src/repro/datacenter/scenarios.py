@@ -201,6 +201,7 @@ def build_scenario(
     phase_dt_s: float | None = None,
     floorplan: Floorplan | None = None,
     design: ThermosyphonDesign = PAPER_OPTIMIZED_DESIGN,
+    designs: Sequence[ThermosyphonDesign] | None = None,
     policy: MappingPolicy | None = None,
 ) -> DatacenterScenario:
     """Build a replayable datacenter scenario of the given kind.
@@ -213,6 +214,12 @@ def build_scenario(
     on (the thread mappings are resolved here, once, not per period).
     ``phase_dt_s`` is the envelope sampling step (default: 1/24 of the
     duration — one "hour" of the compressed day).
+
+    ``designs`` builds a heterogeneous floor: rack ``i`` carries
+    ``designs[i % len(designs)]`` in its :class:`RackSpec` (overriding
+    ``design``), with thread mappings resolved per design orientation —
+    the floor engine then partitions its stacked solves by the resulting
+    hardware groups instead of falling back to anything slower.
     """
     if kind not in SCENARIO_KINDS:
         raise ConfigurationError(
@@ -226,15 +233,29 @@ def build_scenario(
     check_positive(duration_s, "duration_s")
     if not benchmarks:
         raise ConfigurationError("benchmarks must not be empty")
+    if designs is not None and not designs:
+        raise ConfigurationError("designs must not be empty when given")
     dt_s = phase_dt_s if phase_dt_s is not None else max(duration_s / 24.0, 1e-3)
     floorplan = floorplan if floorplan is not None else build_xeon_e5_v4_floorplan()
     policy = policy if policy is not None else ProposedThermalAwareMapping()
-    mapper = ThreadMapper(floorplan, orientation=design.orientation)
     configuration = Configuration(8, 2, frequency_ghz)
     constraint = QoSConstraint(qos_factor)
-    # One mapping per distinct benchmark; mapping resolution is deterministic.
+    # One mapping per distinct (benchmark, design orientation); mapping
+    # resolution is deterministic.  Homogeneous floors resolve each
+    # benchmark once, heterogeneous floors once per distinct orientation.
+    rack_designs = [
+        designs[rack_index % len(designs)] if designs is not None else design
+        for rack_index in range(n_racks)
+    ]
+    mappers = {
+        rack_design.orientation: ThreadMapper(
+            floorplan, orientation=rack_design.orientation
+        )
+        for rack_design in dict.fromkeys(rack_designs)
+    }
     mappings = {
-        name: mapper.map(get_benchmark(name), configuration, policy)
+        (name, orientation): mapper.map(get_benchmark(name), configuration, policy)
+        for orientation, mapper in mappers.items()
         for name in dict.fromkeys(benchmarks)
     }
 
@@ -267,12 +288,20 @@ def build_scenario(
             servers.append(
                 RackServer(
                     benchmark=benchmark,
-                    mapping=mappings[benchmark_name],
+                    mapping=mappings[
+                        (benchmark_name, rack_designs[rack_index].orientation)
+                    ],
                     constraint=constraint,
                     trace=trace,
                 )
             )
-        racks.append(RackSpec(name=f"rack{rack_index}", servers=tuple(servers)))
+        racks.append(
+            RackSpec(
+                name=f"rack{rack_index}",
+                servers=tuple(servers),
+                design=rack_designs[rack_index] if designs is not None else None,
+            )
+        )
     name = f"{kind}-{n_racks}x{servers_per_rack}-seed{seed}"
     return DatacenterScenario(
         name=name,

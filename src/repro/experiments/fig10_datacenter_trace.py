@@ -31,7 +31,10 @@ from repro.datacenter.supervisory import SupervisoryController
 from repro.experiments.common import Platform, build_platform
 from repro.thermal.simulator import ThermalSimulator
 from repro.thermosyphon.chiller import ChillerPlant
-from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN
+from repro.thermosyphon.design import (
+    PAPER_OPTIMIZED_DESIGN,
+    SEURET_REFERENCE_DESIGN,
+)
 
 
 @dataclass
@@ -101,13 +104,19 @@ def run_fig10(
     setpoint_c: float | None = None,
     setpoint_max_c: float = 40.0,
     outdoor_temperature_c: float = 18.0,
+    hetero: bool = False,
 ) -> Fig10Result:
     """Run one scenario under fixed and supervisory setpoint control.
 
     Each run gets a fresh thermal simulator (empty factorization cache) —
     the fig9 convention — so the reported wall times and factorization
-    counts are cold-cache and comparable; within a run, every rack still
-    shares that one simulator/cache.
+    counts are cold-cache and comparable; within a run, the floor engine
+    stacks every rack's servers through shared per-hardware-group
+    operators.  ``n_racks`` scales the floor (the engine's stacked solves
+    keep the cost roughly one rack's worth when hardware is shared), and
+    ``hetero=True`` cycles the paper-optimized and Seuret reference
+    thermosyphon designs across racks — a mixed floor running through the
+    same stacked engine, no fallback.
     """
     platform = platform if platform is not None else build_platform()
     scenario = build_scenario(
@@ -117,6 +126,9 @@ def run_fig10(
         duration_s=duration_s,
         seed=seed,
         floorplan=platform.floorplan,
+        designs=(
+            (PAPER_OPTIMIZED_DESIGN, SEURET_REFERENCE_DESIGN) if hetero else None
+        ),
     )
     plant = ChillerPlant(free_cooling_outdoor_c=outdoor_temperature_c)
     setpoint = (

@@ -30,13 +30,21 @@ QUICK_BENCHMARKS: tuple[str, ...] = ("x264", "swaptions", "canneal", "streamclus
 
 
 def run_all(
-    *, quick: bool = False, cell_size_mm: float = 1.0, max_workers: int | None = None
+    *,
+    quick: bool = False,
+    cell_size_mm: float = 1.0,
+    max_workers: int | None = None,
+    racks: int = 2,
+    hetero: bool = False,
 ) -> str:
     """Run every experiment and return the combined textual report.
 
     ``max_workers`` fans the batched benchmark sweeps (Table II and the
     cooling-power comparison) out over worker processes; the remaining
     experiments run serially on the shared, factorization-cached platform.
+    ``racks``/``hetero`` size the fig10 datacenter floor and optionally mix
+    thermosyphon designs across its racks (exercising the floor engine's
+    multi-group path).
     """
     platform = build_platform(cell_size_mm=cell_size_mm)
     benchmarks = QUICK_BENCHMARKS if quick else PARSEC_BENCHMARK_NAMES
@@ -71,9 +79,10 @@ def run_all(
         sections.append(
             run_fig10(
                 platform,
-                n_racks=2,
+                n_racks=racks,
                 servers_per_rack=2 if quick else 4,
                 duration_s=24.0 if quick else 48.0,
+                hetero=hetero,
             ).as_table()
         )
         sections.append(
@@ -105,12 +114,26 @@ def main() -> None:
         metavar="N",
         help="fan batched sweeps out over N worker processes",
     )
+    parser.add_argument(
+        "--racks",
+        type=int,
+        default=2,
+        metavar="N",
+        help="number of racks on the fig10 datacenter floor",
+    )
+    parser.add_argument(
+        "--hetero",
+        action="store_true",
+        help="cycle two thermosyphon designs across the fig10 floor's racks",
+    )
     arguments = parser.parse_args()
     print(
         run_all(
             quick=arguments.quick,
             cell_size_mm=arguments.cell_size_mm,
             max_workers=arguments.parallel,
+            racks=arguments.racks,
+            hetero=arguments.hetero,
         )
     )
 

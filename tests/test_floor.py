@@ -1,0 +1,417 @@
+"""Floor engine tests: stacked hardware-group solves across the datacenter.
+
+The load-bearing guarantees of :mod:`repro.datacenter.floor`:
+
+* a **mixed-SKU** fixed-setpoint floor (per-rack floorplans, designs and
+  power models) reproduces each rack's standalone
+  :meth:`ThermosyphonController.run_rack_trace` bit for bit — the floor
+  engine partitions its stacked solves by hardware group instead of
+  falling back to anything slower;
+* the solve partition (:meth:`FloorEngine.boundary_groups`) tracks
+  actuator events: a valve action, a DVFS move and a setpoint change land
+  servers in the right groups;
+* an N-rack homogeneous floor pays exactly one rack's operator
+  factorizations, asserted via merged :class:`CacheStats`;
+* :meth:`DatacenterSession.cache_stats` counts every distinct cache
+  exactly once on a heterogeneous floor (no double-count, no drop);
+* ``engine="per-rack"`` (the benchmark baseline) and the floor engine
+  produce identical traces.
+"""
+
+import pytest
+
+from repro.core.mapping import ThreadMapper
+from repro.core.mapping_policies import ProposedThermalAwareMapping
+from repro.core.pipeline import CooledServerSimulation
+from repro.core.rack_session import RackSession, ServerLoad
+from repro.core.runtime_controller import RackServer, ThermosyphonController
+from repro.datacenter.floor import FloorEngine
+from repro.datacenter.model import DatacenterModel, RackSpec
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.power.power_model import ServerPowerModel
+from repro.thermal.simulator import ThermalSimulator
+from repro.thermal.solver_cache import CacheStats
+from repro.thermosyphon.chiller import ChillerPlant
+from repro.thermosyphon.design import (
+    PAPER_OPTIMIZED_DESIGN,
+    SEURET_REFERENCE_DESIGN,
+)
+from repro.workloads.configuration import Configuration
+from repro.workloads.parsec import get_benchmark
+from repro.workloads.qos import QoSConstraint
+from repro.workloads.trace import generate_trace
+
+CELL_SIZE_MM = 2.5
+CONTROL_PERIOD_S = 2.0
+DURATION_S = 16.0
+
+#: All decision fields that must match the standalone rack trace exactly.
+_DECISION_FIELDS = (
+    "time_s",
+    "case_temperature_c",
+    "die_hot_spot_c",
+    "package_power_w",
+    "water_flow_kg_h",
+    "frequency_ghz",
+    "action",
+    "settle_residual_c",
+    "period_peak_case_c",
+)
+
+
+def _simulator(floorplan):
+    return ThermalSimulator(floorplan, cell_size_mm=CELL_SIZE_MM)
+
+
+def _mapping(floorplan, benchmark, design=PAPER_OPTIMIZED_DESIGN, frequency_ghz=3.2):
+    mapper = ThreadMapper(floorplan, orientation=design.orientation)
+    return mapper.map(
+        benchmark, Configuration(8, 2, frequency_ghz), ProposedThermalAwareMapping()
+    )
+
+
+def _servers(floorplan, benchmark, n, design=PAPER_OPTIMIZED_DESIGN, trace=None):
+    mapping = _mapping(floorplan, benchmark, design=design)
+    if trace is None:
+        trace = generate_trace(benchmark, total_duration_s=DURATION_S)
+    return tuple(
+        RackServer(benchmark, mapping, QoSConstraint(2.0), trace=trace)
+        for _ in range(n)
+    )
+
+
+@pytest.fixture(scope="module")
+def second_floorplan():
+    """A second SKU: same die, different heat-spreader footprint."""
+    return build_xeon_e5_v4_floorplan(spreader_size_mm=42.0)
+
+
+class TestFloorEngineValidation:
+    def test_needs_at_least_one_rack(self):
+        with pytest.raises(ConfigurationError):
+            FloorEngine([])
+
+    def test_rack_count_mismatch_rejected(self, floorplan, x264):
+        session = RackSession(
+            1, floorplan=floorplan, thermal_simulator=_simulator(floorplan)
+        )
+        engine = FloorEngine([session])
+        load = ServerLoad(benchmark=x264, mapping=_mapping(floorplan, x264))
+        with pytest.raises(ValidationError):
+            engine.advance([[load], [load]], 2.0)
+
+    def test_bad_engine_name_rejected(self, floorplan, x264):
+        servers = _servers(floorplan, x264, 1)
+        with pytest.raises(ConfigurationError):
+            DatacenterModel(
+                [RackSpec(name="r0", servers=servers)],
+                floorplan=floorplan,
+                thermal_simulator=_simulator(floorplan),
+                engine="batch",
+            )
+
+
+class TestMixedSkuEquivalence:
+    def test_bit_identical_to_standalone_rack_traces(
+        self, floorplan, power_model, second_floorplan, x264, canneal
+    ):
+        """ISSUE acceptance: mixed-SKU floor == per-rack golden path.
+
+        Rack 0 runs the default floorplan with the paper-optimized design;
+        rack 1 a different spreader footprint with the Seuret reference
+        design and its own power model — two hardware groups, two
+        factorization caches.  The fixed-setpoint floor must reproduce
+        each rack's standalone transient trace bit for bit (well inside
+        the 1e-12 acceptance tolerance) with **no** fallback path.
+        """
+        power_model_b = ServerPowerModel(second_floorplan)
+        trace_a = generate_trace(x264, total_duration_s=DURATION_S)
+        trace_b = generate_trace(canneal, total_duration_s=DURATION_S)
+        rack_hardware = [
+            (floorplan, PAPER_OPTIMIZED_DESIGN, power_model, x264, trace_a),
+            (second_floorplan, SEURET_REFERENCE_DESIGN, power_model_b, canneal, trace_b),
+        ]
+        racks = [
+            RackSpec(
+                name=f"rack{i}",
+                servers=_servers(fp, benchmark, 3, design=design, trace=trace),
+                floorplan=None if fp is floorplan else fp,
+                design=None if design is PAPER_OPTIMIZED_DESIGN else design,
+                power_model=None if pm is power_model else pm,
+            )
+            for i, (fp, design, pm, benchmark, trace) in enumerate(rack_hardware)
+        ]
+        plant = ChillerPlant(free_cooling_outdoor_c=18.0)
+        setpoint = PAPER_OPTIMIZED_DESIGN.water_inlet_temperature_c
+        floor = DatacenterModel(
+            racks,
+            plant=plant,
+            floorplan=floorplan,
+            power_model=power_model,
+            thermal_simulator=_simulator(floorplan),
+            control_period_s=CONTROL_PERIOD_S,
+        )
+        assert floor.n_hardware_groups == 2
+        session = floor.session()
+        assert session.floor_engine is not None
+        assert session.floor_engine.n_hardware_groups == 2
+        trace = session.run(duration_s=DURATION_S)
+        assert all(value == setpoint for value in trace.setpoint_c)
+
+        for rack_index, (fp, design, pm, benchmark, _) in enumerate(rack_hardware):
+            simulation = CooledServerSimulation(
+                fp,
+                design=design,
+                power_model=pm,
+                thermal_simulator=_simulator(fp),
+            )
+            controller = ThermosyphonController(
+                simulation, control_period_s=CONTROL_PERIOD_S
+            )
+            standalone = controller.run_rack_trace(
+                list(racks[rack_index].servers),
+                initial_water_loop=design.water_loop().with_inlet_temperature(
+                    setpoint
+                ),
+                chiller=plant.chiller_at(setpoint),
+            )
+            floor_rack = trace.racks[rack_index]
+            assert len(floor_rack.periods) == len(standalone.periods)
+            for ours, theirs in zip(floor_rack.periods, standalone.periods):
+                for decision_a, decision_b in zip(ours, theirs):
+                    for field in _DECISION_FIELDS:
+                        assert getattr(decision_a, field) == getattr(
+                            decision_b, field
+                        ), field
+            assert floor_rack.chiller_power_w == standalone.chiller_power_w
+
+    def test_engines_agree(self, floorplan, power_model, x264, canneal):
+        """The floor engine and the per-rack baseline produce one answer."""
+        racks = [
+            RackSpec(name="r0", servers=_servers(floorplan, x264, 2)),
+            RackSpec(name="r1", servers=_servers(floorplan, canneal, 2)),
+        ]
+
+        def build(engine):
+            return DatacenterModel(
+                racks,
+                plant=ChillerPlant(free_cooling_outdoor_c=18.0),
+                floorplan=floorplan,
+                power_model=power_model,
+                thermal_simulator=_simulator(floorplan),
+                control_period_s=CONTROL_PERIOD_S,
+                engine=engine,
+            )
+
+        floor_trace = build("floor").run_trace(duration_s=DURATION_S)
+        rack_trace = build("per-rack").run_trace(duration_s=DURATION_S)
+        for ours, theirs in zip(floor_trace.racks, rack_trace.racks):
+            assert ours.chiller_power_w == theirs.chiller_power_w
+            for period_a, period_b in zip(ours.periods, theirs.periods):
+                for decision_a, decision_b in zip(period_a, period_b):
+                    for field in _DECISION_FIELDS:
+                        assert getattr(decision_a, field) == getattr(
+                            decision_b, field
+                        ), field
+
+
+class TestBoundaryGroupPartitioning:
+    def _engine(self, floorplan):
+        simulator = _simulator(floorplan)
+        sessions = [
+            RackSession(2, floorplan=floorplan, thermal_simulator=simulator)
+            for _ in range(2)
+        ]
+        return FloorEngine(sessions)
+
+    def _loads(self, floorplan, benchmark, mapping=None, water_loops=None):
+        mapping = mapping if mapping is not None else _mapping(floorplan, benchmark)
+        loops = water_loops if water_loops is not None else [None] * 4
+        loads = [
+            ServerLoad(benchmark=benchmark, mapping=mapping, water_loop=loops[i])
+            for i in range(4)
+        ]
+        return [loads[:2], loads[2:]]
+
+    def test_identical_servers_share_one_group(self, floorplan, x264):
+        engine = self._engine(floorplan)
+        assert engine.boundary_groups() == []  # nothing held before an advance
+        engine.advance(self._loads(floorplan, x264), 2.0, n_substeps=2)
+        groups = engine.boundary_groups()
+        assert len(groups) == 1
+        assert sorted(groups[0]) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_valve_action_splits_the_acting_server(self, floorplan, x264):
+        engine = self._engine(floorplan)
+        engine.advance(self._loads(floorplan, x264), 2.0)
+        opened = PAPER_OPTIMIZED_DESIGN.water_loop().with_flow_rate(9.0)
+        loops = [None, None, opened, None]  # server (1, 0) opens its valve
+        engine.advance(self._loads(floorplan, x264, water_loops=loops), 2.0)
+        groups = {tuple(sorted(group)) for group in engine.boundary_groups()}
+        assert groups == {((0, 0), (0, 1), (1, 1)), ((1, 0),)}
+
+    def test_dvfs_move_splits_the_acting_server(self, floorplan, x264):
+        engine = self._engine(floorplan)
+        engine.advance(self._loads(floorplan, x264), 2.0)
+        slow = _mapping(floorplan, x264, frequency_ghz=2.6)
+        rack0, rack1 = self._loads(floorplan, x264)
+        rack1 = [
+            ServerLoad(benchmark=x264, mapping=slow),  # server (1, 0) steps down
+            rack1[1],
+        ]
+        engine.advance(
+            [rack0, rack1], 2.0, force_boundary_refresh=[False, [True, False]]
+        )
+        groups = {tuple(sorted(group)) for group in engine.boundary_groups()}
+        assert groups == {((0, 0), (0, 1), (1, 1)), ((1, 0),)}
+
+    def test_setpoint_move_regroups_every_server(self, floorplan, x264):
+        engine = self._engine(floorplan)
+        engine.advance(self._loads(floorplan, x264), 2.0)
+        warmer = PAPER_OPTIMIZED_DESIGN.water_loop().with_inlet_temperature(33.0)
+        loops = [warmer] * 4  # the supervisory loop re-issues every loop
+        engine.advance(self._loads(floorplan, x264, water_loops=loops), 2.0)
+        groups = engine.boundary_groups()
+        assert len(groups) == 1
+        assert sorted(groups[0]) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_hardware_groups_never_merge(
+        self, floorplan, second_floorplan, x264
+    ):
+        """Equal designs on distinct thermal networks stay separate solves."""
+        sim_a, sim_b = _simulator(floorplan), _simulator(second_floorplan)
+        sessions = [
+            RackSession(2, floorplan=floorplan, thermal_simulator=sim_a),
+            RackSession(2, floorplan=second_floorplan, thermal_simulator=sim_b),
+        ]
+        engine = FloorEngine(sessions)
+        assert engine.n_hardware_groups == 2
+        mapping_a = _mapping(floorplan, x264)
+        mapping_b = _mapping(second_floorplan, x264)
+        engine.advance(
+            [
+                [ServerLoad(benchmark=x264, mapping=mapping_a)] * 2,
+                [ServerLoad(benchmark=x264, mapping=mapping_b)] * 2,
+            ],
+            2.0,
+        )
+        groups = {tuple(sorted(group)) for group in engine.boundary_groups()}
+        assert groups == {((0, 0), (0, 1)), ((1, 0), (1, 1))}
+
+
+class TestHomogeneousFloorFactorizations:
+    def test_n_rack_floor_pays_one_rack(self, floorplan, power_model, x264):
+        """ISSUE acceptance: N racks, one rack's factorizations (CacheStats)."""
+        trace = generate_trace(x264, total_duration_s=DURATION_S)
+        servers = _servers(floorplan, x264, 2, trace=trace)
+        n_racks = 4
+
+        def run(n):
+            floor = DatacenterModel(
+                [RackSpec(name=f"rack{i}", servers=servers) for i in range(n)],
+                plant=ChillerPlant(free_cooling_outdoor_c=18.0),
+                floorplan=floorplan,
+                power_model=power_model,
+                thermal_simulator=_simulator(floorplan),
+                control_period_s=CONTROL_PERIOD_S,
+            )
+            return floor.run_trace(duration_s=DURATION_S)
+
+        single = run(1)
+        floor_trace = run(n_racks)
+        assert isinstance(floor_trace.cache_stats, CacheStats)
+        assert floor_trace.factorizations == single.factorizations
+        assert floor_trace.cache_stats.misses == floor_trace.factorizations
+
+
+class TestCacheStatsDedupe:
+    def _hetero_model(self, floorplan, second_floorplan, power_model, x264, canneal):
+        racks = [
+            RackSpec(name="r0", servers=_servers(floorplan, x264, 2)),
+            RackSpec(name="r1", servers=_servers(floorplan, canneal, 2)),
+            RackSpec(
+                name="r2",
+                servers=_servers(
+                    second_floorplan, x264, 2, design=SEURET_REFERENCE_DESIGN
+                ),
+                floorplan=second_floorplan,
+                design=SEURET_REFERENCE_DESIGN,
+            ),
+        ]
+        return DatacenterModel(
+            racks,
+            plant=ChillerPlant(free_cooling_outdoor_c=18.0),
+            floorplan=floorplan,
+            power_model=power_model,
+            thermal_simulator=_simulator(floorplan),
+            control_period_s=CONTROL_PERIOD_S,
+        )
+
+    def test_heterogeneous_floor_merges_each_cache_once(
+        self, floorplan, second_floorplan, power_model, x264, canneal
+    ):
+        """ISSUE satellite: no double-count of a shared cache, no dropped one.
+
+        Racks 0 and 1 share the default simulator, rack 2 carries its own —
+        two distinct caches behind three racks.  The merged stats must be
+        the sum over the *distinct* caches, not over rack sessions.
+        """
+        model = self._hetero_model(
+            floorplan, second_floorplan, power_model, x264, canneal
+        )
+        session = model.session()
+        session.advance_period(0.0)
+        caches = {
+            id(simulator.solver_cache): simulator.solver_cache
+            for simulator in model.rack_simulators
+        }
+        assert len(caches) == 2
+        expected = sum(
+            (cache.stats for cache in caches.values()), CacheStats.zero()
+        )
+        assert session.cache_stats() == expected
+        # Both caches saw work (nothing was dropped by the dedupe).
+        for cache in caches.values():
+            assert cache.stats.misses > 0
+
+    def test_run_reports_merged_deltas(
+        self, floorplan, second_floorplan, power_model, x264, canneal
+    ):
+        model = self._hetero_model(
+            floorplan, second_floorplan, power_model, x264, canneal
+        )
+        trace = model.run_trace(duration_s=8.0)
+        assert trace.cache_stats is not None
+        per_cache = {
+            id(simulator.solver_cache): simulator.solver_cache.stats
+            for simulator in model.rack_simulators
+        }
+        merged = sum(per_cache.values(), CacheStats.zero())
+        # Fresh simulators: the run's delta is everything the caches did.
+        assert trace.cache_stats.misses == merged.misses
+        assert trace.cache_stats.hits == merged.hits
+        assert trace.factorizations == merged.misses
+
+
+class TestMappingMemo:
+    def test_identical_servers_share_resolved_mappings(
+        self, floorplan, power_model, x264
+    ):
+        servers = _servers(floorplan, x264, 4)
+        model = DatacenterModel(
+            [RackSpec(name=f"rack{i}", servers=servers) for i in range(2)],
+            plant=ChillerPlant(free_cooling_outdoor_c=18.0),
+            floorplan=floorplan,
+            power_model=power_model,
+            thermal_simulator=_simulator(floorplan),
+            control_period_s=CONTROL_PERIOD_S,
+        )
+        session = model.session()
+        # All eight servers share one RackServer mapping at one frequency:
+        # the memo resolves it once and every slot aliases that object.
+        assert len(session._mapping_memo) == 1
+        resolved = {
+            id(mapping) for rack in session._mappings for mapping in rack
+        }
+        assert len(resolved) == 1
