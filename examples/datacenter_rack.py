@@ -1,26 +1,27 @@
-"""Datacenter demo: a heterogeneous floor under supervisory setpoint control.
+"""Datacenter demo: MPC vs reactive setpoint control over a staged bank.
 
 Builds a seeded diurnal scenario — four racks of four servers, each server
-running its own PARSEC workload trace — and makes the floor *mixed-SKU*:
-racks alternate between the paper-optimized thermosyphon design on the
-stock Xeon E5 v4 package and the Seuret reference design on a wider-spreader
-variant of the package, so the floor carries two hardware groups.  The
-:class:`repro.datacenter.FloorEngine` advances each group through one
-stacked multi-RHS back-substitution per cooling boundary per substep —
-there is no per-rack loop and no fallback path; a mixed floor runs through
-the same stacked engine as a homogeneous one.
+running its own PARSEC workload trace — behind a staged
+:class:`repro.thermosyphon.chiller.ChillerBank` of three chiller units
+(part-load COP curves, one unit taken offline mid-trace for maintenance),
+and runs the floor three times through the stacked
+:class:`repro.datacenter.FloorEngine`:
 
-The floor then runs twice behind one shared chiller plant:
+1. **fixed** — the chiller water supply stays at the design setpoint; only
+   the paper's fast per-server valve/DVFS rule acts;
+2. **reactive** — the :class:`repro.datacenter.SupervisoryController`
+   raises the setpoint one step at a time while a conservative bound on
+   the post-raise peak clears ``T_CASE_MAX`` by the guard margin;
+3. **mpc** — the :class:`repro.datacenter.MpcSupervisoryController`
+   snapshots the warm floor each supervisory period, rolls six candidate
+   setpoint trajectories over a receding horizon through the *real*
+   engine, and commits the first step of the cheapest trajectory predicted
+   to keep every server under the guard margin — including the multi-step
+   raises the reactive bound never authorizes.
 
-1. with the chiller water supply fixed at the design setpoint, and
-2. with the supervisory outer loop raising the setpoint whenever every
-   server's predicted peak case temperature clears ``T_CASE_MAX``,
-
-and reports the plant energy saved, the setpoint schedule, the floor's
-hardware-group count and its operator-factorization total (each hardware
-group draws from its own solver cache; the session merges the stats).
-The per-server fast loop (water valve first, DVFS second) is the paper's
-runtime controller in both runs.
+The report compares plant energy, violations, setpoint schedules and the
+bank's unit commitment, then prints each MPC planning step (every
+candidate's predicted energy/peak and the winner).
 
 Run with::
 
@@ -36,40 +37,24 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.datacenter import (
     DatacenterModel,
-    RackSpec,
+    MpcSupervisoryController,
     SupervisoryController,
     build_scenario,
 )
 from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
 from repro.thermal.simulator import ThermalSimulator
-from repro.thermosyphon.chiller import ChillerPlant
-from repro.thermosyphon.design import (
-    PAPER_OPTIMIZED_DESIGN,
-    SEURET_REFERENCE_DESIGN,
-)
+from repro.thermosyphon.chiller import ChillerBank, ChillerPlant
 
 DURATION_S = 48.0
 CELL_SIZE_MM = 1.5
-
-
-def build_floor(racks, floorplan, thermal_simulator) -> DatacenterModel:
-    return DatacenterModel(
-        racks,
-        plant=ChillerPlant(free_cooling_outdoor_c=18.0),
-        floorplan=floorplan,
-        thermal_simulator=thermal_simulator,
-    )
+SUPERVISORY_PERIOD_S = 8.0
+SETPOINT_MAX_C = 40.0
 
 
 def main() -> None:
     floorplan = build_xeon_e5_v4_floorplan()
-    # The second SKU: same die, a wider heat spreader — a genuinely
-    # different thermal network, so its racks form a second hardware group
-    # with their own operator factorizations.
-    wide_spreader = build_xeon_e5_v4_floorplan(spreader_size_mm=42.0)
-    # One simulator for the whole study: racks on the stock package share
-    # its factorization cache across both runs.  The model builds (and
-    # reuses) a simulator per distinct floorplan for the rest.
+    # One simulator for the whole study: all three runs share its
+    # factorization cache, so the MPC rollouts replay through warm solves.
     thermal_simulator = ThermalSimulator(floorplan, cell_size_mm=CELL_SIZE_MM)
     scenario = build_scenario(
         "diurnal",
@@ -78,56 +63,92 @@ def main() -> None:
         duration_s=DURATION_S,
         seed=7,
         floorplan=floorplan,
-        designs=(PAPER_OPTIMIZED_DESIGN, SEURET_REFERENCE_DESIGN),
     )
-    racks = tuple(
-        RackSpec(
-            name=spec.name,
-            servers=spec.servers,
-            trace=spec.trace,
-            floorplan=None if index % 2 == 0 else wide_spreader,
-            design=spec.design,
-        )
-        for index, spec in enumerate(scenario.racks)
+    # A staged bank: three units sized so one unit cannot carry the floor
+    # alone at peak, with the middle unit offline for a maintenance window
+    # in the second half of the trace.
+    bank = ChillerBank.uniform(
+        3,
+        120.0 * scenario.n_servers / 3,
+        plant=ChillerPlant(free_cooling_outdoor_c=18.0),
+        maintenance_windows=[(), ((32.0, 44.0),), ()],
     )
     print(f"scenario: {scenario.description}")
-    designs = " / ".join(
-        f"{spec.name}: {spec.design.orientation.value if spec.design else 'default'}"
-        f"{' (wide spreader)' if index % 2 else ''}"
-        for index, spec in enumerate(racks)
+    print(
+        f"plant:    {bank.n_units}-unit staged bank, "
+        f"{bank.total_capacity_w:.0f} W rated, chiller1 offline 32-44 s\n"
     )
-    print(f"designs:  {designs}\n")
 
-    model = build_floor(racks, floorplan, thermal_simulator)
-    print(f"hardware groups on the floor: {model.n_hardware_groups}\n")
+    def floor() -> DatacenterModel:
+        return DatacenterModel(
+            scenario.racks,
+            plant=bank,
+            floorplan=floorplan,
+            thermal_simulator=thermal_simulator,
+        )
 
-    fixed = model.run_trace(duration_s=DURATION_S)
+    fixed = floor().run_trace(duration_s=DURATION_S)
     print("--- fixed setpoint ---")
     print(fixed.summary())
     print()
 
-    supervisory = SupervisoryController(period_s=8.0, setpoint_max_c=40.0)
-    controlled = build_floor(racks, floorplan, thermal_simulator).run_trace(
-        duration_s=DURATION_S, supervisory=supervisory
+    reactive_controller = SupervisoryController(
+        period_s=SUPERVISORY_PERIOD_S, setpoint_max_c=SETPOINT_MAX_C
     )
-    print("--- supervisory setpoint ---")
-    print(controlled.summary())
-    print()
-    for decision in controlled.supervisory_decisions:
-        print(
-            f"  t={decision.time_s:5.1f} s  {decision.setpoint_c:4.1f} C -> "
-            f"{decision.next_setpoint_c:4.1f} C  ({decision.action.value}, "
-            f"worst peak {decision.worst_peak_case_c:.1f} C)"
-        )
+    reactive = floor().run_trace(
+        duration_s=DURATION_S, supervisory=reactive_controller
+    )
+    print("--- reactive supervisory setpoint ---")
+    print(reactive.summary())
     print()
 
-    saved = fixed.plant_energy_j - controlled.plant_energy_j
+    planner = MpcSupervisoryController(
+        period_s=SUPERVISORY_PERIOD_S, setpoint_max_c=SETPOINT_MAX_C, horizon=4
+    )
+    mpc = floor().run_trace(duration_s=DURATION_S, supervisory=planner)
+    print("--- mpc supervisory setpoint ---")
+    print(mpc.summary())
+    print()
+
+    print("mpc planning log (receding horizon, first step committed):")
+    for plan in planner.planning_log:
+        print(f"  t={plan.time_s:5.1f} s  from {plan.setpoint_c:.1f} C:")
+        for rollout in plan.rollouts:
+            marker = " <- chosen" if rollout is plan.chosen else ""
+            feasibility = "ok  " if rollout.feasible else "hot "
+            print(
+                f"    {rollout.candidate.name:<11} {feasibility}"
+                f"E={rollout.plant_energy_j / 1e3:6.2f} kJ  "
+                f"peak={rollout.worst_peak_case_c:5.1f} C{marker}"
+            )
+    print()
+
+    print("setpoint schedules (reactive vs mpc):")
+    for label, trace in (("reactive", reactive), ("mpc", mpc)):
+        for decision in trace.supervisory_decisions:
+            print(
+                f"  {label:>8}  t={decision.time_s:5.1f} s  "
+                f"{decision.setpoint_c:4.1f} C -> {decision.next_setpoint_c:4.1f} C  "
+                f"({decision.action.value}, worst peak "
+                f"{decision.worst_peak_case_c:.1f} C)"
+            )
+    print()
+
     if fixed.plant_energy_j > 0.0:
-        print(
-            f"plant energy saved by supervisory control: {saved / 1e3:.2f} kJ "
-            f"({saved / fixed.plant_energy_j * 100.0:.1f}%) at "
-            f"{controlled.thermal_violations} thermal violations"
-        )
+        for label, trace in (("reactive", reactive), ("mpc", mpc)):
+            saved = fixed.plant_energy_j - trace.plant_energy_j
+            print(
+                f"plant energy saved by {label} control: {saved / 1e3:.2f} kJ "
+                f"({saved / fixed.plant_energy_j * 100.0:.1f}%) at "
+                f"{trace.thermal_violations} thermal violations"
+            )
+        extra = reactive.plant_energy_j - mpc.plant_energy_j
+        if reactive.plant_energy_j > 0.0:
+            print(
+                f"mpc vs reactive: {extra / 1e3:.2f} kJ further "
+                f"({extra / reactive.plant_energy_j * 100.0:.1f}%) — the "
+                f"multi-step raises the reactive bound never authorizes"
+            )
 
 
 if __name__ == "__main__":

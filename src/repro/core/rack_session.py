@@ -86,6 +86,22 @@ class _HeldBoundary:
 
 
 @dataclass(frozen=True)
+class RackSessionSnapshot:
+    """Frozen copy of a :class:`RackSession`'s mutable state.
+
+    Captures everything :meth:`RackSession.advance` evolves — the stacked
+    temperature fields, the held cooling boundaries and the last settle
+    residuals.  The boundary entries are themselves frozen dataclasses, so
+    only the field array needs a defensive copy; a snapshot/restore pair is
+    two array copies, which is what makes speculative MPC rollouts cheap.
+    """
+
+    temperatures: np.ndarray | None
+    boundaries: tuple[_HeldBoundary | None, ...]
+    last_residuals: tuple[float | None, ...]
+
+
+@dataclass(frozen=True)
 class ServerAdvance:
     """Per-server outcome of one :meth:`RackSession.advance` call."""
 
@@ -195,6 +211,47 @@ class RackSession:
         self._temperatures = None
         self._boundaries = [None] * self.n_servers
         self._last_residuals = [None] * self.n_servers
+
+    def snapshot(self) -> RackSessionSnapshot:
+        """Copy the session's mutable state for a later :meth:`restore`.
+
+        The hardware substrate (simulator, factorization cache, mapper) is
+        shared, not copied — a restored session replays through the same
+        cached factorizations, so a speculative rollout pays only
+        back-substitutions.
+        """
+        return RackSessionSnapshot(
+            temperatures=(
+                None if self._temperatures is None else self._temperatures.copy()
+            ),
+            boundaries=tuple(self._boundaries),
+            last_residuals=tuple(self._last_residuals),
+        )
+
+    def restore(
+        self, snapshot: RackSessionSnapshot, *, fields: np.ndarray | None = None
+    ) -> None:
+        """Rewind the session to a :meth:`snapshot`'s state.
+
+        ``fields`` optionally rebinds the temperature state onto an
+        externally restored array — the floor engine passes the row-block
+        view into its restored group array, preserving the view
+        relationship :meth:`finish_advance` established; standalone callers
+        omit it and re-adopt a private copy of the snapshot's array.
+        """
+        if len(snapshot.boundaries) != self.n_servers:
+            raise ValidationError(
+                f"snapshot holds {len(snapshot.boundaries)} servers, "
+                f"session has {self.n_servers}"
+            )
+        self._boundaries = list(snapshot.boundaries)
+        self._last_residuals = list(snapshot.last_residuals)
+        if fields is not None:
+            self._temperatures = fields
+        elif snapshot.temperatures is None:
+            self._temperatures = None
+        else:
+            self._temperatures = snapshot.temperatures.copy()
 
     def cache_stats(self) -> CacheStats:
         """Factorization-cache counters of the shared thermal simulator.

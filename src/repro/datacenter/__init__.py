@@ -10,7 +10,14 @@ temperature is the *slow* actuator: the
 save plant electrical power while every server's predicted peak case
 temperature clears ``T_CASE_MAX``, and drops it the moment any server
 enters the violation band — layered on top of the paper's *fast*
-per-server valve/DVFS rule.
+per-server valve/DVFS rule.  The
+:class:`~repro.datacenter.supervisory.MpcSupervisoryController` replaces
+the reactive bound with receding-horizon rollouts through the real engine
+(:mod:`repro.datacenter.mpc`) — snapshot the warm floor, simulate a small
+family of candidate setpoint trajectories, commit the first step of the
+cheapest one predicted to keep every server under the guard margin — and
+a staged :class:`~repro.thermosyphon.chiller.ChillerBank` gives the plant
+unit-commitment degrees of freedom on top of the setpoint.
 
 The physics of every control period belongs to the
 :class:`~repro.datacenter.floor.FloorEngine`: servers across the whole
@@ -30,13 +37,22 @@ the existing PARSEC phase traces, optionally cycling several thermosyphon
 designs across racks for mixed-SKU floors.
 """
 
-from repro.datacenter.floor import FloorAdvance, FloorEngine
+from repro.datacenter.floor import FloorAdvance, FloorEngine, FloorSnapshot
 from repro.datacenter.model import (
     DatacenterModel,
     DatacenterPeriod,
     DatacenterSession,
+    DatacenterSnapshot,
     DatacenterTrace,
     RackSpec,
+)
+from repro.datacenter.mpc import (
+    CandidateTrajectory,
+    MpcPlan,
+    RolloutResult,
+    default_candidates,
+    plan_setpoint,
+    rollout_trajectory,
 )
 from repro.datacenter.scenarios import (
     DEFAULT_BENCHMARKS,
@@ -46,6 +62,7 @@ from repro.datacenter.scenarios import (
     modulate_trace,
 )
 from repro.datacenter.supervisory import (
+    MpcSupervisoryController,
     SupervisoryAction,
     SupervisoryController,
     SupervisoryDecision,
@@ -55,16 +72,25 @@ __all__ = [
     "DatacenterModel",
     "DatacenterPeriod",
     "DatacenterSession",
+    "DatacenterSnapshot",
     "DatacenterTrace",
     "FloorAdvance",
     "FloorEngine",
+    "FloorSnapshot",
     "RackSpec",
     "DatacenterScenario",
     "DEFAULT_BENCHMARKS",
     "SCENARIO_KINDS",
     "build_scenario",
     "modulate_trace",
+    "CandidateTrajectory",
+    "MpcPlan",
+    "MpcSupervisoryController",
+    "RolloutResult",
     "SupervisoryAction",
     "SupervisoryController",
     "SupervisoryDecision",
+    "default_candidates",
+    "plan_setpoint",
+    "rollout_trajectory",
 ]

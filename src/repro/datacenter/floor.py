@@ -45,11 +45,35 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.rack_session import RackAdvance, RackSession, ServerLoad
+from repro.core.rack_session import (
+    RackAdvance,
+    RackSession,
+    RackSessionSnapshot,
+    ServerLoad,
+)
 from repro.exceptions import ConfigurationError, ValidationError
 from repro.thermosyphon.loop import BoundaryResult, LoopOperatingPoint
 
-__all__ = ["FloorAdvance", "FloorEngine"]
+__all__ = ["FloorAdvance", "FloorEngine", "FloorSnapshot"]
+
+
+@dataclass(frozen=True)
+class FloorSnapshot:
+    """Frozen copy of the floor's warm state for speculative rollouts.
+
+    Captures the stacked group temperature arrays plus every rack session's
+    :class:`RackSessionSnapshot` (held boundaries, residual history) and
+    whether each session's field was a row-block view of its group array —
+    :meth:`FloorEngine.restore` re-establishes exactly that view
+    relationship, so a restored floor is *warm*: the next advance carries
+    fields instead of re-solving steady state, and every cached
+    factorization and memoized operating point survives (they live on the
+    shared simulators/engine, not in the snapshot).
+    """
+
+    group_fields: tuple[np.ndarray | None, ...]
+    rack_snapshots: tuple[RackSessionSnapshot, ...]
+    rack_viewed_group: tuple[bool, ...]
 
 
 @dataclass(frozen=True)
@@ -117,6 +141,13 @@ class FloorEngine:
         for group in self._groups:
             for r in group.rack_indices:
                 self._group_of_rack[r] = group
+        # Floor-lifetime operating-point memo: the loop convergence is a
+        # deterministic pure function of (design, water condition, total
+        # power), so a key converged during an MPC rollout is free when the
+        # committed trajectory replays it — and vice versa.  Insertion-order
+        # eviction bounds it on long traces with ever-fresh loads.
+        self._point_memo: dict[tuple, LoopOperatingPoint] = {}
+        self._point_memo_max_entries = 4096
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -164,6 +195,64 @@ class FloorEngine:
             group.fields = None
         for session in self.rack_sessions:
             session.reset()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore for speculative rollouts
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> FloorSnapshot:
+        """Copy the floor's warm mutable state for a later :meth:`restore`.
+
+        One array copy per hardware group plus each session's (frozen)
+        boundary/residual tuples — no simulator, cache or network state is
+        copied, which is what keeps an MPC rollout's cost down to the
+        back-substitutions the rollout itself performs.
+        """
+        return FloorSnapshot(
+            group_fields=tuple(
+                None if group.fields is None else group.fields.copy()
+                for group in self._groups
+            ),
+            rack_snapshots=tuple(
+                session.snapshot() for session in self.rack_sessions
+            ),
+            rack_viewed_group=tuple(
+                session.fields is not None
+                and self._group_of_rack[r].fields is not None
+                and session.fields.base is self._group_of_rack[r].fields
+                for r, session in enumerate(self.rack_sessions)
+            ),
+        )
+
+    def restore(self, snapshot: FloorSnapshot) -> None:
+        """Rewind the floor to a :meth:`snapshot`'s state, still warm.
+
+        Group arrays are reinstalled from copies (the snapshot stays valid
+        for further restores — one snapshot serves every candidate of an
+        MPC planning step) and each rack session is rebound to its
+        row-block view when it held one at snapshot time, so the next
+        advance passes the warm check and carries fields bit-identically.
+        """
+        if len(snapshot.rack_snapshots) != self.n_racks:
+            raise ValidationError(
+                f"snapshot holds {len(snapshot.rack_snapshots)} racks, "
+                f"floor has {self.n_racks}"
+            )
+        if len(snapshot.group_fields) != len(self._groups):
+            raise ValidationError(
+                f"snapshot holds {len(snapshot.group_fields)} hardware groups, "
+                f"floor has {len(self._groups)}"
+            )
+        for group, saved in zip(self._groups, snapshot.group_fields):
+            group.fields = None if saved is None else saved.copy()
+        for r, session in enumerate(self.rack_sessions):
+            group = self._group_of_rack[r]
+            if snapshot.rack_viewed_group[r]:
+                session.restore(
+                    snapshot.rack_snapshots[r],
+                    fields=group.fields[group.rack_rows[r]],
+                )
+            else:
+                session.restore(snapshot.rack_snapshots[r])
 
     # ------------------------------------------------------------------ #
     # The floor-wide period step
@@ -291,11 +380,15 @@ class FloorEngine:
         # One loop convergence per group, then one lane march per group of
         # members sharing the grid pitch (the pitch is fixed per hardware
         # group; designs shared across SKUs march separately per pitch).
-        for (design, water_loop, total), members in point_members.items():
-            first_session = self.rack_sessions[members[0][0]]
-            point: LoopOperatingPoint = first_session.loop.operating_point(
-                total, water_loop
-            )
+        for key, members in point_members.items():
+            _, water_loop, total = key
+            point: LoopOperatingPoint | None = self._point_memo.get(key)
+            if point is None:
+                first_session = self.rack_sessions[members[0][0]]
+                point = first_session.loop.operating_point(total, water_loop)
+                while len(self._point_memo) >= self._point_memo_max_entries:
+                    self._point_memo.pop(next(iter(self._point_memo)))
+                self._point_memo[key] = point
             by_pitch: dict[tuple, list[tuple[int, int, float]]] = {}
             for r, s, member_total in members:
                 pitch = self.rack_sessions[r].thermal_simulator.grid.cell_pitch_mm()

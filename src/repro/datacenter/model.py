@@ -37,7 +37,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.rack_session import RackSession
+from repro.core.mapping import WorkloadMapping
+from repro.core.rack_session import RackSession, RackSessionSnapshot
 from repro.core.runtime_controller import (
     ControllerDecision,
     DecisionPolicy,
@@ -49,16 +50,21 @@ from repro.core.runtime_controller import (
     run_rack_period,
 )
 from repro.core.session import T_CASE_MAX_C
-from repro.datacenter.floor import FloorEngine
-from repro.datacenter.supervisory import SupervisoryController, SupervisoryDecision
+from repro.datacenter.floor import FloorEngine, FloorSnapshot
+from repro.datacenter.supervisory import (
+    SupervisoryAction,
+    SupervisoryController,
+    SupervisoryDecision,
+)
 from repro.exceptions import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
 from repro.power.power_model import ServerPowerModel
 from repro.thermal.simulator import ThermalSimulator
 from repro.thermal.solver_cache import CacheStats
-from repro.thermosyphon.chiller import ChillerPlant
+from repro.thermosyphon.chiller import ChillerBank, ChillerPlant, StagingDecision
 from repro.thermosyphon.design import PAPER_OPTIMIZED_DESIGN, ThermosyphonDesign
+from repro.thermosyphon.water_loop import WaterLoop
 from repro.workloads.trace import PhasedTrace
 from repro.utils.validation import check_positive
 
@@ -119,7 +125,9 @@ class DatacenterTrace:
     ``setpoint_c[t]`` and ``plant_power_w[t]`` carry the supply setpoint
     and total plant electrical power of control period ``t``, and
     ``supervisory_decisions`` logs the slow loop (empty on a fixed-setpoint
-    run).
+    run).  On a :class:`~repro.thermosyphon.chiller.ChillerBank` plant,
+    ``staging[t]`` records period ``t``'s unit commitment (empty on a
+    single-``ChillerPlant`` run).
     """
 
     rack_names: tuple[str, ...]
@@ -129,6 +137,7 @@ class DatacenterTrace:
     setpoint_c: list[float] = field(default_factory=list)
     plant_power_w: list[float] = field(default_factory=list)
     supervisory_decisions: list[SupervisoryDecision] = field(default_factory=list)
+    staging: list[StagingDecision] = field(default_factory=list)
     factorizations: int | None = None
     cache_stats: CacheStats | None = None
 
@@ -204,8 +213,6 @@ class DatacenterTrace:
     @property
     def setpoint_raises(self) -> int:
         """Number of supervisory setpoint raises."""
-        from repro.datacenter.supervisory import SupervisoryAction
-
         return sum(
             1
             for d in self.supervisory_decisions
@@ -215,13 +222,25 @@ class DatacenterTrace:
     @property
     def setpoint_lowers(self) -> int:
         """Number of supervisory setpoint lowers."""
-        from repro.datacenter.supervisory import SupervisoryAction
-
         return sum(
             1
             for d in self.supervisory_decisions
             if d.action is SupervisoryAction.LOWER_SETPOINT
         )
+
+    @property
+    def setpoint_saturations(self) -> int:
+        """Windows that violated while clamped at the setpoint minimum."""
+        return sum(
+            1
+            for d in self.supervisory_decisions
+            if d.action is SupervisoryAction.SATURATED
+        )
+
+    @property
+    def overloaded_periods(self) -> int:
+        """Periods the chiller bank ran beyond its available rated capacity."""
+        return sum(1 for s in self.staging if s.overloaded)
 
     def summary(self) -> str:
         """Human-readable digest of the datacenter trace."""
@@ -240,6 +259,17 @@ class DatacenterTrace:
             f"  thermal violations    : {self.thermal_violations}",
             f"  unresolved emergencies: {self.emergencies}",
         ]
+        if self.supervisory_decisions:
+            lines.append(
+                f"  setpoint saturations  : {self.setpoint_saturations} "
+                f"(violation while clamped at the setpoint minimum)"
+            )
+        if self.staging:
+            units_on = [s.n_units_on for s in self.staging]
+            lines.append(
+                f"  chiller staging       : {min(units_on)}-{max(units_on)} "
+                f"units on, {self.overloaded_periods} overloaded periods"
+            )
         if self.factorizations is not None:
             lines.append(f"  operator factorizations: {self.factorizations}")
         if self.cache_stats is not None:
@@ -252,18 +282,49 @@ class DatacenterTrace:
 
 @dataclass(frozen=True)
 class DatacenterPeriod:
-    """Outcome of one floor-wide control period (step-wise API)."""
+    """Outcome of one floor-wide control period (step-wise API).
+
+    On a :class:`~repro.thermosyphon.chiller.ChillerBank` plant,
+    ``staging`` records the period's unit commitment and
+    ``rack_chiller_power_w`` carries each rack's *prorated share* of the
+    bank's electrical power (prorated by the rack's thermal load), so
+    ``plant_power_w == sum(rack_chiller_power_w)`` holds for both plant
+    kinds.  ``staging`` is ``None`` on a single-``ChillerPlant`` floor.
+    """
 
     time_s: float
     setpoint_c: float
     rack_decisions: tuple[tuple[ControllerDecision, ...], ...]
     rack_chiller_power_w: tuple[float, ...]
     worst_period_peak_case_c: float
+    staging: StagingDecision | None = None
 
     @property
     def plant_power_w(self) -> float:
         """Total plant electrical power this period."""
         return sum(self.rack_chiller_power_w)
+
+
+@dataclass(frozen=True)
+class DatacenterSnapshot:
+    """Frozen copy of a :class:`DatacenterSession`'s mutable state.
+
+    Everything :meth:`DatacenterSession.advance_period` evolves: the
+    setpoint, the per-server actuator state (water loops, frequencies,
+    resolved mappings, pending refresh flags) and the floor physics state
+    (one :class:`~repro.datacenter.floor.FloorSnapshot`, or per-rack
+    :class:`~repro.core.rack_session.RackSessionSnapshot` tuples on the
+    per-rack engine).  The MPC planner takes one snapshot per supervisory
+    decision and restores it after every candidate rollout.
+    """
+
+    setpoint_c: float
+    water_loops: tuple[tuple[WaterLoop, ...], ...]
+    frequencies: tuple[tuple[float, ...], ...]
+    mappings: tuple[tuple[WorkloadMapping, ...], ...]
+    force_refresh: tuple[tuple[bool, ...], ...]
+    floor: FloorSnapshot | None
+    rack_snapshots: tuple[RackSessionSnapshot, ...] | None
 
 
 class DatacenterModel:
@@ -275,7 +336,11 @@ class DatacenterModel:
         The floor layout: one :class:`RackSpec` per rack.
     plant:
         The shared :class:`ChillerPlant`; its COP/free-cooling laws make
-        the supply setpoint an energy lever.
+        the supply setpoint an energy lever.  A
+        :class:`~repro.thermosyphon.chiller.ChillerBank` adds unit
+        staging: per-server loads are accounted thermally (Eq. 1 at unit
+        COP) and the bank commits the cheapest feasible unit subset to
+        the floor total every period.
     floorplan, design, power_model, thermal_simulator, cell_size_mm:
         The *default* hardware substrate — racks whose :class:`RackSpec`
         does not override it share this floorplan, design, power model and
@@ -306,7 +371,7 @@ class DatacenterModel:
         self,
         racks,
         *,
-        plant: ChillerPlant | None = None,
+        plant: ChillerPlant | ChillerBank | None = None,
         floorplan: Floorplan | None = None,
         design: ThermosyphonDesign = PAPER_OPTIMIZED_DESIGN,
         power_model: ServerPowerModel | None = None,
@@ -520,6 +585,47 @@ class DatacenterSession:
             for session in self.rack_sessions:
                 session.reset()
 
+    def snapshot(self) -> DatacenterSnapshot:
+        """Copy the session's mutable state for a later :meth:`restore`.
+
+        Cheap by design: the actuator state is a few tuples of frozen
+        values and the physics state copies one temperature array per
+        hardware group — no simulator, factorization cache or memo is
+        duplicated, so a restored session replays through warm caches.
+        """
+        return DatacenterSnapshot(
+            setpoint_c=self.setpoint_c,
+            water_loops=tuple(tuple(loops) for loops in self._water_loops),
+            frequencies=tuple(tuple(f) for f in self._frequencies),
+            mappings=tuple(tuple(m) for m in self._mappings),
+            force_refresh=tuple(tuple(f) for f in self._force_refresh),
+            floor=self.floor_engine.snapshot() if self.floor_engine is not None else None,
+            rack_snapshots=(
+                None
+                if self.floor_engine is not None
+                else tuple(session.snapshot() for session in self.rack_sessions)
+            ),
+        )
+
+    def restore(self, snapshot: DatacenterSnapshot) -> None:
+        """Rewind the session to a :meth:`snapshot`'s state.
+
+        The snapshot stays valid — one snapshot serves every candidate
+        rollout of an MPC planning step.
+        """
+        self.setpoint_c = snapshot.setpoint_c
+        self._water_loops = [list(loops) for loops in snapshot.water_loops]
+        self._frequencies = [list(f) for f in snapshot.frequencies]
+        self._mappings = [list(m) for m in snapshot.mappings]
+        self._force_refresh = [list(f) for f in snapshot.force_refresh]
+        if snapshot.floor is not None:
+            self.floor_engine.restore(snapshot.floor)
+        else:
+            for session, rack_snapshot in zip(
+                self.rack_sessions, snapshot.rack_snapshots
+            ):
+                session.restore(rack_snapshot)
+
     def _distinct_caches(self) -> list:
         """The floor's factorization caches, each exactly once.
 
@@ -557,7 +663,9 @@ class DatacenterSession:
             for rack_loops in self._water_loops
         ]
 
-    def advance_period(self, time_s: float) -> DatacenterPeriod:
+    def advance_period(
+        self, time_s: float, *, n_substeps: int | None = None
+    ) -> DatacenterPeriod:
         """One floor-wide control period: floor physics + fast decisions.
 
         Loads are resolved per server through :func:`build_rack_loads` and
@@ -568,9 +676,23 @@ class DatacenterSession:
         advances every server through one stacked solve per (hardware
         group, cooling boundary) per substep; ``engine="per-rack"`` models
         step their racks one :func:`run_rack_period` at a time instead.
+
+        ``n_substeps`` overrides the model's backward-Euler substep count
+        for this period only — MPC rollouts trade integration resolution
+        for speed; the committed trace always runs the model's own.
         """
         model = self.model
-        chiller = model.plant.chiller_at(self.setpoint_c)
+        substeps = n_substeps if n_substeps is not None else model.transient_substeps
+        bank = model.plant if isinstance(model.plant, ChillerBank) else None
+        # A staged bank accounts per-server loads *thermally* (Eq. 1 at
+        # unit COP — the exact condenser heat rate) and converts the floor
+        # total to electrical power through its unit commitment below; a
+        # single plant keeps the setpoint-dependent per-rack chiller.
+        chiller = (
+            bank.accounting_chiller()
+            if bank is not None
+            else model.plant.chiller_at(self.setpoint_c)
+        )
         rack_decisions: list[tuple[ControllerDecision, ...]] = []
         rack_chiller_w: list[float] = []
         worst_peak = float("-inf")
@@ -590,7 +712,7 @@ class DatacenterSession:
             floor_advance = self.floor_engine.advance(
                 rack_loads,
                 model.control_period_s,
-                n_substeps=model.transient_substeps,
+                n_substeps=substeps,
                 force_boundary_refresh=self._force_refresh,
             )
             worst_peak = floor_advance.worst_period_peak_case_c
@@ -619,7 +741,7 @@ class DatacenterSession:
                     self._force_refresh[r],
                     time_s,
                     model.control_period_s,
-                    model.transient_substeps,
+                    substeps,
                     model.policy,
                     chiller,
                 )
@@ -628,12 +750,23 @@ class DatacenterSession:
                 )
                 rack_decisions.append(decisions)
                 rack_chiller_w.append(period_chiller_w)
+        staging = None
+        if bank is not None:
+            thermal_load_w = sum(rack_chiller_w)
+            staging = bank.stage(self.setpoint_c, thermal_load_w, time_s)
+            if thermal_load_w > 0.0:
+                # Prorate the bank's electrical power back onto the racks by
+                # their thermal share, so plant_power_w stays the sum of the
+                # per-rack chiller powers for both plant kinds.
+                scale = staging.electrical_power_w / thermal_load_w
+                rack_chiller_w = [power * scale for power in rack_chiller_w]
         return DatacenterPeriod(
             time_s=time_s,
             setpoint_c=self.setpoint_c,
             rack_decisions=tuple(rack_decisions),
             rack_chiller_power_w=tuple(rack_chiller_w),
             worst_period_peak_case_c=worst_peak,
+            staging=staging,
         )
 
     def run(
@@ -647,8 +780,16 @@ class DatacenterSession:
         With ``supervisory`` the slow loop decides every
         ``supervisory.period_s`` (which must be an integer multiple of the
         fast control period); its setpoint moves take effect from the next
-        control period.  Without it the setpoint stays fixed and the run is
-        the per-rack equivalent of
+        control period.  A controller exposing a callable ``plan``
+        attribute (:class:`~repro.datacenter.supervisory.\
+MpcSupervisoryController`) is handed the live session for receding-horizon
+        rollouts; otherwise the reactive ``decide`` runs on the window's
+        observed peak.  A window that produced no peak observation (the
+        worst peak is still ``-inf``) holds the setpoint and logs the
+        previous window's peak — it must never reach the raise predicate,
+        where ``-inf`` would authorize an unconditional raise.  Without
+        ``supervisory`` the setpoint stays fixed and the run is the
+        per-rack equivalent of
         :meth:`ThermosyphonController.run_rack_trace`.
         """
         model = self.model
@@ -678,6 +819,7 @@ class DatacenterSession:
             t_case_max_c=model.policy.t_case_max_c,
         )
         window_peak = float("-inf")
+        carried_peak = float("nan")
         period_index = 0
         time_s = 0.0
         while time_s < duration:
@@ -687,6 +829,8 @@ class DatacenterSession:
                 trace.racks[r].chiller_power_w.append(period.rack_chiller_power_w[r])
             trace.setpoint_c.append(period.setpoint_c)
             trace.plant_power_w.append(period.plant_power_w)
+            if period.staging is not None:
+                trace.staging.append(period.staging)
             window_peak = max(window_peak, period.worst_period_peak_case_c)
             period_index += 1
             # Accumulate exactly like run_rack_trace so the per-period phase
@@ -697,7 +841,30 @@ class DatacenterSession:
                 and period_index % periods_per_window == 0
                 and time_s < duration
             ):
-                decision = supervisory.decide(time_s, self.setpoint_c, window_peak)
+                if window_peak == float("-inf"):
+                    # No server reported a peak this window.  The raise
+                    # predicate must never see -inf (the predicted peak
+                    # would be -inf too and a raise always authorized):
+                    # hold, carrying the previous window's peak in the log.
+                    decision = SupervisoryDecision(
+                        time_s=time_s,
+                        setpoint_c=self.setpoint_c,
+                        next_setpoint_c=self.setpoint_c,
+                        action=SupervisoryAction.HOLD,
+                        worst_peak_case_c=carried_peak,
+                        predicted_peak_case_c=carried_peak,
+                    )
+                else:
+                    carried_peak = window_peak
+                    plan = getattr(supervisory, "plan", None)
+                    if callable(plan):
+                        decision = plan(
+                            self, time_s, window_peak, duration_s=duration
+                        )
+                    else:
+                        decision = supervisory.decide(
+                            time_s, self.setpoint_c, window_peak
+                        )
                 trace.supervisory_decisions.append(decision)
                 self.set_setpoint(decision.next_setpoint_c)
                 window_peak = float("-inf")

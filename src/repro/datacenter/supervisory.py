@@ -22,6 +22,17 @@ water supply temperature (the thermosyphon saturation point tracks the
 water inlet with sensitivity < 1), so ``peak + peak_sensitivity * step``
 with ``peak_sensitivity = 1`` upper-bounds the post-raise peak without
 paying a speculative rack solve.
+
+:class:`MpcSupervisoryController` replaces that bound with the model
+itself: each supervisory period it snapshots the warm floor state, rolls a
+small family of candidate setpoint trajectories over a receding horizon
+through the real engine (:mod:`repro.datacenter.mpc`) and commits the
+first step of the cheapest trajectory whose predicted floor-wide peak
+stays under ``T_CASE_MAX`` minus the guard margin.  Because the rollout
+*measures* the post-raise peak instead of upper-bounding it, the MPC can
+take multi-step raises the reactive rule would never authorize and run
+closer to the true feasibility frontier — less plant energy at the same
+zero-violation guarantee.
 """
 
 from __future__ import annotations
@@ -30,15 +41,28 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.session import T_CASE_MAX_C
-from repro.utils.validation import check_non_negative, check_positive
+from repro.datacenter.mpc import (
+    CandidateTrajectory,
+    MpcPlan,
+    default_candidates,
+    plan_setpoint,
+)
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
 
 
 class SupervisoryAction(enum.Enum):
-    """What the supervisory loop did at one of its decision points."""
+    """What the supervisory loop did at one of its decision points.
+
+    ``SATURATED`` records a violation observed while the setpoint is
+    already clamped at ``setpoint_min_c``: the slow actuator *wants* to
+    lower but has no range left, so the plant holds — distinguishable in
+    the decision log from a genuinely quiet HOLD window.
+    """
 
     HOLD = "hold"
     RAISE_SETPOINT = "raise_setpoint"
     LOWER_SETPOINT = "lower_setpoint"
+    SATURATED = "saturated"
 
 
 @dataclass(frozen=True)
@@ -124,12 +148,16 @@ class SupervisoryController:
     ) -> SupervisoryDecision:
         """One slow-loop decision from the window's worst observed peak."""
         predicted = worst_peak_case_c + self.peak_sensitivity * self.step_c
-        if (
-            worst_peak_case_c >= self.t_case_max_c - self.violation_margin_c
-            and setpoint_c > self.setpoint_min_c
-        ):
-            action = SupervisoryAction.LOWER_SETPOINT
-            next_setpoint = self.clamp(setpoint_c - self.step_c)
+        if worst_peak_case_c >= self.t_case_max_c - self.violation_margin_c:
+            if setpoint_c > self.setpoint_min_c:
+                action = SupervisoryAction.LOWER_SETPOINT
+                next_setpoint = self.clamp(setpoint_c - self.step_c)
+            else:
+                # Violation with the setpoint clamped at the plant minimum:
+                # nothing left to actuate, but the log must say so — a
+                # silent HOLD here is indistinguishable from a quiet window.
+                action = SupervisoryAction.SATURATED
+                next_setpoint = setpoint_c
         elif (
             predicted <= self.t_case_max_c - self.guard_margin_c
             and setpoint_c < self.setpoint_max_c
@@ -146,4 +174,101 @@ class SupervisoryController:
             action=action,
             worst_peak_case_c=worst_peak_case_c,
             predicted_peak_case_c=predicted,
+        )
+
+
+class MpcSupervisoryController(SupervisoryController):
+    """Model-predictive supervisory setpoint control over the real engine.
+
+    Replaces the reactive controller's conservative raise bound with
+    receding-horizon rollouts: :meth:`plan` snapshots the warm datacenter
+    session, simulates every candidate setpoint trajectory ``horizon``
+    supervisory windows forward through the *actual* floor engine (same
+    operators, shared factorization caches — a rollout costs only
+    back-substitutions), and commits the first step of the cheapest
+    trajectory whose predicted floor-wide peak case temperature clears
+    ``t_case_max_c - guard_margin_c`` everywhere.  The observed-violation
+    case keeps the reactive rule: safety does not wait for a rollout.
+
+    Parameters (beyond :class:`SupervisoryController`)
+    --------------------------------------------------
+    horizon:
+        Number of supervisory windows each rollout looks ahead.
+    candidates:
+        The trajectory family to evaluate; defaults to
+        :func:`~repro.datacenter.mpc.default_candidates` (hold,
+        single/double-step raise ramps, one-shot raise, one-shot lower,
+        lower ramp — six candidates).  Steps are in units of ``step_c``.
+    rollout_periods_per_window, rollout_substeps:
+        Rollout fidelity: how many fast control periods of each window are
+        actually simulated (the window's plant power is billed at their
+        mean) and how many backward-Euler substeps each simulated period
+        takes.  The defaults (1, 1) keep the MPC overhead within a few
+        reactive-baseline wall-clocks; the guard margin absorbs the
+        coarser integration.
+
+    ``planning_log`` keeps every :class:`~repro.datacenter.mpc.MpcPlan`
+    (all rollouts + the chosen one) for tests and analysis.
+    """
+
+    def __init__(
+        self,
+        *,
+        horizon: int = 4,
+        candidates: tuple[CandidateTrajectory, ...] | None = None,
+        rollout_periods_per_window: int = 1,
+        rollout_substeps: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.horizon = check_positive_int(horizon, "horizon")
+        self.candidates = (
+            tuple(candidates) if candidates is not None else default_candidates(horizon)
+        )
+        if not self.candidates:
+            raise ValueError("MPC needs at least one candidate trajectory")
+        self.rollout_periods_per_window = check_positive_int(
+            rollout_periods_per_window, "rollout_periods_per_window"
+        )
+        self.rollout_substeps = check_positive_int(
+            rollout_substeps, "rollout_substeps"
+        )
+        self.planning_log: list[MpcPlan] = []
+
+    def plan(
+        self,
+        session,
+        time_s: float,
+        worst_peak_case_c: float,
+        *,
+        duration_s: float | None = None,
+    ) -> SupervisoryDecision:
+        """One MPC decision: roll out candidates, commit the first step.
+
+        ``session`` is the live :class:`~repro.datacenter.model.\
+DatacenterSession`; its state is snapshot before and restored after the
+        rollouts, so planning leaves the committed trace untouched.  An
+        *observed* violation short-circuits to the reactive
+        :meth:`~SupervisoryController.decide` (lower now — or record
+        SATURATED at the range floor — rather than spend a rollout).
+        """
+        if worst_peak_case_c >= self.t_case_max_c - self.violation_margin_c:
+            return self.decide(time_s, session.setpoint_c, worst_peak_case_c)
+        plan = plan_setpoint(session, self, time_s=time_s, duration_s=duration_s)
+        self.planning_log.append(plan)
+        chosen = plan.chosen
+        next_setpoint = chosen.setpoints_c[0] if chosen.setpoints_c else plan.setpoint_c
+        if next_setpoint > plan.setpoint_c:
+            action = SupervisoryAction.RAISE_SETPOINT
+        elif next_setpoint < plan.setpoint_c:
+            action = SupervisoryAction.LOWER_SETPOINT
+        else:
+            action = SupervisoryAction.HOLD
+        return SupervisoryDecision(
+            time_s=time_s,
+            setpoint_c=plan.setpoint_c,
+            next_setpoint_c=next_setpoint,
+            action=action,
+            worst_peak_case_c=worst_peak_case_c,
+            predicted_peak_case_c=chosen.worst_peak_case_c,
         )

@@ -36,6 +36,8 @@ def run_all(
     max_workers: int | None = None,
     racks: int = 2,
     hetero: bool = False,
+    mpc: bool = False,
+    chillers: int = 1,
 ) -> str:
     """Run every experiment and return the combined textual report.
 
@@ -44,7 +46,8 @@ def run_all(
     experiments run serially on the shared, factorization-cached platform.
     ``racks``/``hetero`` size the fig10 datacenter floor and optionally mix
     thermosyphon designs across its racks (exercising the floor engine's
-    multi-group path).
+    multi-group path); ``mpc`` adds fig10's model-predictive third leg and
+    ``chillers`` swaps its plant for an N-unit staged chiller bank.
     """
     platform = build_platform(cell_size_mm=cell_size_mm)
     benchmarks = QUICK_BENCHMARKS if quick else PARSEC_BENCHMARK_NAMES
@@ -83,6 +86,8 @@ def run_all(
                 servers_per_rack=2 if quick else 4,
                 duration_s=24.0 if quick else 48.0,
                 hetero=hetero,
+                mpc=mpc,
+                chillers=chillers,
             ).as_table()
         )
         sections.append(
@@ -126,6 +131,19 @@ def main() -> None:
         action="store_true",
         help="cycle two thermosyphon designs across the fig10 floor's racks",
     )
+    parser.add_argument(
+        "--mpc",
+        action="store_true",
+        help="add fig10's model-predictive supervisory run (receding-horizon "
+        "rollouts next to the fixed and reactive baselines)",
+    )
+    parser.add_argument(
+        "--chillers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="size of the fig10 staged chiller bank (1 = single plant)",
+    )
     arguments = parser.parse_args()
     print(
         run_all(
@@ -134,6 +152,8 @@ def main() -> None:
             max_workers=arguments.parallel,
             racks=arguments.racks,
             hetero=arguments.hetero,
+            mpc=arguments.mpc,
+            chillers=arguments.chillers,
         )
     )
 

@@ -19,18 +19,33 @@ ramps in once the setpoint clears the outdoor air temperature, so *raising*
 the chiller water supply temperature lowers the electrical power drawn for
 the same heat load — the saving the supervisory setpoint controller of
 :mod:`repro.datacenter` chases.
+
+:class:`ChillerBank` is the staged version of the plant: N
+:class:`ChillerUnit`\\ s, each with a rated thermal capacity, a part-load
+efficiency curve (compressors are least efficient far from their design
+load) and optional maintenance windows.  Every period the bank *commits* a
+subset of the available units to the floor's thermal load — the cheapest
+feasible commitment at equal part-load ratio — so unit staging becomes a
+second plant-side degree of freedom next to the supply setpoint, and the
+MPC supervisory layer of :mod:`repro.datacenter.mpc` optimizes over both.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ValidationError
 from repro.thermosyphon.water_loop import WaterLoop
-from repro.utils.validation import check_fraction, check_non_negative, check_positive
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
 
 
 def chiller_power_w(
@@ -91,16 +106,26 @@ class ChillerModel:
         ``water_loops`` is either one loop per entry or a single
         :class:`WaterLoop` broadcast across all of them (the shared-chiller
         case).  COP and free cooling are applied per loop exactly as in the
-        scalar path, so ``cooling_power_w_many(loops, heats)[i] ==
-        cooling_power_w(loops[i], heats[i])``.
+        scalar path, and the per-loop temperature rise follows the same
+        rounding route as :meth:`WaterLoop.delta_t_c` (outlet minus inlet),
+        so ``cooling_power_w_many(loops, heats)[i] ==
+        cooling_power_w(loops[i], heats[i])`` **element for element, to the
+        last bit** — asserted by the golden-model suite in
+        ``tests/test_water_condenser_chiller.py``.  Validation matches the
+        scalar path too: negative or non-finite heats raise
+        :class:`~repro.exceptions.ValidationError`.
         """
         heats = np.asarray(heats_w, dtype=float)
         if heats.ndim != 1:
             raise ConfigurationError(
                 f"heats_w must be one-dimensional, got shape {heats.shape}"
             )
+        # Same contract as the scalar path's check_non_negative(heat_w):
+        # every entry finite and >= 0, with the same exception type.
+        if not np.all(np.isfinite(heats)):
+            raise ValidationError("heats_w must be finite")
         if np.any(heats < 0.0):
-            raise ConfigurationError("heats_w must be non-negative")
+            raise ValidationError("heats_w must be >= 0")
         if isinstance(water_loops, WaterLoop):
             loops: Sequence[WaterLoop] = (water_loops,) * heats.size
         else:
@@ -113,7 +138,12 @@ class ChillerModel:
         density_kg_l = np.array([loop.density_kg_m3 for loop in loops]) / 1000.0
         specific_heat = np.array([loop.specific_heat_j_kgk for loop in loops])
         rates = np.array([loop.heat_capacity_rate_w_per_k for loop in loops])
-        delta_t = heats / rates
+        inlets = np.array([loop.inlet_temperature_c for loop in loops])
+        # (inlet + q/rate) - inlet, NOT q/rate: WaterLoop.delta_t_c computes
+        # the rise as outlet minus inlet, and the two expressions differ in
+        # the last float bits — the element-wise equality promised above
+        # requires the identical rounding route.
+        delta_t = (inlets + heats / rates) - inlets
         thermal = volumetric_l_s * density_kg_l * specific_heat * delta_t
         return thermal * (1.0 - self.free_cooling_fraction) / self.coefficient_of_performance
 
@@ -239,3 +269,292 @@ class ChillerPlant:
         return self.chiller_at(supply_temperature_c).rack_cooling_power_w(
             water_loops_and_heats
         )
+
+
+@dataclass(frozen=True)
+class ChillerUnit:
+    """One chiller of a staged bank: capacity, part-load curve, maintenance.
+
+    The unit's setpoint-dependent base efficiency (Carnot-fraction COP +
+    free-cooling ramp) comes from its :class:`ChillerPlant`; on top of it a
+    **part-load curve** degrades the COP when the unit runs far from its
+    rated load — the standard behaviour of real compressors, and the reason
+    staging matters: two units at 30% load each burn more electricity than
+    one unit at 60%.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, recorded in :class:`StagingDecision.units_on`.
+    capacity_w:
+        Rated *thermal* load of the unit.  ``load_fraction = load / capacity``
+        is the part-load ratio the efficiency curve is evaluated at.
+    plant:
+        The unit's setpoint-dependent COP / free-cooling laws.
+    part_load_degradation:
+        COP multiplier lost at zero load: the effective COP is
+        ``COP * (1 - part_load_degradation * (1 - x)^2)`` at part-load ratio
+        ``x`` — 1.0 at rated load, degrading quadratically away from it
+        (both below rated load and in overload).
+    min_part_load_cop_factor:
+        Lower clamp of the part-load multiplier, keeping the model finite
+        under deep part-load or heavy overload.
+    maintenance_windows:
+        ``(start_s, end_s)`` half-open intervals during which the unit is
+        offline and cannot be committed.
+    """
+
+    name: str
+    capacity_w: float
+    plant: ChillerPlant = field(default_factory=ChillerPlant)
+    part_load_degradation: float = 0.4
+    min_part_load_cop_factor: float = 0.1
+    maintenance_windows: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_w, "capacity_w")
+        check_fraction(self.part_load_degradation, "part_load_degradation")
+        check_positive(self.min_part_load_cop_factor, "min_part_load_cop_factor")
+        for start_s, end_s in self.maintenance_windows:
+            if end_s <= start_s:
+                raise ConfigurationError(
+                    f"maintenance window ({start_s}, {end_s}) of unit "
+                    f"{self.name!r} must have end > start"
+                )
+
+    def available(self, time_s: float) -> bool:
+        """True when the unit is not inside a maintenance window."""
+        return not any(
+            start_s <= time_s < end_s for start_s, end_s in self.maintenance_windows
+        )
+
+    def part_load_cop_factor(self, load_fraction: float) -> float:
+        """COP multiplier at a part-load ratio (1.0 at rated load)."""
+        check_non_negative(load_fraction, "load_fraction")
+        factor = 1.0 - self.part_load_degradation * (1.0 - load_fraction) ** 2
+        return max(factor, self.min_part_load_cop_factor)
+
+    def electrical_power_w(
+        self, supply_temperature_c: float, thermal_load_w: float
+    ) -> float:
+        """Electrical power drawn while removing ``thermal_load_w``.
+
+        The free-cooling path absorbs its setpoint-dependent fraction for
+        free; the compressor removes the rest at the part-load-degraded COP.
+        """
+        check_non_negative(thermal_load_w, "thermal_load_w")
+        if thermal_load_w == 0.0:
+            return 0.0
+        cop = self.plant.cop_at(supply_temperature_c)
+        free = self.plant.free_cooling_fraction_at(supply_temperature_c)
+        factor = self.part_load_cop_factor(thermal_load_w / self.capacity_w)
+        return thermal_load_w * (1.0 - free) / (cop * factor)
+
+
+@dataclass(frozen=True)
+class StagingDecision:
+    """One period's unit commitment of a :class:`ChillerBank`.
+
+    ``load_fraction`` is the common part-load ratio of the committed units
+    (load split proportionally to capacity); ``overloaded`` is set when
+    even the full available bank cannot carry the load at rated capacity
+    (the units then run past 1.0 with part-load-degraded efficiency).
+    """
+
+    time_s: float
+    setpoint_c: float
+    thermal_load_w: float
+    units_on: tuple[str, ...]
+    electrical_power_w: float
+    load_fraction: float
+    overloaded: bool
+    n_available: int
+
+    @property
+    def n_units_on(self) -> int:
+        """Number of committed units."""
+        return len(self.units_on)
+
+
+@dataclass(frozen=True)
+class ChillerBank:
+    """A staged bank of chiller units behind one shared water supply.
+
+    The datacenter-scale plant: N :class:`ChillerUnit`\\ s share the supply
+    setpoint, and every period the bank commits the **cheapest feasible
+    subset** of the units available at that time — the subset minimizing
+    total electrical power while carrying the floor's thermal load within
+    rated capacity, with the load split proportionally to capacity so every
+    committed unit runs at the same part-load ratio.  Small banks are
+    staged by exact subset enumeration; banks larger than
+    ``max_enumerated_units`` fall back to capacity-sorted prefixes.
+
+    Exposes the same ``plant_power_w`` entry point as
+    :class:`ChillerPlant` (plus :meth:`stage`, which also reports *which*
+    units ran), so the datacenter session can drive either plant kind; the
+    supervisory MPC optimizes the setpoint *through* the bank's staging —
+    every rollout period re-stages at that period's load and time.
+    """
+
+    units: tuple[ChillerUnit, ...]
+    max_enumerated_units: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise ConfigurationError("a chiller bank needs at least one unit")
+        names = [unit.name for unit in self.units]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"chiller unit names must be unique, got {names}")
+        check_positive_int(self.max_enumerated_units, "max_enumerated_units")
+
+    @classmethod
+    def uniform(
+        cls,
+        n_units: int,
+        unit_capacity_w: float,
+        *,
+        plant: ChillerPlant | None = None,
+        part_load_degradation: float = 0.4,
+        maintenance_windows: Sequence[tuple[tuple[float, float], ...]] | None = None,
+    ) -> "ChillerBank":
+        """N identical units named ``chiller0..N-1``.
+
+        ``maintenance_windows[i]`` optionally gives unit ``i`` its offline
+        intervals (shorter sequences leave the remaining units always on).
+        """
+        check_positive_int(n_units, "n_units")
+        plant = plant if plant is not None else ChillerPlant()
+        windows = list(maintenance_windows) if maintenance_windows is not None else []
+        windows += [()] * (n_units - len(windows))
+        return cls(
+            units=tuple(
+                ChillerUnit(
+                    name=f"chiller{index}",
+                    capacity_w=unit_capacity_w,
+                    plant=plant,
+                    part_load_degradation=part_load_degradation,
+                    maintenance_windows=tuple(windows[index]),
+                )
+                for index in range(n_units)
+            )
+        )
+
+    @property
+    def n_units(self) -> int:
+        """Number of units in the bank."""
+        return len(self.units)
+
+    @property
+    def total_capacity_w(self) -> float:
+        """Rated thermal capacity of the whole bank."""
+        return sum(unit.capacity_w for unit in self.units)
+
+    def available_units(self, time_s: float) -> tuple[ChillerUnit, ...]:
+        """The units not under maintenance at ``time_s``."""
+        return tuple(unit for unit in self.units if unit.available(time_s))
+
+    def accounting_chiller(self) -> ChillerModel:
+        """Unit-COP chiller for per-server *thermal* load accounting.
+
+        Eq. 1 at COP 1 and zero free cooling returns exactly the heat rate
+        each server dumps into the condenser water; the datacenter session
+        sums these and hands the total to :meth:`stage` for the bank-level
+        electrical conversion.
+        """
+        return ChillerModel(coefficient_of_performance=1.0, free_cooling_fraction=0.0)
+
+    def _candidate_subsets(
+        self, available: tuple[ChillerUnit, ...]
+    ) -> list[tuple[ChillerUnit, ...]]:
+        if len(available) <= self.max_enumerated_units:
+            return [
+                subset
+                for size in range(1, len(available) + 1)
+                for subset in itertools.combinations(available, size)
+            ]
+        ranked = sorted(available, key=lambda unit: -unit.capacity_w)
+        return [tuple(ranked[: size + 1]) for size in range(len(ranked))]
+
+    def stage(
+        self, supply_temperature_c: float, thermal_load_w: float, time_s: float = 0.0
+    ) -> StagingDecision:
+        """Commit the cheapest feasible unit subset to a thermal load.
+
+        Zero load commits nothing; a load beyond the available capacity
+        commits every available unit in overload (part-load curve degrading
+        past rated); no available unit at a positive load is a
+        configuration error — the floor would boil.
+        """
+        check_non_negative(thermal_load_w, "thermal_load_w")
+        available = self.available_units(time_s)
+        if thermal_load_w == 0.0:
+            return StagingDecision(
+                time_s=time_s,
+                setpoint_c=supply_temperature_c,
+                thermal_load_w=0.0,
+                units_on=(),
+                electrical_power_w=0.0,
+                load_fraction=0.0,
+                overloaded=False,
+                n_available=len(available),
+            )
+        if not available:
+            raise ConfigurationError(
+                f"no chiller unit available at t={time_s} s for a "
+                f"{thermal_load_w:.1f} W load (all units under maintenance)"
+            )
+
+        def commitment_power(subset: tuple[ChillerUnit, ...]) -> tuple[float, float]:
+            capacity = sum(unit.capacity_w for unit in subset)
+            fraction = thermal_load_w / capacity
+            power = sum(
+                unit.electrical_power_w(
+                    supply_temperature_c, unit.capacity_w * fraction
+                )
+                for unit in subset
+            )
+            return power, fraction
+
+        best: tuple[ChillerUnit, ...] | None = None
+        best_power = float("inf")
+        best_fraction = 0.0
+        for subset in self._candidate_subsets(available):
+            power, fraction = commitment_power(subset)
+            if fraction > 1.0:
+                continue
+            if power < best_power:
+                best, best_power, best_fraction = subset, power, fraction
+        overloaded = best is None
+        if overloaded:
+            best = available
+            best_power, best_fraction = commitment_power(available)
+        return StagingDecision(
+            time_s=time_s,
+            setpoint_c=supply_temperature_c,
+            thermal_load_w=thermal_load_w,
+            units_on=tuple(unit.name for unit in best),
+            electrical_power_w=best_power,
+            load_fraction=best_fraction,
+            overloaded=overloaded,
+            n_available=len(available),
+        )
+
+    def plant_power_w(
+        self,
+        supply_temperature_c: float,
+        water_loops_and_heats: Iterable[tuple[WaterLoop, float]],
+        time_s: float = 0.0,
+    ) -> float:
+        """Bank electrical power for a set of loops — staged, then summed.
+
+        The per-loop heat rates (Eq. 1 at unit COP — the exact thermal
+        loads) are summed and staged through :meth:`stage`; the signature
+        mirrors :meth:`ChillerPlant.plant_power_w` with the staging time
+        appended.
+        """
+        accounting = self.accounting_chiller()
+        total = sum(
+            accounting.cooling_power_w(loop, heat)
+            for loop, heat in water_loops_and_heats
+        )
+        return self.stage(supply_temperature_c, total, time_s).electrical_power_w

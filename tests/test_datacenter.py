@@ -184,10 +184,24 @@ class TestSupervisoryController:
         assert decision.next_setpoint_c == pytest.approx(31.0)
 
     def test_cannot_lower_below_minimum(self):
+        # A violation at the range floor holds the setpoint but must be
+        # logged as SATURATED, not as a quiet HOLD (regression: the LOWER
+        # branch used to require setpoint_c > setpoint_min_c, so this case
+        # fell through to HOLD and was invisible in the decision log).
         controller = SupervisoryController(setpoint_min_c=30.0)
         decision = controller.decide(8.0, 30.0, worst_peak_case_c=T_CASE_MAX_C + 5.0)
-        assert decision.action is SupervisoryAction.HOLD
+        assert decision.action is SupervisoryAction.SATURATED
         assert decision.next_setpoint_c == pytest.approx(30.0)
+
+    def test_saturated_distinct_from_quiet_hold(self):
+        controller = SupervisoryController(setpoint_min_c=30.0, guard_margin_c=2.0)
+        quiet = controller.decide(8.0, 30.0, worst_peak_case_c=T_CASE_MAX_C - 1.0)
+        saturated = controller.decide(16.0, 30.0, worst_peak_case_c=T_CASE_MAX_C)
+        assert quiet.action is SupervisoryAction.HOLD
+        assert saturated.action is SupervisoryAction.SATURATED
+        # Above the range floor the identical violation still lowers.
+        lowered = controller.decide(24.0, 31.0, worst_peak_case_c=T_CASE_MAX_C)
+        assert lowered.action is SupervisoryAction.LOWER_SETPOINT
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(Exception):

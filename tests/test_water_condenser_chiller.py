@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ValidationError
 from repro.thermosyphon.chiller import ChillerModel, ChillerPlant, chiller_power_w
 from repro.thermosyphon.condenser import CondenserModel
 from repro.thermosyphon.water_loop import WaterLoop
@@ -159,8 +159,22 @@ class TestCoolingPowerMany:
         chiller = ChillerModel()
         with pytest.raises(ConfigurationError):
             chiller.cooling_power_w_many([nominal_loop], np.array([1.0, 2.0]))
-        with pytest.raises(ConfigurationError):
+        # Bad heat *values* raise ValidationError — the same exception the
+        # scalar path's check_non_negative(heat_w) raises (regression: the
+        # vectorized path used to diverge and raise ConfigurationError).
+        with pytest.raises(ValidationError):
             chiller.cooling_power_w_many(nominal_loop, np.array([-1.0]))
+        with pytest.raises(ValidationError):
+            chiller.cooling_power_w_many(nominal_loop, np.array([float("nan")]))
+        with pytest.raises(ValidationError):
+            chiller.cooling_power_w_many(nominal_loop, np.array([float("inf")]))
+
+    def test_empty_heats_returns_empty_array(self, nominal_loop):
+        chiller = ChillerModel()
+        result = chiller.cooling_power_w_many(nominal_loop, np.array([]))
+        assert result.shape == (0,)
+        result = chiller.cooling_power_w_many([], np.array([]))
+        assert result.shape == (0,)
 
     def test_rack_power_accepts_any_iterable(self, nominal_loop):
         """Generators (not just lists) are valid rack accounting input."""
@@ -171,6 +185,49 @@ class TestCoolingPowerMany:
         from_tuple = chiller.rack_cooling_power_w(tuple(pairs))
         assert from_generator == pytest.approx(from_list)
         assert from_tuple == pytest.approx(from_list)
+
+
+class TestCoolingPowerGoldenModel:
+    """Scalar Eq. 1 is the golden model; the vectorized path must equal it
+    bit for bit — the floor engine charges per-server chiller power through
+    the batched route while the standalone rack path stays scalar, and any
+    last-bit divergence breaks the datacenter/rack parity guarantee.
+    """
+
+    def _assert_bit_identical(self, chiller, loops, heats):
+        batched = chiller.cooling_power_w_many(loops, heats)
+        loop_list = [loops] * len(heats) if isinstance(loops, WaterLoop) else loops
+        for index, (loop, heat) in enumerate(zip(loop_list, heats)):
+            scalar = chiller.cooling_power_w(loop, float(heat))
+            assert batched[index] == scalar  # exact ==, not approx
+
+    def test_broadcast_single_loop_bit_identical(self, nominal_loop):
+        chiller = ChillerModel(coefficient_of_performance=3.7, free_cooling_fraction=0.15)
+        heats = np.array([0.0, 13.3, 47.9, 60.0, 115.0])
+        self._assert_bit_identical(chiller, nominal_loop, heats)
+
+    def test_heterogeneous_loops_bit_identical(self, nominal_loop):
+        chiller = ChillerModel(coefficient_of_performance=2.9, free_cooling_fraction=0.3)
+        loops = [
+            nominal_loop,
+            nominal_loop.with_flow_rate(12.0),
+            nominal_loop.with_inlet_temperature(18.5),
+            nominal_loop.with_flow_rate(3.0).with_inlet_temperature(41.0),
+        ]
+        heats = np.array([55.5, 0.0, 99.9, 7.1])
+        self._assert_bit_identical(chiller, loops, heats)
+
+    def test_zero_heat_is_exactly_zero(self, nominal_loop):
+        chiller = ChillerModel()
+        batched = chiller.cooling_power_w_many(nominal_loop, np.array([0.0, 0.0]))
+        assert batched[0] == 0.0 and batched[1] == 0.0
+
+    def test_rack_total_matches_batched_sum(self, nominal_loop):
+        chiller = ChillerModel(coefficient_of_performance=4.0)
+        loops = [nominal_loop, nominal_loop.with_flow_rate(10.0)]
+        heats = np.array([60.0, 45.0])
+        total = chiller.rack_cooling_power_w(zip(loops, heats))
+        assert total == pytest.approx(chiller.cooling_power_w_many(loops, heats).sum())
 
 
 class TestChillerPlant:
