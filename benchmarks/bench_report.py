@@ -1,0 +1,151 @@
+"""Benchmark regression report: BENCH_quick.json vs the committed baseline.
+
+The CI ``--quick`` step records every benchmark's timing in
+``BENCH_quick.json``; this tool diffs it against the committed
+``benchmarks/BENCH_baseline.json`` and prints a human-readable table of
+per-benchmark ratios.  Benchmarks beyond the tolerance band fail the
+report (exit code 1), so a perf regression surfaces in CI next to the
+hard speedup gates instead of only in an artifact nobody opens.
+
+The band is deliberately wide (default 4x): CI runners are shared,
+noisy machines and the baseline was recorded on different hardware — the
+report is a tripwire for order-of-magnitude regressions (an accidental
+O(n^2), a cache that stopped hitting), not a microbenchmark referee.
+The hard gates in the benchmark suite pin the relative speedups that
+actually matter; this report pins the absolute trajectory.
+
+Usage::
+
+    python benchmarks/bench_report.py BENCH_quick.json
+    python benchmarks/bench_report.py BENCH_quick.json --max-regression 4.0
+    python benchmarks/bench_report.py BENCH_quick.json --update-baseline
+
+``--update-baseline`` rewrites ``BENCH_baseline.json`` from the current
+run (means only, machine metadata stripped) — commit the result when a
+deliberate perf change moves the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
+
+
+def _means(report: dict) -> dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON."""
+    means = {}
+    for entry in report.get("benchmarks", []):
+        means[entry["name"]] = float(entry["stats"]["mean"])
+    return means
+
+
+def load_report(path: Path) -> dict[str, float]:
+    with path.open() as handle:
+        return _means(json.load(handle))
+
+
+def write_baseline(current: dict[str, float], path: Path) -> None:
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in sorted(current.items())
+        ]
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    max_regression: float,
+) -> tuple[str, list[str]]:
+    """Render the ratio table; returns ``(table, regressions)``."""
+    names = sorted(set(baseline) | set(current))
+    width = max((len(name) for name in names), default=4)
+    lines = [
+        f"{'benchmark':<{width}} {'baseline':>12} {'current':>12} {'ratio':>8}  verdict"
+    ]
+    regressions: list[str] = []
+    for name in names:
+        base = baseline.get(name)
+        mean = current.get(name)
+        if base is None:
+            lines.append(
+                f"{name:<{width}} {'-':>12} {mean * 1e3:>10.1f}ms {'-':>8}  new"
+            )
+            continue
+        if mean is None:
+            lines.append(
+                f"{name:<{width}} {base * 1e3:>10.1f}ms {'-':>12} {'-':>8}  missing"
+            )
+            regressions.append(f"{name}: present in baseline but not in this run")
+            continue
+        ratio = mean / base
+        verdict = "ok"
+        if ratio > max_regression:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}: {mean * 1e3:.1f} ms vs baseline {base * 1e3:.1f} ms "
+                f"({ratio:.1f}x > {max_regression:.1f}x band)"
+            )
+        elif ratio < 1.0 / max_regression:
+            verdict = "faster (update baseline?)"
+        lines.append(
+            f"{name:<{width}} {base * 1e3:>10.1f}ms {mean * 1e3:>10.1f}ms "
+            f"{ratio:>7.2f}x  {verdict}"
+        )
+    return "\n".join(lines), regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON to check")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="committed baseline JSON (default: benchmarks/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=4.0,
+        help="fail when current/baseline mean exceeds this ratio (default 4.0)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of checking it",
+    )
+    arguments = parser.parse_args(argv)
+
+    current = load_report(arguments.report)
+    if not current:
+        print(f"no benchmarks found in {arguments.report}", file=sys.stderr)
+        return 1
+    if arguments.update_baseline:
+        write_baseline(current, arguments.baseline)
+        print(f"baseline updated: {arguments.baseline} ({len(current)} benchmarks)")
+        return 0
+    if not arguments.baseline.exists():
+        print(f"no baseline at {arguments.baseline}; run with --update-baseline")
+        return 1
+
+    baseline = load_report(arguments.baseline)
+    table, regressions = compare(baseline, current, arguments.max_regression)
+    print(table)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond the tolerance band:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nall {len(current)} benchmarks within {arguments.max_regression:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,7 @@ See ``examples/batch_sweep.py`` for a complete sweep.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.core.config_selection import QoSAwareConfigSelector
@@ -268,23 +268,43 @@ class BatchEvaluator:
         points: Sequence[SweepPoint],
         *,
         max_workers: int | None = None,
+        backend: str = "process",
     ) -> list[EvaluationResult]:
         """Evaluate every point, in order.
 
         Serial by default (one simulation, one warm cache).  With
-        ``max_workers`` > 1 the points are distributed over a process pool;
-        each worker rebuilds the simulation once from the evaluator's
-        ingredients (including any custom layer stack, bottom boundary,
-        mapper and cache settings) and evaluates its share of the points.
-        Constraint-only points are resolved to explicit mappings *before*
-        being shipped, so worker results cannot diverge from the parent's
-        selector/pipeline configuration.  The pool — and the workers' warm
-        factorization caches — persists across calls; use :meth:`close`
-        (or the context manager) to release it.
+        ``max_workers`` > 1 the points are distributed over a worker pool
+        selected by ``backend``:
+
+        * ``"process"`` (default, unchanged behaviour) — each worker
+          process rebuilds the simulation once from the evaluator's
+          ingredients (including any custom layer stack, bottom boundary,
+          mapper and cache settings) and evaluates its share of the
+          points.  Constraint-only points are resolved to explicit
+          mappings *before* being shipped, so worker results cannot
+          diverge from the parent's selector/pipeline configuration.  The
+          pool — and the workers' warm factorization caches — persists
+          across calls; use :meth:`close` (or the context manager) to
+          release it.
+        * ``"thread"`` — the points fan out over a
+          :class:`~concurrent.futures.ThreadPoolExecutor` sharing *this*
+          evaluator's simulation and factorization cache (no per-worker
+          rebuild, no pickling; the cache's get-or-build is lock-guarded).
+          The SuperLU back-substitutions release the GIL, so the solve
+          phase genuinely overlaps; pure-Python phases (mapping, power
+          modelling) still serialize on the GIL, which keeps this backend
+          cheapest when points share boundaries and the solve dominates.
         """
+        if backend not in ("process", "thread"):
+            raise ConfigurationError(
+                f"backend must be 'process' or 'thread', got {backend!r}"
+            )
         points = list(points)
         if max_workers is None or max_workers <= 1 or len(points) <= 1:
             return [self.evaluate(point) for point in points]
+        if backend == "thread":
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                return list(executor.map(self.evaluate, points))
         resolved = [
             point
             if point.mapping is not None

@@ -52,9 +52,10 @@ from repro.core.rack_session import (
     ServerLoad,
 )
 from repro.exceptions import ConfigurationError, ValidationError
+from repro.thermal.rom import RomConfig, RomStats, build_reduced_operator
 from repro.thermosyphon.loop import BoundaryResult, LoopOperatingPoint
 
-__all__ = ["FloorAdvance", "FloorEngine", "FloorSnapshot"]
+__all__ = ["FloorAdvance", "FloorEngine", "FloorSnapshot", "FloorSpanAdvance"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,39 @@ class FloorAdvance:
 
     racks: tuple[RackAdvance, ...]
     worst_period_peak_case_c: float
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks advanced."""
+        return len(self.racks)
+
+
+@dataclass(frozen=True)
+class FloorSpanAdvance:
+    """Outcome of one quasi-steady macro-step spanning several periods.
+
+    ``racks[r]`` is rack ``r``'s :class:`RackAdvance` *for the final
+    control period of the span* (the one the controller's decision rule
+    evaluates).  ``period_case_c[r]`` / ``period_peak_case_c[r]`` are
+    ``(span, n_servers)`` arrays of per-period-end case temperatures and
+    within-period peaks, reconstructed from the reduced-order readout (ROM
+    rows), the full substep march (fallback rows) or endpoint
+    interpolation (macro rows) — the per-period observability that lets a
+    coarse trace keep the fine lane's record shape.
+    ``period_worst_peak_c[j]`` is the floor-wide worst within-period peak
+    of period ``j``.
+    """
+
+    racks: tuple[RackAdvance, ...]
+    span: int
+    period_case_c: tuple[np.ndarray, ...]
+    period_peak_case_c: tuple[np.ndarray, ...]
+    period_worst_peak_c: np.ndarray
+
+    @property
+    def worst_period_peak_case_c(self) -> float:
+        """Highest within-span peak case temperature across the floor."""
+        return float(self.period_worst_peak_c.max())
 
     @property
     def n_racks(self) -> int:
@@ -148,6 +182,13 @@ class FloorEngine:
         # eviction bounds it on long traces with ever-fresh loads.
         self._point_memo: dict[tuple, LoopOperatingPoint] = {}
         self._point_memo_max_entries = 4096
+        # Reduced-order lane (repro.thermal.rom): set ``rom_config`` to a
+        # RomConfig to let :meth:`advance_span` step quasi-steady spans in a
+        # Krylov subspace; leave None for pure macro-step coarsening.
+        # ``rom_stats`` accumulates the lane's decisions for the floor's
+        # lifetime — trace engines report deltas.
+        self.rom_config: RomConfig | None = None
+        self.rom_stats = RomStats()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -274,12 +315,52 @@ class FloorEngine:
         stacking only changes how many rows each factorized operator
         back-substitutes at once.
         """
+        if n_substeps < 1:
+            raise ValueError(f"n_substeps must be >= 1, got {n_substeps}")
+        loads, breakdowns, power_maps, water_loops, refreshed, boundaries = (
+            self._prepare_period(rack_loads, force_boundary_refresh)
+        )
+
+        # Stages 3-4 run per hardware group on the stacked arrays.
+        rack_advances: list[RackAdvance | None] = [None] * self.n_racks
+        worst_peak = float("-inf")
+        for group in self._groups:
+            group_peak = self._advance_group(
+                group,
+                loads,
+                breakdowns,
+                power_maps,
+                water_loops,
+                boundaries,
+                refreshed,
+                rack_advances,
+                dt_s,
+                n_substeps,
+            )
+            worst_peak = max(worst_peak, group_peak)
+        return FloorAdvance(
+            racks=tuple(rack_advances),  # type: ignore[arg-type]
+            worst_period_peak_case_c=worst_peak,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stages 1-2: shared per-period preparation
+    # ------------------------------------------------------------------ #
+    def _prepare_period(
+        self,
+        rack_loads: Sequence[Sequence[ServerLoad]],
+        force_boundary_refresh: Sequence[bool | Sequence[bool]] | None,
+    ):
+        """Stage 1 (memoized power) + stage 2 (batched boundary refresh).
+
+        Shared verbatim between :meth:`advance` and :meth:`advance_span`, so
+        a coarse span sees exactly the power maps and held boundaries a fine
+        period at the same loads would.
+        """
         if len(rack_loads) != self.n_racks:
             raise ValidationError(
                 f"expected loads for {self.n_racks} racks, got {len(rack_loads)}"
             )
-        if n_substeps < 1:
-            raise ValueError(f"n_substeps must be >= 1, got {n_substeps}")
         if force_boundary_refresh is None:
             force_boundary_refresh = [False] * self.n_racks
         elif len(force_boundary_refresh) != self.n_racks:
@@ -324,12 +405,61 @@ class FloorEngine:
             [state.boundary_result for state in self.rack_sessions[r].held_boundaries()]
             for r in range(self.n_racks)
         ]
+        return loads, breakdowns, power_maps, water_loops, refreshed, boundaries
 
-        # Stages 3-4 run per hardware group on the stacked arrays.
+    # ------------------------------------------------------------------ #
+    # Quasi-steady span advance (adaptive control-period coarsening)
+    # ------------------------------------------------------------------ #
+    def advance_span(
+        self,
+        rack_loads: Sequence[Sequence[ServerLoad]],
+        dt_s: float,
+        span: int,
+        *,
+        n_substeps: int = 1,
+        force_boundary_refresh: Sequence[bool | Sequence[bool]] | None = None,
+        t_case_max_c: float | None = None,
+    ) -> FloorSpanAdvance:
+        """Advance every server by ``span`` control periods of ``dt_s`` each.
+
+        The caller (the datacenter session's coarsening planner) guarantees
+        the span is quasi-steady: loads are held, no actuator fired last
+        period and every settle residual is below tolerance.  Under that
+        contract the floor advances the whole span without per-period
+        decision evaluation, through one of three lanes per solve group:
+
+        * **ROM lane** (``rom_config`` set): step in the cached Krylov
+          subspace at the fine substep size — ``O(k^2)`` per substep plus
+          two ``(n, k)`` mat-vecs for the rigorous a-posteriori error
+          bound — lifting only the case-cell readout per substep and the
+          full field once at span end.
+        * **Full fallback lane**: rows whose projection/error bound trips
+          or whose lifted case temperature enters the ``t_case_max_c``
+          guard band rerun the *entire* span at full fine resolution
+          (identical physics to ``span`` calls of :meth:`advance`); the
+          :class:`~repro.thermal.rom.RomStats` counters record why.
+        * **Macro lane** (``rom_config`` is None): one stacked
+          backward-Euler macro-step of ``n_substeps`` substeps at
+          ``span * dt_s / n_substeps`` each, with per-period observables
+          reconstructed by endpoint interpolation — the pure-coarsening
+          mode.
+
+        Requires a warm floor (every session viewing its group array);
+        cold starts must go through :meth:`advance` first.
+        """
+        if span < 1:
+            raise ValueError(f"span must be >= 1, got {span}")
+        if n_substeps < 1:
+            raise ValueError(f"n_substeps must be >= 1, got {n_substeps}")
+        loads, breakdowns, power_maps, water_loops, refreshed, boundaries = (
+            self._prepare_period(rack_loads, force_boundary_refresh)
+        )
+
         rack_advances: list[RackAdvance | None] = [None] * self.n_racks
-        worst_peak = float("-inf")
+        period_case: list[np.ndarray | None] = [None] * self.n_racks
+        period_peak: list[np.ndarray | None] = [None] * self.n_racks
         for group in self._groups:
-            group_peak = self._advance_group(
+            self._advance_group_span(
                 group,
                 loads,
                 breakdowns,
@@ -338,13 +468,22 @@ class FloorEngine:
                 boundaries,
                 refreshed,
                 rack_advances,
+                period_case,
+                period_peak,
                 dt_s,
+                span,
                 n_substeps,
+                t_case_max_c,
             )
-            worst_peak = max(worst_peak, group_peak)
-        return FloorAdvance(
+        period_worst = np.max(
+            np.concatenate([peaks for peaks in period_peak], axis=1), axis=1
+        )
+        return FloorSpanAdvance(
             racks=tuple(rack_advances),  # type: ignore[arg-type]
-            worst_period_peak_case_c=worst_peak,
+            span=span,
+            period_case_c=tuple(period_case),  # type: ignore[arg-type]
+            period_peak_case_c=tuple(period_peak),  # type: ignore[arg-type]
+            period_worst_peak_c=period_worst,
         )
 
     # ------------------------------------------------------------------ #
@@ -502,3 +641,294 @@ class FloorEngine:
                 n_substeps,
             )
         return float(peak_case.max())
+
+    # ------------------------------------------------------------------ #
+    # Span marching of one hardware group (coarsening + ROM lanes)
+    # ------------------------------------------------------------------ #
+    def _advance_group_span(
+        self,
+        group: _HardwareGroup,
+        loads: Sequence[Sequence[ServerLoad]],
+        breakdowns: Sequence[Sequence],
+        power_maps: Sequence[np.ndarray],
+        water_loops: Sequence[Sequence],
+        boundaries: Sequence[Sequence[BoundaryResult]],
+        refreshed: Sequence[Sequence[bool]],
+        rack_advances: list[RackAdvance | None],
+        period_case: list[np.ndarray | None],
+        period_peak: list[np.ndarray | None],
+        dt_s: float,
+        span: int,
+        n_substeps: int,
+        t_case_max_c: float | None,
+    ) -> None:
+        simulator = group.simulator
+
+        group_maps = np.concatenate([power_maps[r] for r in group.rack_indices])
+        group_boundaries: list[BoundaryResult] = []
+        for r in group.rack_indices:
+            group_boundaries.extend(boundaries[r])
+
+        token_rows: dict[tuple, list[int]] = {}
+        for row, boundary in enumerate(group_boundaries):
+            token_rows.setdefault(boundary.boundary.cache_token(), []).append(row)
+
+        fields = group.fields
+        warm = fields is not None and all(
+            self.rack_sessions[r].fields is not None
+            and self.rack_sessions[r].fields.base is fields
+            for r in group.rack_indices
+        )
+        if not warm:
+            raise ConfigurationError(
+                "advance_span requires a warm floor; advance at least one "
+                "fine control period first"
+            )
+
+        sub_dt = dt_s / n_substeps
+        rom = self.rom_config if simulator.solver_cache is not None else None
+        n = group.n_servers
+        new_fields = np.empty_like(fields)
+        case_hist = np.empty((span, n), dtype=float)
+        peak_hist = np.empty((span, n), dtype=float)
+        residuals = np.empty(n, dtype=float)
+
+        for rows in token_rows.values():
+            boundary = group_boundaries[rows[0]].boundary
+            maps_rows = group_maps[rows]
+            state = fields[rows]
+            if rom is not None:
+                self.rom_stats.spans += 1
+                ok, end, cases, peaks, res = self._rom_march(
+                    group, boundary, maps_rows, state, sub_dt, span,
+                    n_substeps, t_case_max_c, rom,
+                )
+                fallback = [row for i, row in enumerate(rows) if not ok[i]]
+                kept = np.flatnonzero(ok)
+                kept_rows = [rows[i] for i in kept]
+                if kept_rows:
+                    new_fields[kept_rows] = end[kept]
+                    case_hist[:, kept_rows] = cases[:, kept]
+                    peak_hist[:, kept_rows] = peaks[:, kept]
+                    residuals[kept_rows] = res[kept]
+                if fallback:
+                    self.rom_stats.fallback_rows += len(fallback)
+                    f_end, f_cases, f_peaks, f_res = self._full_march(
+                        simulator, boundary, group_maps[fallback],
+                        fields[fallback], sub_dt, span, n_substeps,
+                        group.case_cell_index,
+                    )
+                    new_fields[fallback] = f_end
+                    case_hist[:, fallback] = f_cases
+                    peak_hist[:, fallback] = f_peaks
+                    residuals[fallback] = f_res
+            else:
+                end, cases, peaks, res = self._macro_march(
+                    simulator, boundary, maps_rows, state, dt_s, span,
+                    n_substeps, group.case_cell_index,
+                )
+                new_fields[rows] = end
+                case_hist[:, rows] = cases
+                peak_hist[:, rows] = peaks
+                residuals[rows] = res
+
+        group.fields = new_fields
+
+        for r in group.rack_indices:
+            rows = group.rack_rows[r]
+            rack_advances[r] = self.rack_sessions[r].finish_advance(
+                loads[r],
+                breakdowns[r],
+                water_loops[r],
+                new_fields[rows],
+                residuals[rows],
+                peak_hist[-1, rows],
+                refreshed[r],
+                dt_s,
+                n_substeps,
+            )
+            period_case[r] = case_hist[:, rows]
+            period_peak[r] = peak_hist[:, rows]
+
+    def _rom_march(
+        self,
+        group: _HardwareGroup,
+        boundary,
+        power_maps_rows: np.ndarray,
+        state: np.ndarray,
+        sub_dt: float,
+        span: int,
+        n_substeps: int,
+        t_case_max_c: float | None,
+        config: RomConfig,
+    ):
+        """March one solve group through the reduced space.
+
+        Returns ``(ok, end_fields, case_hist, peak_hist, residuals)``;
+        entries of rows with ``ok[i]`` False are unspecified — those rows
+        rerun through :meth:`_full_march`.  Fallback causes are counted on
+        ``rom_stats`` (a row can trip both the error and guard tests).
+        """
+        simulator = group.simulator
+        cache = simulator.solver_cache
+        network = simulator.network
+        stats = self.rom_stats
+        m = state.shape[0]
+        power_vecs = network.power_vectors(power_maps_rows)
+
+        op = cache.reduced_operator(boundary, sub_dt)
+        if op is None:
+            op = build_reduced_operator(
+                network, cache, boundary, sub_dt, state, power_vecs,
+                group.case_cell_index, config,
+            )
+            cache.store_reduced_operator(boundary, sub_dt, op)
+            stats.basis_builds += 1
+            coords, entry_error = op.project(state)
+        else:
+            coords, entry_error = op.project(state)
+            if bool(np.any(entry_error > config.projection_tol_c)):
+                # The floor drifted out of the cached basis's span: rebuild
+                # once from the current states (folding the stale basis back
+                # in, so recurring boundaries accrete their whole operating
+                # envelope), then give up per-row.
+                op = build_reduced_operator(
+                    network, cache, boundary, sub_dt, state, power_vecs,
+                    group.case_cell_index, config, previous_basis=op.basis,
+                )
+                cache.store_reduced_operator(boundary, sub_dt, op)
+                stats.basis_rebuilds += 1
+                coords, entry_error = op.project(state)
+        ok = entry_error <= config.projection_tol_c
+        stats.fallback_projection += int(np.sum(~ok))
+
+        full_rhs = op.boundary_rhs[np.newaxis, :] + power_vecs
+        reduced_rhs = op.reduce_rhs(power_vecs)
+        affine = op.affine_term(reduced_rhs)
+        step_matrix = op.step_matrix
+        case_readout = op.basis[op.case_cell_index]
+        total_substeps = span * n_substeps
+        sampled_bound = np.zeros(m, dtype=float)
+        case_hist = np.empty((span, m), dtype=float)
+        peak_hist = np.empty((span, m), dtype=float)
+        previous_end = coords
+        step_index = 0
+        for j in range(span):
+            if j == span - 1:
+                previous_end = coords.copy()
+            peak = np.full(m, float("-inf"))
+            for _ in range(n_substeps):
+                new_coords = step_matrix @ coords + affine
+                if step_index in (0, total_substeps // 2, total_substeps - 1):
+                    # Power is held across the span, so the residual varies
+                    # smoothly along it: sampling the full-space bound at the
+                    # first, middle and last substep keeps every other step
+                    # free of O(n) work (the whole point of the reduced lane).
+                    np.maximum(
+                        sampled_bound,
+                        op.step_error_bound(new_coords, coords, full_rhs),
+                        out=sampled_bound,
+                    )
+                coords = new_coords
+                step_index += 1
+                case = case_readout @ coords
+                np.maximum(peak, case, out=peak)
+            case_hist[j] = case
+            peak_hist[j] = peak
+        error = entry_error + sampled_bound * total_substeps
+        error_fail = error > config.step_error_tol_c
+        guard_fail = np.zeros(m, dtype=bool)
+        if t_case_max_c is not None:
+            # Error-inflated proximity test: the ROM never arbitrates a
+            # constraint decision.
+            guard_fail = (
+                np.max(peak_hist, axis=0) + error
+                >= t_case_max_c - config.guard_band_c
+            )
+        stats.fallback_error += int(np.sum(error_fail & ok))
+        stats.fallback_guard += int(np.sum(guard_fail & ok))
+        ok &= ~(error_fail | guard_fail)
+        n_ok = int(np.sum(ok))
+        stats.rom_rows += n_ok
+        stats.rom_periods += n_ok * span
+
+        end_fields = op.lift(coords)
+        residuals = np.max(np.abs(op.lift(coords - previous_end)), axis=1)
+        return ok, end_fields, case_hist, peak_hist, residuals
+
+    def _full_march(
+        self,
+        simulator,
+        boundary,
+        maps_rows: np.ndarray,
+        state: np.ndarray,
+        sub_dt: float,
+        span: int,
+        n_substeps: int,
+        case_cell_index: int,
+    ):
+        """Full-resolution fallback: the fine lane's physics for a span.
+
+        Identical solves to ``span`` consecutive :meth:`advance` calls at
+        held loads (same operator, same substep size), so rows that fall
+        back lose nothing to the coarse lane.
+        """
+        m = state.shape[0]
+        case_hist = np.empty((span, m), dtype=float)
+        peak_hist = np.empty((span, m), dtype=float)
+        residual = np.zeros(m, dtype=float)
+        for j in range(span):
+            peak = np.full(m, float("-inf"))
+            for _ in range(n_substeps):
+                new_state = simulator.transient_step_many_from_maps(
+                    state, maps_rows, boundary, sub_dt
+                )
+                residual = np.max(np.abs(new_state - state), axis=1)
+                state = new_state
+                np.maximum(peak, state[:, case_cell_index], out=peak)
+            case_hist[j] = state[:, case_cell_index]
+            peak_hist[j] = peak
+        return state, case_hist, peak_hist, residual
+
+    def _macro_march(
+        self,
+        simulator,
+        boundary,
+        maps_rows: np.ndarray,
+        state: np.ndarray,
+        dt_s: float,
+        span: int,
+        n_substeps: int,
+        case_cell_index: int,
+    ):
+        """Pure-coarsening lane: one backward-Euler macro-step for the span.
+
+        ``n_substeps`` substeps of ``span * dt_s / n_substeps`` each through
+        the cached factorization keyed by that macro substep size (spans are
+        dyadic, so the key variety stays within the LRU bound).  Per-period
+        case temperatures are endpoint-interpolated — admissible only under
+        the caller's quasi-steady contract — and the per-period residual
+        estimate conservatively divides the span's total movement by
+        ``span`` (not ``span * n_substeps``), so the planner reads a
+        *larger* residual than the fine lane would and drops back sooner.
+        """
+        entry_case = state[:, case_cell_index].copy()
+        macro_sub_dt = span * dt_s / n_substeps
+        total_move = np.zeros(state.shape[0], dtype=float)
+        for _ in range(n_substeps):
+            new_state = simulator.transient_step_many_from_maps(
+                state, maps_rows, boundary, macro_sub_dt
+            )
+            total_move = np.maximum(
+                total_move, np.max(np.abs(new_state - state), axis=1)
+            )
+            state = new_state
+        end_case = state[:, case_cell_index]
+        fractions = (np.arange(1, span + 1, dtype=float) / span)[:, np.newaxis]
+        case_hist = entry_case[np.newaxis, :] + fractions * (
+            end_case - entry_case
+        )[np.newaxis, :]
+        starts = np.vstack([entry_case[np.newaxis, :], case_hist[:-1]])
+        peak_hist = np.maximum(case_hist, starts)
+        residuals = total_move / span
+        return state, case_hist, peak_hist, residuals

@@ -35,11 +35,12 @@ the merged solver-cache statistics of the whole floor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.mapping import WorkloadMapping
 from repro.core.rack_session import RackSession, RackSessionSnapshot
 from repro.core.runtime_controller import (
+    ControllerAction,
     ControllerDecision,
     DecisionPolicy,
     RackServer,
@@ -51,6 +52,7 @@ from repro.core.runtime_controller import (
 )
 from repro.core.session import T_CASE_MAX_C
 from repro.datacenter.floor import FloorEngine, FloorSnapshot
+from repro.thermal.rom import RomConfig, RomStats
 from repro.datacenter.supervisory import (
     SupervisoryAction,
     SupervisoryController,
@@ -113,6 +115,51 @@ class RackSpec:
         return trace
 
 
+@dataclass(frozen=True)
+class CoarseningConfig:
+    """Knobs of adaptive control-period coarsening (the million-period lane).
+
+    A span of ``K`` control periods is advanced in one quasi-steady
+    macro-step only while, at the last evaluated period, **all** of these
+    held: every fast decision was ``NONE`` (no actuator event), every
+    settle residual was at most ``quasi_steady_tol_c`` (the signal the
+    adaptive boundary-refresh mode already computes), the floor's worst
+    within-period peak stayed ``guard_band_c`` below the policy's
+    ``t_case_max_c``, no server with an open valve sat within
+    ``relax_guard_c`` of the relax (``DECREASE_FLOW``) threshold, no
+    boundary refresh was pending, and no scenario-trace phase boundary,
+    supervisory window boundary or run end falls inside the span.  Any
+    trigger drops the run back to single-period stepping.
+
+    Spans are quantized to powers of two between ``min_span`` and
+    ``max_span`` so the macro-step ``dt`` values stay within the
+    factorization cache's LRU bound.  ``rom`` configures the reduced-order
+    lane the span steps through (:class:`~repro.thermal.rom.RomConfig`);
+    ``None`` keeps pure macro-stepping through the full solver.
+    """
+
+    min_span: int = 4
+    max_span: int = 64
+    quasi_steady_tol_c: float = 0.05
+    guard_band_c: float = 2.0
+    relax_guard_c: float = 0.5
+    rom: RomConfig | None = RomConfig()
+
+    def __post_init__(self) -> None:
+        if self.min_span < 2:
+            raise ConfigurationError(
+                f"min_span must be >= 2, got {self.min_span}"
+            )
+        if self.max_span < self.min_span:
+            raise ConfigurationError(
+                f"max_span ({self.max_span}) must be >= min_span "
+                f"({self.min_span})"
+            )
+        check_positive(self.quasi_steady_tol_c, "quasi_steady_tol_c")
+        check_positive(self.guard_band_c, "guard_band_c")
+        check_positive(self.relax_guard_c, "relax_guard_c")
+
+
 @dataclass
 class DatacenterTrace:
     """Everything one datacenter run produced.
@@ -140,6 +187,9 @@ class DatacenterTrace:
     staging: list[StagingDecision] = field(default_factory=list)
     factorizations: int | None = None
     cache_stats: CacheStats | None = None
+    coarse_spans: int = 0
+    coarse_periods: int = 0
+    rom_stats: RomStats | None = None
 
     @property
     def n_racks(self) -> int:
@@ -270,6 +320,17 @@ class DatacenterTrace:
                 f"  chiller staging       : {min(units_on)}-{max(units_on)} "
                 f"units on, {self.overloaded_periods} overloaded periods"
             )
+        if self.coarse_spans:
+            lines.append(
+                f"  coarse spans          : {self.coarse_spans} "
+                f"({self.coarse_periods}/{self.n_periods} periods coarsened)"
+            )
+        if self.rom_stats is not None and self.rom_stats.spans:
+            lines.append(
+                f"  reduced-order lane    : {self.rom_stats.rom_periods} "
+                f"periods in reduced space, {self.rom_stats.fallbacks} "
+                f"row fallbacks, {self.rom_stats.basis_builds} basis builds"
+            )
         if self.factorizations is not None:
             lines.append(f"  operator factorizations: {self.factorizations}")
         if self.cache_stats is not None:
@@ -325,6 +386,10 @@ class DatacenterSnapshot:
     force_refresh: tuple[tuple[bool, ...], ...]
     floor: FloorSnapshot | None
     rack_snapshots: tuple[RackSessionSnapshot, ...] | None
+    # Coarsening-eligibility signals of the last committed period, restored
+    # so MPC rollouts (which mutate the setpoint mid-plan) leave the
+    # committed trace's span pattern untouched.
+    coarse_state: tuple | None = None
 
 
 class DatacenterModel:
@@ -365,6 +430,15 @@ class DatacenterModel:
     boundary_refresh_tol, adaptive_boundary_refresh:
         Optional cooling-boundary refresh-policy overrides pushed onto
         every rack session (``None`` keeps the session defaults).
+    coarsening:
+        A :class:`CoarseningConfig` enables adaptive control-period
+        coarsening (floor engine only): quasi-steady stretches advance in
+        dyadic multi-period macro-steps — through the reduced-order
+        Krylov lane when the config carries a
+        :class:`~repro.thermal.rom.RomConfig` — and any actuator event,
+        residual growth, envelope step or constraint proximity drops back
+        to single-period stepping.  ``None`` (default) keeps every period
+        at full resolution.
     """
 
     def __init__(
@@ -384,6 +458,7 @@ class DatacenterModel:
         supply_setpoint_c: float | None = None,
         boundary_refresh_tol: float | None = None,
         adaptive_boundary_refresh: bool | None = None,
+        coarsening: CoarseningConfig | None = None,
     ) -> None:
         self.racks = tuple(racks)
         if not self.racks:
@@ -458,6 +533,11 @@ class DatacenterModel:
         )
         self.boundary_refresh_tol = boundary_refresh_tol
         self.adaptive_boundary_refresh = adaptive_boundary_refresh
+        if coarsening is not None and engine != "floor":
+            raise ConfigurationError(
+                "control-period coarsening requires the floor engine"
+            )
+        self.coarsening = coarsening
 
     @property
     def n_racks(self) -> int:
@@ -539,6 +619,13 @@ class DatacenterSession:
         self.floor_engine = (
             FloorEngine(self.rack_sessions) if model.engine == "floor" else None
         )
+        if self.floor_engine is not None and model.coarsening is not None:
+            self.floor_engine.rom_config = model.coarsening.rom
+        # Eligibility signals of the last committed period, feeding the
+        # coarsening planner: (all decisions NONE, worst settle residual,
+        # floor worst peak, the decisions themselves).  None = not
+        # quasi-steady (cold start, or the setpoint just moved).
+        self._coarse_state: tuple | None = None
         self._traces = [
             [rack.server_trace(index) for index in range(rack.n_servers)]
             for rack in model.racks
@@ -584,6 +671,7 @@ class DatacenterSession:
         else:
             for session in self.rack_sessions:
                 session.reset()
+        self._coarse_state = None
 
     def snapshot(self) -> DatacenterSnapshot:
         """Copy the session's mutable state for a later :meth:`restore`.
@@ -605,6 +693,7 @@ class DatacenterSession:
                 if self.floor_engine is not None
                 else tuple(session.snapshot() for session in self.rack_sessions)
             ),
+            coarse_state=self._coarse_state,
         )
 
     def restore(self, snapshot: DatacenterSnapshot) -> None:
@@ -618,6 +707,7 @@ class DatacenterSession:
         self._frequencies = [list(f) for f in snapshot.frequencies]
         self._mappings = [list(m) for m in snapshot.mappings]
         self._force_refresh = [list(f) for f in snapshot.force_refresh]
+        self._coarse_state = snapshot.coarse_state
         if snapshot.floor is not None:
             self.floor_engine.restore(snapshot.floor)
         else:
@@ -662,6 +752,10 @@ class DatacenterSession:
             [loop.with_inlet_temperature(setpoint_c) for loop in rack_loops]
             for rack_loops in self._water_loops
         ]
+        # The floor's thermal response to the new inlet temperature is a
+        # transient: the last period's residuals no longer certify
+        # quasi-steadiness, so the next period steps at full resolution.
+        self._coarse_state = None
 
     def advance_period(
         self, time_s: float, *, n_substeps: int | None = None
@@ -769,6 +863,220 @@ class DatacenterSession:
             staging=staging,
         )
 
+    # ------------------------------------------------------------------ #
+    # Adaptive control-period coarsening
+    # ------------------------------------------------------------------ #
+    def advance_span(
+        self, time_s: float, span: int, *, n_substeps: int | None = None
+    ) -> list[DatacenterPeriod]:
+        """Advance ``span`` control periods in one quasi-steady macro-step.
+
+        Only valid under :meth:`_plan_span`'s eligibility contract (held
+        loads, no pending actuator event, warm floor).  The floor marches
+        the whole span through :meth:`FloorEngine.advance_span` (reduced
+        space, full fallback, or macro-step — see there); the fast decision
+        rule is evaluated once, on the final period's physics, exactly
+        where the fine lane would next be allowed to act.  Held periods
+        are recorded as full :class:`DatacenterPeriod`\\ s at the held
+        operating point — per-period case temperatures and within-period
+        peaks come from the span lanes' readouts, the energy bill
+        replicates the held actuator settings' chiller power (a staged
+        bank is still re-staged per period: unit commitments may be
+        time-dependent through maintenance windows) — so every
+        trace-shape invariant (period counts, energy accounting,
+        violation scanning) is preserved.
+        """
+        model = self.model
+        substeps = n_substeps if n_substeps is not None else model.transient_substeps
+        bank = model.plant if isinstance(model.plant, ChillerBank) else None
+        chiller = (
+            bank.accounting_chiller()
+            if bank is not None
+            else model.plant.chiller_at(self.setpoint_c)
+        )
+        rack_loads = [
+            build_rack_loads(
+                rack.servers,
+                self._traces[r],
+                self._mappings[r],
+                self._frequencies[r],
+                self._water_loops[r],
+                time_s,
+                mapping_memo=self._mapping_memo,
+            )
+            for r, rack in enumerate(model.racks)
+        ]
+        span_advance = self.floor_engine.advance_span(
+            rack_loads,
+            model.control_period_s,
+            span,
+            n_substeps=substeps,
+            force_boundary_refresh=self._force_refresh,
+            t_case_max_c=model.policy.t_case_max_c,
+        )
+        # Period stamps accumulate exactly like run()'s outer loop, so a
+        # coarse trace's time axis is bit-identical to the fine lane's.
+        times = []
+        stamp = time_s
+        for _ in range(span):
+            times.append(stamp)
+            stamp += model.control_period_s
+        final_time = times[-1]
+
+        final_decisions: list[tuple[ControllerDecision, ...]] = []
+        rack_chiller_w: list[float] = []
+        for r, rack in enumerate(model.racks):
+            decisions, period_chiller_w = apply_rack_decisions(
+                span_advance.racks[r],
+                rack.servers,
+                self._frequencies[r],
+                self._water_loops[r],
+                self._force_refresh[r],
+                final_time,
+                model.policy,
+                chiller,
+            )
+            final_decisions.append(decisions)
+            rack_chiller_w.append(period_chiller_w)
+
+        periods: list[DatacenterPeriod] = []
+        for j in range(span):
+            if j == span - 1:
+                decisions_j = tuple(final_decisions)
+            else:
+                decisions_j = tuple(
+                    tuple(
+                        replace(
+                            decision,
+                            time_s=times[j],
+                            action=ControllerAction.NONE,
+                            case_temperature_c=float(
+                                span_advance.period_case_c[r][j, s]
+                            ),
+                            period_peak_case_c=float(
+                                span_advance.period_peak_case_c[r][j, s]
+                            ),
+                        )
+                        for s, decision in enumerate(final_decisions[r])
+                    )
+                    for r in range(model.n_racks)
+                )
+            staging_j = None
+            chiller_w_j = rack_chiller_w
+            if bank is not None:
+                thermal_load_w = sum(rack_chiller_w)
+                staging_j = bank.stage(self.setpoint_c, thermal_load_w, times[j])
+                if thermal_load_w > 0.0:
+                    scale = staging_j.electrical_power_w / thermal_load_w
+                    chiller_w_j = [power * scale for power in rack_chiller_w]
+            periods.append(
+                DatacenterPeriod(
+                    time_s=times[j],
+                    setpoint_c=self.setpoint_c,
+                    rack_decisions=decisions_j,
+                    rack_chiller_power_w=tuple(chiller_w_j),
+                    worst_period_peak_case_c=float(
+                        span_advance.period_worst_peak_c[j]
+                    ),
+                    staging=staging_j,
+                )
+            )
+        return periods
+
+    def _note_period(self, period: DatacenterPeriod) -> None:
+        """Record the eligibility signals the coarsening planner reads."""
+        if self.model.coarsening is None:
+            return
+        all_none = True
+        max_residual = 0.0
+        for decisions in period.rack_decisions:
+            for decision in decisions:
+                if decision.action is not ControllerAction.NONE:
+                    all_none = False
+                residual = decision.settle_residual_c
+                if residual is None:
+                    max_residual = float("inf")
+                else:
+                    max_residual = max(max_residual, residual)
+        self._coarse_state = (
+            all_none,
+            max_residual,
+            period.worst_period_peak_case_c,
+            period.rack_decisions,
+        )
+
+    def _plan_span(
+        self,
+        time_s: float,
+        duration: float,
+        periods_per_window: int,
+        period_index: int,
+    ) -> int:
+        """The number of control periods the next step may safely span.
+
+        Returns 1 (fine stepping) unless every coarsening trigger is clear:
+        the last committed period saw only ``NONE`` decisions with settle
+        residuals inside ``quasi_steady_tol_c``, the floor's peak clears
+        the constraint guard band, no open-valve server sits within the
+        relax drift guard of a ``DECREASE_FLOW`` trigger, no boundary
+        refresh is pending, and the span fits before the next scenario
+        phase boundary, supervisory window boundary and run end.  The
+        result is quantized to the largest power of two at most the
+        horizon (dyadic spans keep macro-``dt`` variety within the
+        factorization cache's LRU bound) and dropped to 1 below
+        ``min_span``.
+        """
+        cfg = self.model.coarsening
+        if cfg is None or self.floor_engine is None:
+            return 1
+        state = self._coarse_state
+        if state is None:
+            return 1
+        all_none, max_residual, worst_peak, rack_decisions = state
+        if not all_none or max_residual > cfg.quasi_steady_tol_c:
+            return 1
+        policy = self.model.policy
+        if worst_peak > policy.t_case_max_c - cfg.guard_band_c:
+            return 1
+        if any(any(flags) for flags in self._force_refresh):
+            return 1
+        # Relax-band drift guard: a server with an open valve whose case
+        # temperature is barely above the DECREASE_FLOW threshold could
+        # drift across it mid-span; keep such periods at full resolution.
+        relax_threshold_c = policy.t_case_max_c - policy.relax_margin_c
+        for r, decisions in enumerate(rack_decisions):
+            for s, decision in enumerate(decisions):
+                loop = self._water_loops[r][s]
+                if (
+                    loop.flow_rate_kg_h > loop.min_flow_rate_kg_h
+                    and decision.case_temperature_c
+                    < relax_threshold_c + cfg.relax_guard_c
+                ):
+                    return 1
+        cap = cfg.max_span
+        if periods_per_window:
+            cap = min(cap, periods_per_window - period_index % periods_per_window)
+        boundary = min(
+            trace.next_phase_change_after(time_s)
+            for rack_traces in self._traces
+            for trace in rack_traces
+        )
+        # Count eligible periods by replaying the run loop's own float
+        # accumulation, so the horizon can neither overshoot the while
+        # condition nor sample a new envelope phase mid-span.
+        horizon = 0
+        stamp = time_s
+        control_period = self.model.control_period_s
+        while horizon < cap and stamp < duration and stamp < boundary:
+            horizon += 1
+            stamp += control_period
+        span = 1
+        while span * 2 <= horizon:
+            span *= 2
+        if span < cfg.min_span:
+            return 1
+        return span
+
     def run(
         self,
         *,
@@ -808,6 +1116,11 @@ MpcSupervisoryController`) is handed the live session for receding-horizon
         self.reset()
         caches = self._distinct_caches()
         stats_before = [cache.stats for cache in caches]
+        rom_before = (
+            self.floor_engine.rom_stats.copy()
+            if self.floor_engine is not None and model.coarsening is not None
+            else None
+        )
 
         trace = DatacenterTrace(
             rack_names=tuple(rack.name for rack in model.racks),
@@ -823,51 +1136,72 @@ MpcSupervisoryController`) is handed the live session for receding-horizon
         period_index = 0
         time_s = 0.0
         while time_s < duration:
-            period = self.advance_period(time_s)
-            for r in range(model.n_racks):
-                trace.racks[r].periods.append(period.rack_decisions[r])
-                trace.racks[r].chiller_power_w.append(period.rack_chiller_power_w[r])
-            trace.setpoint_c.append(period.setpoint_c)
-            trace.plant_power_w.append(period.plant_power_w)
-            if period.staging is not None:
-                trace.staging.append(period.staging)
-            window_peak = max(window_peak, period.worst_period_peak_case_c)
-            period_index += 1
-            # Accumulate exactly like run_rack_trace so the per-period phase
-            # lookups see bit-identical times on a fixed-setpoint run.
-            time_s += model.control_period_s
-            if (
-                supervisory is not None
-                and period_index % periods_per_window == 0
-                and time_s < duration
-            ):
-                if window_peak == float("-inf"):
-                    # No server reported a peak this window.  The raise
-                    # predicate must never see -inf (the predicted peak
-                    # would be -inf too and a raise always authorized):
-                    # hold, carrying the previous window's peak in the log.
-                    decision = SupervisoryDecision(
-                        time_s=time_s,
-                        setpoint_c=self.setpoint_c,
-                        next_setpoint_c=self.setpoint_c,
-                        action=SupervisoryAction.HOLD,
-                        worst_peak_case_c=carried_peak,
-                        predicted_peak_case_c=carried_peak,
+            # Coarsening: when the last period certified quasi-steadiness
+            # (and no trigger is pending), a whole dyadic span advances in
+            # one macro-step; otherwise a single fine period.  Spans never
+            # cross a supervisory window boundary, so the window block
+            # below can stay per-period.
+            span = self._plan_span(time_s, duration, periods_per_window, period_index)
+            if span > 1:
+                periods = self.advance_span(time_s, span)
+                trace.coarse_spans += 1
+                trace.coarse_periods += span
+            else:
+                periods = [self.advance_period(time_s)]
+            for period in periods:
+                for r in range(model.n_racks):
+                    trace.racks[r].periods.append(period.rack_decisions[r])
+                    trace.racks[r].chiller_power_w.append(
+                        period.rack_chiller_power_w[r]
                     )
-                else:
-                    carried_peak = window_peak
-                    plan = getattr(supervisory, "plan", None)
-                    if callable(plan):
-                        decision = plan(
-                            self, time_s, window_peak, duration_s=duration
+                trace.setpoint_c.append(period.setpoint_c)
+                trace.plant_power_w.append(period.plant_power_w)
+                if period.staging is not None:
+                    trace.staging.append(period.staging)
+                window_peak = max(window_peak, period.worst_period_peak_case_c)
+                period_index += 1
+                # Accumulate exactly like run_rack_trace so the per-period
+                # phase lookups see bit-identical times on a fixed-setpoint
+                # run.
+                time_s += model.control_period_s
+                # Note the period's eligibility signals *before* the window
+                # block: a setpoint move below must leave the next period
+                # fine (set_setpoint clears the signals).
+                self._note_period(period)
+                if (
+                    supervisory is not None
+                    and period_index % periods_per_window == 0
+                    and time_s < duration
+                ):
+                    if window_peak == float("-inf"):
+                        # No server reported a peak this window.  The raise
+                        # predicate must never see -inf (the predicted peak
+                        # would be -inf too and a raise always authorized):
+                        # hold, carrying the previous window's peak in the log.
+                        decision = SupervisoryDecision(
+                            time_s=time_s,
+                            setpoint_c=self.setpoint_c,
+                            next_setpoint_c=self.setpoint_c,
+                            action=SupervisoryAction.HOLD,
+                            worst_peak_case_c=carried_peak,
+                            predicted_peak_case_c=carried_peak,
                         )
                     else:
-                        decision = supervisory.decide(
-                            time_s, self.setpoint_c, window_peak
-                        )
-                trace.supervisory_decisions.append(decision)
-                self.set_setpoint(decision.next_setpoint_c)
-                window_peak = float("-inf")
+                        carried_peak = window_peak
+                        plan = getattr(supervisory, "plan", None)
+                        if callable(plan):
+                            decision = plan(
+                                self, time_s, window_peak, duration_s=duration
+                            )
+                        else:
+                            decision = supervisory.decide(
+                                time_s, self.setpoint_c, window_peak
+                            )
+                    trace.supervisory_decisions.append(decision)
+                    self.set_setpoint(decision.next_setpoint_c)
+                    window_peak = float("-inf")
+        if rom_before is not None:
+            trace.rom_stats = self.floor_engine.rom_stats.delta(rom_before)
         if caches:
             trace.cache_stats = sum(
                 (

@@ -171,12 +171,19 @@ def _rolling_batch_envelope(
 
 
 def _rack_envelope(
-    kind: str, rack_index: int, n_racks: int, duration_s: float, rng: np.random.Generator
+    kind: str,
+    rack_index: int,
+    n_racks: int,
+    duration_s: float,
+    rng: np.random.Generator,
+    *,
+    envelope_period_s: float | None = None,
 ) -> Callable[[np.ndarray], np.ndarray]:
     """The (seeded) envelope one rack follows under a scenario kind."""
     if kind == "diurnal":
         offset = rack_index / max(n_racks, 1) * 0.08 + float(rng.uniform(-0.02, 0.02))
-        return _diurnal_envelope(duration_s, offset)
+        period = envelope_period_s if envelope_period_s is not None else duration_s
+        return _diurnal_envelope(period, offset)
     if kind == "flash_crowd":
         start = float(rng.uniform(0.15, 0.45)) * duration_s
         width = float(rng.uniform(0.15, 0.30)) * duration_s
@@ -199,6 +206,7 @@ def build_scenario(
     qos_factor: float = 2.0,
     frequency_ghz: float = 3.2,
     phase_dt_s: float | None = None,
+    envelope_period_s: float | None = None,
     floorplan: Floorplan | None = None,
     design: ThermosyphonDesign = PAPER_OPTIMIZED_DESIGN,
     designs: Sequence[ThermosyphonDesign] | None = None,
@@ -214,6 +222,13 @@ def build_scenario(
     on (the thread mappings are resolved here, once, not per period).
     ``phase_dt_s`` is the envelope sampling step (default: 1/24 of the
     duration — one "hour" of the compressed day).
+
+    ``envelope_period_s`` sets the diurnal cycle length independently of
+    the scenario duration (default: one cycle over the whole duration —
+    the original compressed-day behaviour).  Long-horizon traces pass a
+    fixed day length (say 86400 s over a multi-day duration) so the
+    envelope repeats realistically and stays locally flat between phase
+    samples — the flatness the adaptive control-period coarsener exploits.
 
     ``designs`` builds a heterogeneous floor: rack ``i`` carries
     ``designs[i % len(designs)]`` in its :class:`RackSpec` (overriding
@@ -269,7 +284,14 @@ def build_scenario(
             if kind == "mixed"
             else kind
         )
-        envelope = _rack_envelope(envelope_kind, rack_index, n_racks, duration_s, rng)
+        envelope = _rack_envelope(
+            envelope_kind,
+            rack_index,
+            n_racks,
+            duration_s,
+            rng,
+            envelope_period_s=envelope_period_s,
+        )
         servers = []
         for server_index in range(servers_per_rack):
             if kind == "mixed":

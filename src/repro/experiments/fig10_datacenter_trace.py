@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.datacenter.model import DatacenterModel, DatacenterTrace
+from repro.datacenter.model import CoarseningConfig, DatacenterModel, DatacenterTrace
 from repro.datacenter.scenarios import DatacenterScenario, build_scenario
 from repro.datacenter.supervisory import (
     MpcSupervisoryController,
@@ -65,6 +65,7 @@ class Fig10Result:
     mpc: DatacenterTrace | None = None
     mpc_wall_time_s: float | None = None
     n_chillers: int = 1
+    coarse: bool = False
 
     @property
     def plant_energy_saved_pct(self) -> float:
@@ -144,6 +145,20 @@ class Fig10Result:
                 f"chiller bank staging (mpc run): {min(units_on)}-{max(units_on)} "
                 f"units on, {self.mpc.overloaded_periods} overloaded periods"
             )
+        if self.coarse:
+            for label, trace, _ in runs:
+                if trace.coarse_periods:
+                    rom = trace.rom_stats
+                    rom_note = (
+                        f", {rom.rom_periods} ROM periods ({rom.fallbacks} fallbacks)"
+                        if rom is not None and rom.spans
+                        else ""
+                    )
+                    footer.append(
+                        f"{label} coarsening: {trace.coarse_periods} of "
+                        f"{trace.n_periods} periods in {trace.coarse_spans} "
+                        f"macro-steps{rom_note}"
+                    )
         return "\n".join([header, columns, *rows, *footer])
 
 
@@ -165,6 +180,10 @@ def run_fig10(
     mpc_horizon: int = 4,
     chillers: int = 1,
     chiller_capacity_w: float | None = None,
+    coarse: bool = False,
+    coarsening: CoarseningConfig | None = None,
+    phase_dt_s: float | None = None,
+    envelope_period_s: float | None = None,
 ) -> Fig10Result:
     """Run one scenario under fixed, reactive and (optionally) MPC control.
 
@@ -185,6 +204,14 @@ def run_fig10(
     ``chiller_capacity_w`` rated thermal load; the default budgets 120 W
     per server across the bank) for *every* run, so the comparison stays
     apples to apples.
+
+    ``coarse=True`` turns on adaptive control-period coarsening (with the
+    reduced-order thermal lane) for every run — the long-trace engine of
+    :class:`~repro.datacenter.model.CoarseningConfig`; pass ``coarsening``
+    to override its knobs.  ``phase_dt_s``/``envelope_period_s`` forward to
+    :func:`~repro.datacenter.scenarios.build_scenario` so a multi-day
+    trace can keep hour-scale envelope phases (long, locally flat spans
+    are what the coarsener converts into macro-steps).
     """
     platform = platform if platform is not None else build_platform()
     scenario = build_scenario(
@@ -193,6 +220,8 @@ def run_fig10(
         servers_per_rack=servers_per_rack,
         duration_s=duration_s,
         seed=seed,
+        phase_dt_s=phase_dt_s,
+        envelope_period_s=envelope_period_s,
         floorplan=platform.floorplan,
         designs=(
             (PAPER_OPTIMIZED_DESIGN, SEURET_REFERENCE_DESIGN) if hetero else None
@@ -217,6 +246,13 @@ def run_fig10(
         else PAPER_OPTIMIZED_DESIGN.water_inlet_temperature_c
     )
 
+    coarse_config = (
+        coarsening
+        if coarsening is not None
+        else (CoarseningConfig() if coarse else None)
+    )
+    coarse = coarse_config is not None
+
     def floor() -> DatacenterModel:
         return DatacenterModel(
             scenario.racks,
@@ -228,6 +264,7 @@ def run_fig10(
             ),
             control_period_s=control_period_s,
             supply_setpoint_c=setpoint,
+            coarsening=coarse_config,
         )
 
     start = time.perf_counter()
@@ -263,4 +300,5 @@ def run_fig10(
         mpc=mpc_trace,
         mpc_wall_time_s=mpc_wall_time_s,
         n_chillers=chillers,
+        coarse=coarse,
     )

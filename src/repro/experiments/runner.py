@@ -38,6 +38,8 @@ def run_all(
     hetero: bool = False,
     mpc: bool = False,
     chillers: int = 1,
+    coarse: bool = False,
+    fig10_duration_s: float | None = None,
 ) -> str:
     """Run every experiment and return the combined textual report.
 
@@ -48,6 +50,10 @@ def run_all(
     thermosyphon designs across its racks (exercising the floor engine's
     multi-group path); ``mpc`` adds fig10's model-predictive third leg and
     ``chillers`` swaps its plant for an N-unit staged chiller bank.
+    ``coarse`` turns on fig10's adaptive control-period coarsening +
+    reduced-order thermal lane (the long-trace engine), and
+    ``fig10_duration_s`` overrides the fig10 trace length — together they
+    make multi-day traces practical from the command line.
     """
     platform = build_platform(cell_size_mm=cell_size_mm)
     benchmarks = QUICK_BENCHMARKS if quick else PARSEC_BENCHMARK_NAMES
@@ -84,10 +90,15 @@ def run_all(
                 platform,
                 n_racks=racks,
                 servers_per_rack=2 if quick else 4,
-                duration_s=24.0 if quick else 48.0,
+                duration_s=(
+                    fig10_duration_s
+                    if fig10_duration_s is not None
+                    else (24.0 if quick else 48.0)
+                ),
                 hetero=hetero,
                 mpc=mpc,
                 chillers=chillers,
+                coarse=coarse,
             ).as_table()
         )
         sections.append(
@@ -144,6 +155,20 @@ def main() -> None:
         metavar="N",
         help="size of the fig10 staged chiller bank (1 = single plant)",
     )
+    parser.add_argument(
+        "--coarse",
+        action="store_true",
+        help="run fig10 with adaptive control-period coarsening and the "
+        "reduced-order thermal lane (long-trace engine)",
+    )
+    parser.add_argument(
+        "--fig10-duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the fig10 trace duration (pair with --coarse for "
+        "long, multi-day traces)",
+    )
     arguments = parser.parse_args()
     print(
         run_all(
@@ -154,6 +179,8 @@ def main() -> None:
             hetero=arguments.hetero,
             mpc=arguments.mpc,
             chillers=arguments.chillers,
+            coarse=arguments.coarse,
+            fig10_duration_s=arguments.fig10_duration,
         )
     )
 

@@ -31,6 +31,7 @@ Caching/invalidation contract
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -161,8 +162,16 @@ class FactorizationCache:
         self.max_entries = int(max_entries)
         self._steady: OrderedDict[tuple, SteadyOperator] = OrderedDict()
         self._transient: OrderedDict[tuple, TransientOperator] = OrderedDict()
+        self._reduced: OrderedDict[tuple, object] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # Get-or-build is guarded so thread fan-out (BatchEvaluator
+        # backend="thread") can share one cache: the lock serializes the
+        # bookkeeping and the (rare) factorization; the back-substitutions
+        # themselves run outside it and release the GIL inside SuperLU.
+        # Reentrant because a reduced-operator build solves through the
+        # steady/transient accessors of the same cache.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Operators
@@ -170,18 +179,19 @@ class FactorizationCache:
     def steady_operator(self, cooling: CoolingBoundary) -> SteadyOperator:
         """Factorized ``A`` and boundary RHS for a cooling boundary."""
         key = cooling.cache_token()
-        entry = self._steady.get(key)
-        if entry is not None:
-            self._hits += 1
-            self._steady.move_to_end(key)
+        with self._lock:
+            entry = self._steady.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._steady.move_to_end(key)
+                return entry
+            self._misses += 1
+            matrix, boundary_rhs = self.network.conductance_system(cooling)
+            entry = SteadyOperator(boundary_rhs=boundary_rhs, solve=_factorize(matrix))
+            self._steady[key] = entry
+            while len(self._steady) > self.max_entries:
+                self._steady.popitem(last=False)
             return entry
-        self._misses += 1
-        matrix, boundary_rhs = self.network.conductance_system(cooling)
-        entry = SteadyOperator(boundary_rhs=boundary_rhs, solve=_factorize(matrix))
-        self._steady[key] = entry
-        while len(self._steady) > self.max_entries:
-            self._steady.popitem(last=False)
-        return entry
 
     def transient_operator(
         self, cooling: CoolingBoundary, dt_s: float
@@ -189,24 +199,62 @@ class FactorizationCache:
         """Factorized ``A + C/dt`` and boundary RHS for one (cooling, dt)."""
         check_positive(dt_s, "dt_s")
         key = (cooling.cache_token(), float(dt_s))
-        entry = self._transient.get(key)
-        if entry is not None:
-            self._hits += 1
-            self._transient.move_to_end(key)
+        with self._lock:
+            entry = self._transient.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._transient.move_to_end(key)
+                return entry
+            self._misses += 1
+            matrix, boundary_rhs = self.network.conductance_system(cooling)
+            capacitance_over_dt = self.network.capacitance / float(dt_s)
+            system = matrix + sparse.diags(capacitance_over_dt)
+            entry = TransientOperator(
+                boundary_rhs=boundary_rhs,
+                capacitance_over_dt=capacitance_over_dt,
+                solve=_factorize(system),
+            )
+            self._transient[key] = entry
+            while len(self._transient) > self.max_entries:
+                self._transient.popitem(last=False)
             return entry
-        self._misses += 1
-        matrix, boundary_rhs = self.network.conductance_system(cooling)
-        capacitance_over_dt = self.network.capacitance / float(dt_s)
-        system = matrix + sparse.diags(capacitance_over_dt)
-        entry = TransientOperator(
-            boundary_rhs=boundary_rhs,
-            capacitance_over_dt=capacitance_over_dt,
-            solve=_factorize(system),
-        )
-        self._transient[key] = entry
-        while len(self._transient) > self.max_entries:
-            self._transient.popitem(last=False)
-        return entry
+
+    # ------------------------------------------------------------------ #
+    # Reduced-order operators (repro.thermal.rom)
+    # ------------------------------------------------------------------ #
+    def reduced_operator(self, cooling: CoolingBoundary, dt_s: float):
+        """The cached reduced-order operator for one (cooling, dt), or None.
+
+        Reduced operators live beside the LU factors under the same
+        content-keyed LRU discipline, but are built by the caller (the
+        floor's reduced-order lane decides the basis seeds) and stored via
+        :meth:`store_reduced_operator`.  Lookups deliberately do not touch
+        the :class:`CacheStats` hit/miss counters — those count
+        factorizations, which trace engines report as physical work.
+        """
+        key = (cooling.cache_token(), float(dt_s))
+        with self._lock:
+            entry = self._reduced.get(key)
+            if entry is not None:
+                self._reduced.move_to_end(key)
+            return entry
+
+    def store_reduced_operator(
+        self, cooling: CoolingBoundary, dt_s: float, operator
+    ) -> None:
+        """Insert/replace the reduced operator for one (cooling, dt)."""
+        key = (cooling.cache_token(), float(dt_s))
+        with self._lock:
+            self._reduced[key] = operator
+            self._reduced.move_to_end(key)
+            while len(self._reduced) > self.max_entries:
+                self._reduced.popitem(last=False)
+
+    @property
+    def reduced_entries(self) -> int:
+        """Number of cached reduced-order operators (kept out of
+        :class:`CacheStats` for backward compatibility)."""
+        return len(self._reduced)
 
     # ------------------------------------------------------------------ #
     # Introspection and invalidation
@@ -231,5 +279,7 @@ class FactorizationCache:
         place; cooling-boundary changes invalidate implicitly through the
         content-based key.
         """
-        self._steady.clear()
-        self._transient.clear()
+        with self._lock:
+            self._steady.clear()
+            self._transient.clear()
+            self._reduced.clear()

@@ -195,7 +195,7 @@ class TransientSolver:
         field still moving is reported, not silently returned.
         """
         grid = self.network.grid
-        state = np.full(grid.n_cells, initial_temperature_c, dtype=float)
+        state = np.full(grid.n_cells, float(initial_temperature_c), dtype=float)
         residual = float("inf")
         for step_index in range(1, max_steps + 1):
             new_state = self.step(state, power_map_w, cooling, dt_s)

@@ -71,6 +71,28 @@ class PhasedTrace:
         """Memory intensity at ``time_s``."""
         return self.phase_at(time_s).memory_intensity
 
+    def next_phase_change_after(self, time_s: float) -> float:
+        """First time strictly after ``time_s`` at which the active phase
+        changes, or ``inf`` once the trace is in its final (clamped) phase.
+
+        Matches :meth:`phase_at` exactly: a sample taken at the returned
+        time already sees the next phase (``searchsorted(..., side="right")``
+        moves on *at* the boundary), so any sample strictly before it sees
+        the phase active at ``time_s``.  The adaptive control-period
+        coarsener uses this to cap a quasi-steady span at the scenario
+        envelope's next step.
+        """
+        if time_s < 0.0:
+            raise ConfigurationError(f"time must be >= 0, got {time_s}")
+        if time_s >= self.duration_s:
+            return float("inf")
+        index = int(np.searchsorted(self._boundaries, time_s, side="right"))
+        if index >= len(self.phases) - 1:
+            # Inside the final phase: phase_at clamps beyond the end, so the
+            # activity never changes again.
+            return float("inf")
+        return float(self._boundaries[index])
+
     def phase_indices_at(self, times_s) -> np.ndarray:
         """Vectorized phase lookup: the phase index active at each time.
 

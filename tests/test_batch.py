@@ -122,6 +122,33 @@ class TestEvaluateMany:
             assert a.package_power_w == pytest.approx(b.package_power_w)
             assert a.die_metrics.theta_max_c == pytest.approx(b.die_metrics.theta_max_c, abs=1e-9)
 
+    def test_thread_backend_matches_serial(self, simulation, x264, canneal):
+        points = [
+            SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2)),
+            SweepPoint(benchmark=canneal, configuration=Configuration(4, 1, 2.6)),
+            SweepPoint(benchmark=x264, configuration=Configuration(4, 2, 2.9)),
+        ]
+        evaluator = BatchEvaluator(simulation)
+        serial = evaluator.evaluate_many(points)
+        threaded = evaluator.evaluate_many(points, max_workers=2, backend="thread")
+        # Threads share the parent simulation (and its factorization cache):
+        # no process pool is ever spun up.
+        assert evaluator._pool._executor is None
+        for a, b in zip(serial, threaded):
+            assert a.benchmark_name == b.benchmark_name
+            assert a.package_power_w == pytest.approx(b.package_power_w)
+            assert a.die_metrics.theta_max_c == pytest.approx(
+                b.die_metrics.theta_max_c, abs=1e-9
+            )
+            assert a.case_temperature_c == pytest.approx(
+                b.case_temperature_c, abs=1e-9
+            )
+
+    def test_unknown_backend_rejected(self, evaluator, x264):
+        point = SweepPoint(benchmark=x264, configuration=Configuration(8, 2, 3.2))
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate_many([point], max_workers=2, backend="fiber")
+
     def test_parallel_constraint_points_use_the_parent_pipeline(
         self, simulation, x264
     ):

@@ -1,0 +1,252 @@
+"""Golden validation of the adaptive coarsening + reduced-order lanes.
+
+The coarse engine (control-period coarsening with the ROM lane,
+PR 8's tentpole) must be an *observationally equivalent* accelerator of
+the PR 7 fine engine, never a different model:
+
+* on the diurnal and flash_crowd stress scenarios, a coarsened run
+  reproduces every per-server within-period peak case temperature to
+  0.1 C and misses/invents no thermal violations — while actually
+  coarsening (the tests assert spans formed, so they cannot pass
+  vacuously);
+* the ROM lane falls back to the full solver near the thermal constraint
+  (guard band) and on error-bound growth, observable through the
+  :class:`~repro.thermal.rom.RomStats` counters;
+* snapshot()/restore() stays lossless with the new lanes — a hold-only
+  MPC run over a coarsened trace is bit-identical to the committed
+  reactive trace with a frozen setpoint band, and a restored session
+  replays identical spans;
+* coarse runs are deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.model import CoarseningConfig, DatacenterModel
+from repro.datacenter.scenarios import build_scenario
+from repro.datacenter.supervisory import (
+    MpcSupervisoryController,
+    SupervisoryController,
+)
+from repro.exceptions import ConfigurationError
+from repro.thermal.rom import RomConfig
+from repro.thermal.simulator import ThermalSimulator
+
+CELL_SIZE_MM = 4.0
+CONTROL_PERIOD_S = 2.0
+DURATION_S = 240.0
+PHASE_DT_S = 60.0
+GOLDEN_TOL_C = 0.1
+
+
+@pytest.fixture(scope="module", params=["diurnal", "flash_crowd"])
+def scenario(request, floorplan):
+    return build_scenario(
+        request.param,
+        n_racks=2,
+        servers_per_rack=2,
+        duration_s=DURATION_S,
+        seed=3,
+        phase_dt_s=PHASE_DT_S,
+        floorplan=floorplan,
+    )
+
+
+def _model(scenario, floorplan, power_model, coarsening, **kwargs):
+    return DatacenterModel(
+        scenario.racks,
+        floorplan=floorplan,
+        power_model=power_model,
+        thermal_simulator=ThermalSimulator(floorplan, cell_size_mm=CELL_SIZE_MM),
+        control_period_s=CONTROL_PERIOD_S,
+        coarsening=coarsening,
+        **kwargs,
+    )
+
+
+def _run(scenario, floorplan, power_model, coarsening, **kwargs):
+    supervisory = kwargs.pop("supervisory", None)
+    model = _model(scenario, floorplan, power_model, coarsening, **kwargs)
+    return model.run_trace(duration_s=DURATION_S, supervisory=supervisory)
+
+
+def _peak_grid(trace):
+    """(rack, period, server) within-period peak case temperatures."""
+    return np.array(
+        [
+            [[d.period_peak_case_c for d in period] for period in rack.periods]
+            for rack in trace.racks
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def fine_trace(scenario, floorplan, power_model):
+    return _run(scenario, floorplan, power_model, None)
+
+
+@pytest.fixture(scope="module")
+def coarse_trace(scenario, floorplan, power_model):
+    return _run(scenario, floorplan, power_model, CoarseningConfig())
+
+
+class TestGoldenEquivalence:
+    def test_coarsening_actually_engaged(self, coarse_trace):
+        assert coarse_trace.coarse_spans > 0
+        assert coarse_trace.coarse_periods > 0
+        assert coarse_trace.rom_stats is not None
+        assert coarse_trace.rom_stats.rom_periods > 0
+
+    def test_period_count_and_timestamps_match(self, fine_trace, coarse_trace):
+        assert coarse_trace.n_periods == fine_trace.n_periods
+        for rf, rc in zip(fine_trace.racks, coarse_trace.racks):
+            times_f = [d.time_s for period in rf.periods for d in period]
+            times_c = [d.time_s for period in rc.periods for d in period]
+            assert times_c == times_f
+
+    def test_per_server_peaks_within_golden_tolerance(
+        self, fine_trace, coarse_trace
+    ):
+        diff = np.abs(_peak_grid(coarse_trace) - _peak_grid(fine_trace))
+        assert float(diff.max()) < GOLDEN_TOL_C
+
+    def test_no_missed_or_spurious_violations(self, fine_trace, coarse_trace):
+        assert coarse_trace.thermal_violations == fine_trace.thermal_violations
+        assert coarse_trace.peak_period_case_temperature_c == pytest.approx(
+            fine_trace.peak_period_case_temperature_c, abs=GOLDEN_TOL_C
+        )
+
+    def test_plant_energy_matches(self, fine_trace, coarse_trace):
+        assert coarse_trace.plant_energy_j == pytest.approx(
+            fine_trace.plant_energy_j, rel=1e-6
+        )
+
+    def test_coarse_run_is_deterministic(
+        self, scenario, floorplan, power_model, coarse_trace
+    ):
+        again = _run(scenario, floorplan, power_model, CoarseningConfig())
+        assert again.plant_power_w == coarse_trace.plant_power_w
+        assert np.array_equal(_peak_grid(again), _peak_grid(coarse_trace))
+
+
+class TestRomFallback:
+    def test_guard_band_forces_fallback_near_constraint(
+        self, scenario, floorplan, power_model, fine_trace
+    ):
+        # A guard band wider than the whole margin to T_CASE_MAX turns every
+        # ROM row into a guard fallback: the lane must *detect* proximity
+        # and hand the rows to the full solver, never absorb them.
+        coarsening = CoarseningConfig(rom=RomConfig(guard_band_c=60.0))
+        trace = _run(scenario, floorplan, power_model, coarsening)
+        assert trace.rom_stats is not None
+        assert trace.rom_stats.fallback_guard > 0
+        assert trace.rom_stats.rom_rows == 0
+        # Fallback rows rerun the fine physics, so the golden bound holds.
+        diff = np.abs(_peak_grid(trace) - _peak_grid(fine_trace))
+        assert float(diff.max()) < GOLDEN_TOL_C
+        assert trace.thermal_violations == fine_trace.thermal_violations
+
+    def test_error_tolerance_forces_fallback(
+        self, scenario, floorplan, power_model
+    ):
+        coarsening = CoarseningConfig(
+            rom=RomConfig(step_error_tol_c=1e-12, projection_tol_c=1e-12)
+        )
+        trace = _run(scenario, floorplan, power_model, coarsening)
+        assert trace.rom_stats is not None
+        assert (
+            trace.rom_stats.fallback_error + trace.rom_stats.fallback_projection
+        ) > 0
+
+    def test_macro_lane_without_rom(self, scenario, floorplan, power_model):
+        trace = _run(scenario, floorplan, power_model, CoarseningConfig(rom=None))
+        assert trace.coarse_spans > 0
+        assert trace.rom_stats is not None
+        assert trace.rom_stats.spans == 0
+
+
+class TestSnapshotRestoreWithCoarseLanes:
+    def test_hold_only_mpc_is_bit_identical_to_frozen_reactive(
+        self, scenario, floorplan, power_model
+    ):
+        # The reactive controller with a frozen setpoint band emits HOLD
+        # every window; hold-only MPC additionally snapshots, rolls out and
+        # restores around each window.  Bit-identity of the committed traces
+        # proves restore() also restores the coarse-span pattern.
+        def run(supervisory):
+            return _run(
+                scenario,
+                floorplan,
+                power_model,
+                CoarseningConfig(),
+                supervisory=supervisory,
+                supply_setpoint_c=30.0,
+            )
+
+        frozen = SupervisoryController(
+            period_s=8.0, setpoint_min_c=30.0, setpoint_max_c=30.0
+        )
+        from repro.datacenter.mpc import CandidateTrajectory
+
+        hold_only = MpcSupervisoryController(
+            period_s=8.0,
+            setpoint_min_c=30.0,
+            setpoint_max_c=30.0,
+            horizon=2,
+            candidates=(CandidateTrajectory("hold", (0.0, 0.0)),),
+        )
+        reactive = run(frozen)
+        mpc = run(hold_only)
+        assert mpc.coarse_spans == reactive.coarse_spans
+        assert mpc.setpoint_c == reactive.setpoint_c
+        assert mpc.plant_power_w == reactive.plant_power_w
+        assert np.array_equal(_peak_grid(mpc), _peak_grid(reactive))
+
+    def test_restored_session_replays_identical_spans(
+        self, scenario, floorplan, power_model
+    ):
+        session = _model(
+            scenario, floorplan, power_model, CoarseningConfig()
+        ).session()
+        session.reset()
+        for index in range(4):
+            period = session.advance_period(index * CONTROL_PERIOD_S)
+            session._note_period(period)
+        snapshot = session.snapshot()
+        first = session.advance_span(4 * CONTROL_PERIOD_S, 4)
+        session.restore(snapshot)
+        second = session.advance_span(4 * CONTROL_PERIOD_S, 4)
+        for a, b in zip(first, second):
+            assert a.plant_power_w == b.plant_power_w
+            assert a.worst_period_peak_case_c == b.worst_period_peak_case_c
+        assert snapshot.coarse_state is not None
+
+
+class TestConfigValidation:
+    def test_coarsening_requires_floor_engine(self, scenario, floorplan, power_model):
+        with pytest.raises(ConfigurationError):
+            _model(
+                scenario,
+                floorplan,
+                power_model,
+                CoarseningConfig(),
+                engine="per-rack",
+            )
+
+    def test_coarsening_config_validation(self):
+        with pytest.raises(Exception):
+            CoarseningConfig(min_span=1)
+        with pytest.raises(Exception):
+            CoarseningConfig(min_span=8, max_span=4)
+        with pytest.raises(Exception):
+            CoarseningConfig(quasi_steady_tol_c=-1.0)
+
+    def test_advance_span_requires_warm_floor(
+        self, scenario, floorplan, power_model
+    ):
+        session = _model(
+            scenario, floorplan, power_model, CoarseningConfig()
+        ).session()
+        session.reset()
+        with pytest.raises(ConfigurationError):
+            session.advance_span(0.0, 4)
