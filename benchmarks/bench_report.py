@@ -132,10 +132,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline updated: {arguments.baseline} ({len(current)} benchmarks)")
         return 0
     if not arguments.baseline.exists():
-        print(f"no baseline at {arguments.baseline}; run with --update-baseline")
-        return 1
-
-    baseline = load_report(arguments.baseline)
+        # No committed baseline yet: every benchmark is "new", which is a
+        # report, not a failure — otherwise the first run of a fresh
+        # benchmark file (or a fresh clone) would fail CI before anyone
+        # could record the baseline it is asking for.
+        print(
+            f"no baseline at {arguments.baseline}; reporting every benchmark "
+            "as new (run with --update-baseline to record one)"
+        )
+        baseline: dict[str, float] = {}
+    else:
+        baseline = load_report(arguments.baseline)
     table, regressions = compare(baseline, current, arguments.max_regression)
     print(table)
     if regressions:

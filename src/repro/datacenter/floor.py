@@ -40,7 +40,8 @@ hardware group simply stacks fewer rows.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -158,9 +159,24 @@ class FloorEngine:
         with distinct simulators (mixed SKUs) form separate groups — the
         engine handles any mix, there is no homogeneous-only fast path to
         fall back from.
+    parallel_groups:
+        Worker-thread budget for advancing hardware groups concurrently.
+        ``0`` (the default) and ``1`` run the serial loop; ``>= 2`` fans
+        the per-group solves of :meth:`advance` / :meth:`advance_span`
+        over a persistent thread pool.  Every hardware group owns a
+        disjoint slice of floor state (its own simulator, factorization
+        cache, stacked field array and rack sessions), and the SuperLU
+        back-substitutions that dominate a group's step release the GIL,
+        so mixed-SKU floors overlap their groups' solves on real cores.
+        Results are **bit-identical** to the serial loop: workers never
+        share mutable state, and all commits that have an order (RomStats
+        merging, worst-peak reduction) happen on the calling thread in
+        group-index order after the join.
     """
 
-    def __init__(self, rack_sessions: Sequence[RackSession]) -> None:
+    def __init__(
+        self, rack_sessions: Sequence[RackSession], *, parallel_groups: int = 0
+    ) -> None:
         self.rack_sessions = list(rack_sessions)
         if not self.rack_sessions:
             raise ConfigurationError("a floor engine needs at least one rack session")
@@ -189,6 +205,49 @@ class FloorEngine:
         # lifetime — trace engines report deltas.
         self.rom_config: RomConfig | None = None
         self.rom_stats = RomStats()
+        if parallel_groups < 0:
+            raise ConfigurationError(
+                f"parallel_groups must be >= 0, got {parallel_groups}"
+            )
+        self.parallel_groups = parallel_groups
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Thread-parallel group dispatch
+    # ------------------------------------------------------------------ #
+    def _map_groups(self, worker: Callable[[_HardwareGroup], object]) -> list:
+        """Run ``worker`` once per hardware group, results in group order.
+
+        The threaded path only changes *where* each group's solves run;
+        workers write exclusively to their group's disjoint state (plus
+        disjoint indices of caller-owned result lists, which is safe under
+        the GIL), and the returned list is always in group-index order so
+        every order-sensitive commit on the caller side is deterministic
+        regardless of completion order.
+        """
+        if self.parallel_groups >= 2 and len(self._groups) >= 2:
+            return list(self._ensure_executor().map(worker, self._groups))
+        return [worker(group) for group in self._groups]
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.parallel_groups, len(self._groups)),
+                thread_name_prefix="floor-group",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial floors are no-ops)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -321,11 +380,13 @@ class FloorEngine:
             self._prepare_period(rack_loads, force_boundary_refresh)
         )
 
-        # Stages 3-4 run per hardware group on the stacked arrays.
+        # Stages 3-4 run per hardware group on the stacked arrays —
+        # concurrently when ``parallel_groups`` allows, since each group's
+        # state is disjoint and its solves release the GIL.
         rack_advances: list[RackAdvance | None] = [None] * self.n_racks
-        worst_peak = float("-inf")
-        for group in self._groups:
-            group_peak = self._advance_group(
+
+        def run_group(group: _HardwareGroup) -> float:
+            return self._advance_group(
                 group,
                 loads,
                 breakdowns,
@@ -337,7 +398,8 @@ class FloorEngine:
                 dt_s,
                 n_substeps,
             )
-            worst_peak = max(worst_peak, group_peak)
+
+        worst_peak = max(self._map_groups(run_group))
         return FloorAdvance(
             racks=tuple(rack_advances),  # type: ignore[arg-type]
             worst_period_peak_case_c=worst_peak,
@@ -455,10 +517,25 @@ class FloorEngine:
             self._prepare_period(rack_loads, force_boundary_refresh)
         )
 
+        # Warm check for every group *before* dispatching workers, so a
+        # cold floor raises deterministically (and no worker has started
+        # mutating group state when it does).
+        for group in self._groups:
+            if not self._group_is_warm(group):
+                raise ConfigurationError(
+                    "advance_span requires a warm floor; advance at least "
+                    "one fine control period first"
+                )
+
         rack_advances: list[RackAdvance | None] = [None] * self.n_racks
         period_case: list[np.ndarray | None] = [None] * self.n_racks
         period_peak: list[np.ndarray | None] = [None] * self.n_racks
-        for group in self._groups:
+
+        def run_group(group: _HardwareGroup) -> RomStats:
+            # Each worker accumulates ROM decisions on a private scratch
+            # counter set; the merge below happens serially in group-index
+            # order, keeping ``rom_stats`` deterministic under threads.
+            scratch = RomStats()
             self._advance_group_span(
                 group,
                 loads,
@@ -474,7 +551,12 @@ class FloorEngine:
                 span,
                 n_substeps,
                 t_case_max_c,
+                scratch,
             )
+            return scratch
+
+        for scratch in self._map_groups(run_group):
+            self.rom_stats.merge(scratch)
         period_worst = np.max(
             np.concatenate([peaks for peaks in period_peak], axis=1), axis=1
         )
@@ -484,6 +566,15 @@ class FloorEngine:
             period_case_c=tuple(period_case),  # type: ignore[arg-type]
             period_peak_case_c=tuple(period_peak),  # type: ignore[arg-type]
             period_worst_peak_c=period_worst,
+        )
+
+    def _group_is_warm(self, group: _HardwareGroup) -> bool:
+        """True when every session of the group views the group array."""
+        fields = group.fields
+        return fields is not None and all(
+            self.rack_sessions[r].fields is not None
+            and self.rack_sessions[r].fields.base is fields
+            for r in group.rack_indices
         )
 
     # ------------------------------------------------------------------ #
@@ -661,6 +752,7 @@ class FloorEngine:
         span: int,
         n_substeps: int,
         t_case_max_c: float | None,
+        stats: RomStats,
     ) -> None:
         simulator = group.simulator
 
@@ -673,18 +765,9 @@ class FloorEngine:
         for row, boundary in enumerate(group_boundaries):
             token_rows.setdefault(boundary.boundary.cache_token(), []).append(row)
 
+        # Warmth was verified for every group by :meth:`advance_span`
+        # before dispatch.
         fields = group.fields
-        warm = fields is not None and all(
-            self.rack_sessions[r].fields is not None
-            and self.rack_sessions[r].fields.base is fields
-            for r in group.rack_indices
-        )
-        if not warm:
-            raise ConfigurationError(
-                "advance_span requires a warm floor; advance at least one "
-                "fine control period first"
-            )
-
         sub_dt = dt_s / n_substeps
         rom = self.rom_config if simulator.solver_cache is not None else None
         n = group.n_servers
@@ -698,10 +781,10 @@ class FloorEngine:
             maps_rows = group_maps[rows]
             state = fields[rows]
             if rom is not None:
-                self.rom_stats.spans += 1
+                stats.spans += 1
                 ok, end, cases, peaks, res = self._rom_march(
                     group, boundary, maps_rows, state, sub_dt, span,
-                    n_substeps, t_case_max_c, rom,
+                    n_substeps, t_case_max_c, rom, stats,
                 )
                 fallback = [row for i, row in enumerate(rows) if not ok[i]]
                 kept = np.flatnonzero(ok)
@@ -712,7 +795,7 @@ class FloorEngine:
                     peak_hist[:, kept_rows] = peaks[:, kept]
                     residuals[kept_rows] = res[kept]
                 if fallback:
-                    self.rom_stats.fallback_rows += len(fallback)
+                    stats.fallback_rows += len(fallback)
                     f_end, f_cases, f_peaks, f_res = self._full_march(
                         simulator, boundary, group_maps[fallback],
                         fields[fallback], sub_dt, span, n_substeps,
@@ -761,28 +844,29 @@ class FloorEngine:
         n_substeps: int,
         t_case_max_c: float | None,
         config: RomConfig,
+        stats: RomStats,
     ):
         """March one solve group through the reduced space.
 
         Returns ``(ok, end_fields, case_hist, peak_hist, residuals)``;
         entries of rows with ``ok[i]`` False are unspecified — those rows
         rerun through :meth:`_full_march`.  Fallback causes are counted on
-        ``rom_stats`` (a row can trip both the error and guard tests).
+        ``stats`` (a row can trip both the error and guard tests) — the
+        caller's scratch counters under thread-parallel dispatch.
         """
         simulator = group.simulator
         cache = simulator.solver_cache
         network = simulator.network
-        stats = self.rom_stats
         m = state.shape[0]
         power_vecs = network.power_vectors(power_maps_rows)
 
-        op = cache.reduced_operator(boundary, sub_dt)
+        op = cache.reduced_operator(boundary, sub_dt, config)
         if op is None:
             op = build_reduced_operator(
                 network, cache, boundary, sub_dt, state, power_vecs,
                 group.case_cell_index, config,
             )
-            cache.store_reduced_operator(boundary, sub_dt, op)
+            cache.store_reduced_operator(boundary, sub_dt, op, config)
             stats.basis_builds += 1
             coords, entry_error = op.project(state)
         else:
@@ -796,7 +880,7 @@ class FloorEngine:
                     network, cache, boundary, sub_dt, state, power_vecs,
                     group.case_cell_index, config, previous_basis=op.basis,
                 )
-                cache.store_reduced_operator(boundary, sub_dt, op)
+                cache.store_reduced_operator(boundary, sub_dt, op, config)
                 stats.basis_rebuilds += 1
                 coords, entry_error = op.project(state)
         ok = entry_error <= config.projection_tol_c

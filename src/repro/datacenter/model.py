@@ -35,6 +35,7 @@ the merged solver-cache statistics of the whole floor.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.core.mapping import WorkloadMapping
@@ -52,7 +53,9 @@ from repro.core.runtime_controller import (
 )
 from repro.core.session import T_CASE_MAX_C
 from repro.datacenter.floor import FloorEngine, FloorSnapshot
+from repro.datacenter.span import SpanPlanner
 from repro.thermal.rom import RomConfig, RomStats
+from repro.thermal.warm_store import WarmStore
 from repro.datacenter.supervisory import (
     SupervisoryAction,
     SupervisoryController,
@@ -439,6 +442,22 @@ class DatacenterModel:
         residual growth, envelope step or constraint proximity drops back
         to single-period stepping.  ``None`` (default) keeps every period
         at full resolution.
+    parallel_groups:
+        Worker-thread budget handed to the
+        :class:`~repro.datacenter.floor.FloorEngine`: ``>= 2`` advances
+        the floor's hardware groups concurrently (mixed-SKU floors
+        overlap their stacked solves on real cores — the SuperLU
+        back-substitutions release the GIL); ``0`` (default) and ``1``
+        keep the serial loop.  Results are bit-identical either way.
+    warm_store:
+        A :class:`~repro.thermal.warm_store.WarmStore` (or a directory
+        path for one) attached to every hardware group's factorization
+        cache, so reduced-order bases and assembled operator systems
+        persist across runs — run ``N+1`` of the same floor skips every
+        Arnoldi build and operator assembly while staying bit-identical
+        to the cold run.  ``None`` (default) consults the
+        ``REPRO_WARM_STORE`` environment variable for a directory path
+        and runs fully cold when that is unset too.
     """
 
     def __init__(
@@ -459,6 +478,8 @@ class DatacenterModel:
         boundary_refresh_tol: float | None = None,
         adaptive_boundary_refresh: bool | None = None,
         coarsening: CoarseningConfig | None = None,
+        parallel_groups: int = 0,
+        warm_store: WarmStore | str | os.PathLike | None = None,
     ) -> None:
         self.racks = tuple(racks)
         if not self.racks:
@@ -538,6 +559,22 @@ class DatacenterModel:
                 "control-period coarsening requires the floor engine"
             )
         self.coarsening = coarsening
+        if parallel_groups < 0:
+            raise ConfigurationError(
+                f"parallel_groups must be >= 0, got {parallel_groups}"
+            )
+        self.parallel_groups = int(parallel_groups)
+        if warm_store is None:
+            env_path = os.environ.get("REPRO_WARM_STORE")
+            if env_path:
+                warm_store = env_path
+        if warm_store is not None and not isinstance(warm_store, WarmStore):
+            warm_store = WarmStore(warm_store)
+        self.warm_store = warm_store
+        if self.warm_store is not None:
+            for simulator in simulators.values():
+                if simulator.solver_cache is not None:
+                    simulator.solver_cache.attach_warm_store(self.warm_store)
 
     @property
     def n_racks(self) -> int:
@@ -617,7 +654,9 @@ class DatacenterSession:
             if model.adaptive_boundary_refresh is not None:
                 session.adaptive_boundary_refresh = model.adaptive_boundary_refresh
         self.floor_engine = (
-            FloorEngine(self.rack_sessions) if model.engine == "floor" else None
+            FloorEngine(self.rack_sessions, parallel_groups=model.parallel_groups)
+            if model.engine == "floor"
+            else None
         )
         if self.floor_engine is not None and model.coarsening is not None:
             self.floor_engine.rom_config = model.coarsening.rom
@@ -630,6 +669,19 @@ class DatacenterSession:
             [rack.server_trace(index) for index in range(rack.n_servers)]
             for rack in model.racks
         ]
+        # One floor-wide event lattice for span planning: the per-plan cost
+        # becomes a single searchsorted instead of an O(n_servers) scan of
+        # every trace's next phase boundary.
+        self._span_planner = (
+            SpanPlanner(
+                (trace for rack_traces in self._traces for trace in rack_traces),
+                model.control_period_s,
+                min_span=model.coarsening.min_span,
+                max_span=model.coarsening.max_span,
+            )
+            if model.coarsening is not None
+            else None
+        )
         base_loops = [
             model.rack_designs[r].water_loop().with_inlet_temperature(self.setpoint_c)
             for r in range(model.n_racks)
@@ -672,6 +724,11 @@ class DatacenterSession:
             for session in self.rack_sessions:
                 session.reset()
         self._coarse_state = None
+
+    def close(self) -> None:
+        """Release the floor engine's worker pool (serial floors: no-op)."""
+        if self.floor_engine is not None:
+            self.floor_engine.close()
 
     def snapshot(self) -> DatacenterSnapshot:
         """Copy the session's mutable state for a later :meth:`restore`.
@@ -1021,10 +1078,10 @@ class DatacenterSession:
         relax drift guard of a ``DECREASE_FLOW`` trigger, no boundary
         refresh is pending, and the span fits before the next scenario
         phase boundary, supervisory window boundary and run end.  The
-        result is quantized to the largest power of two at most the
-        horizon (dyadic spans keep macro-``dt`` variety within the
-        factorization cache's LRU bound) and dropped to 1 below
-        ``min_span``.
+        geometric part — event lattice, window cap, run end, dyadic
+        quantization — is the floor-wide
+        :class:`~repro.datacenter.span.SpanPlanner`'s
+        :meth:`~repro.datacenter.span.SpanPlanner.plan`.
         """
         cfg = self.model.coarsening
         if cfg is None or self.floor_engine is None:
@@ -1053,29 +1110,9 @@ class DatacenterSession:
                     < relax_threshold_c + cfg.relax_guard_c
                 ):
                     return 1
-        cap = cfg.max_span
-        if periods_per_window:
-            cap = min(cap, periods_per_window - period_index % periods_per_window)
-        boundary = min(
-            trace.next_phase_change_after(time_s)
-            for rack_traces in self._traces
-            for trace in rack_traces
+        return self._span_planner.plan(
+            time_s, duration, periods_per_window, period_index
         )
-        # Count eligible periods by replaying the run loop's own float
-        # accumulation, so the horizon can neither overshoot the while
-        # condition nor sample a new envelope phase mid-span.
-        horizon = 0
-        stamp = time_s
-        control_period = self.model.control_period_s
-        while horizon < cap and stamp < duration and stamp < boundary:
-            horizon += 1
-            stamp += control_period
-        span = 1
-        while span * 2 <= horizon:
-            span *= 2
-        if span < cfg.min_span:
-            return 1
-        return span
 
     def run(
         self,
@@ -1148,58 +1185,73 @@ MpcSupervisoryController`) is handed the live session for receding-horizon
                 trace.coarse_periods += span
             else:
                 periods = [self.advance_period(time_s)]
-            for period in periods:
-                for r in range(model.n_racks):
-                    trace.racks[r].periods.append(period.rack_decisions[r])
-                    trace.racks[r].chiller_power_w.append(
-                        period.rack_chiller_power_w[r]
-                    )
-                trace.setpoint_c.append(period.setpoint_c)
-                trace.plant_power_w.append(period.plant_power_w)
-                if period.staging is not None:
-                    trace.staging.append(period.staging)
-                window_peak = max(window_peak, period.worst_period_peak_case_c)
-                period_index += 1
+            # Span-boundary accounting: one bulk commit per span.  The
+            # planner never lets a span cross a supervisory window
+            # boundary, so the window block below only needs to run at the
+            # span end — per-period bookkeeping collapses to list extends,
+            # a max over the span's peaks and one eligibility note on the
+            # final period (intermediate notes are never read: no plan
+            # happens inside a span).  The per-period float time
+            # accumulation is kept verbatim so phase lookups stay
+            # bit-identical to the fine lane's.
+            for r in range(model.n_racks):
+                rack_trace = trace.racks[r]
+                rack_trace.periods.extend(
+                    period.rack_decisions[r] for period in periods
+                )
+                rack_trace.chiller_power_w.extend(
+                    period.rack_chiller_power_w[r] for period in periods
+                )
+            trace.setpoint_c.extend(period.setpoint_c for period in periods)
+            trace.plant_power_w.extend(period.plant_power_w for period in periods)
+            if periods[0].staging is not None:
+                trace.staging.extend(period.staging for period in periods)
+            window_peak = max(
+                window_peak,
+                max(period.worst_period_peak_case_c for period in periods),
+            )
+            period_index += len(periods)
+            for _ in periods:
                 # Accumulate exactly like run_rack_trace so the per-period
                 # phase lookups see bit-identical times on a fixed-setpoint
                 # run.
                 time_s += model.control_period_s
-                # Note the period's eligibility signals *before* the window
-                # block: a setpoint move below must leave the next period
-                # fine (set_setpoint clears the signals).
-                self._note_period(period)
-                if (
-                    supervisory is not None
-                    and period_index % periods_per_window == 0
-                    and time_s < duration
-                ):
-                    if window_peak == float("-inf"):
-                        # No server reported a peak this window.  The raise
-                        # predicate must never see -inf (the predicted peak
-                        # would be -inf too and a raise always authorized):
-                        # hold, carrying the previous window's peak in the log.
-                        decision = SupervisoryDecision(
-                            time_s=time_s,
-                            setpoint_c=self.setpoint_c,
-                            next_setpoint_c=self.setpoint_c,
-                            action=SupervisoryAction.HOLD,
-                            worst_peak_case_c=carried_peak,
-                            predicted_peak_case_c=carried_peak,
+            # Note the final period's eligibility signals *before* the
+            # window block: a setpoint move below must leave the next
+            # period fine (set_setpoint clears the signals).
+            self._note_period(periods[-1])
+            if (
+                supervisory is not None
+                and period_index % periods_per_window == 0
+                and time_s < duration
+            ):
+                if window_peak == float("-inf"):
+                    # No server reported a peak this window.  The raise
+                    # predicate must never see -inf (the predicted peak
+                    # would be -inf too and a raise always authorized):
+                    # hold, carrying the previous window's peak in the log.
+                    decision = SupervisoryDecision(
+                        time_s=time_s,
+                        setpoint_c=self.setpoint_c,
+                        next_setpoint_c=self.setpoint_c,
+                        action=SupervisoryAction.HOLD,
+                        worst_peak_case_c=carried_peak,
+                        predicted_peak_case_c=carried_peak,
+                    )
+                else:
+                    carried_peak = window_peak
+                    plan = getattr(supervisory, "plan", None)
+                    if callable(plan):
+                        decision = plan(
+                            self, time_s, window_peak, duration_s=duration
                         )
                     else:
-                        carried_peak = window_peak
-                        plan = getattr(supervisory, "plan", None)
-                        if callable(plan):
-                            decision = plan(
-                                self, time_s, window_peak, duration_s=duration
-                            )
-                        else:
-                            decision = supervisory.decide(
-                                time_s, self.setpoint_c, window_peak
-                            )
-                    trace.supervisory_decisions.append(decision)
-                    self.set_setpoint(decision.next_setpoint_c)
-                    window_peak = float("-inf")
+                        decision = supervisory.decide(
+                            time_s, self.setpoint_c, window_peak
+                        )
+                trace.supervisory_decisions.append(decision)
+                self.set_setpoint(decision.next_setpoint_c)
+                window_peak = float("-inf")
         if rom_before is not None:
             trace.rom_stats = self.floor_engine.rom_stats.delta(rom_before)
         if caches:

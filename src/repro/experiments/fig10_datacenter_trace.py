@@ -184,6 +184,8 @@ def run_fig10(
     coarsening: CoarseningConfig | None = None,
     phase_dt_s: float | None = None,
     envelope_period_s: float | None = None,
+    parallel_groups: int = 0,
+    warm_store=None,
 ) -> Fig10Result:
     """Run one scenario under fixed, reactive and (optionally) MPC control.
 
@@ -212,6 +214,13 @@ def run_fig10(
     :func:`~repro.datacenter.scenarios.build_scenario` so a multi-day
     trace can keep hour-scale envelope phases (long, locally flat spans
     are what the coarsener converts into macro-steps).
+
+    ``parallel_groups`` and ``warm_store`` forward to
+    :class:`~repro.datacenter.model.DatacenterModel`: the former fans the
+    floor's hardware groups over worker threads (bit-identical; pays off
+    on ``hetero=True`` floors), the latter persists reduced bases and
+    assembled operators across runs (a directory path or a
+    :class:`~repro.thermal.warm_store.WarmStore`).
     """
     platform = platform if platform is not None else build_platform()
     scenario = build_scenario(
@@ -265,6 +274,8 @@ def run_fig10(
             control_period_s=control_period_s,
             supply_setpoint_c=setpoint,
             coarsening=coarse_config,
+            parallel_groups=parallel_groups,
+            warm_store=warm_store,
         )
 
     start = time.perf_counter()

@@ -40,6 +40,8 @@ def run_all(
     chillers: int = 1,
     coarse: bool = False,
     fig10_duration_s: float | None = None,
+    parallel_groups: int = 0,
+    warm_store: str | None = None,
 ) -> str:
     """Run every experiment and return the combined textual report.
 
@@ -54,6 +56,10 @@ def run_all(
     reduced-order thermal lane (the long-trace engine), and
     ``fig10_duration_s`` overrides the fig10 trace length — together they
     make multi-day traces practical from the command line.
+    ``parallel_groups`` fans fig10's hardware groups over worker threads
+    (pays off with ``hetero=True``) and ``warm_store`` names a directory
+    that persists reduced bases and assembled operators across invocations
+    — the year-scale knobs (see the README's simulated-year recipe).
     """
     platform = build_platform(cell_size_mm=cell_size_mm)
     benchmarks = QUICK_BENCHMARKS if quick else PARSEC_BENCHMARK_NAMES
@@ -99,6 +105,8 @@ def run_all(
                 mpc=mpc,
                 chillers=chillers,
                 coarse=coarse,
+                parallel_groups=parallel_groups,
+                warm_store=warm_store,
             ).as_table()
         )
         sections.append(
@@ -169,6 +177,21 @@ def main() -> None:
         help="override the fig10 trace duration (pair with --coarse for "
         "long, multi-day traces)",
     )
+    parser.add_argument(
+        "--parallel-groups",
+        type=int,
+        default=0,
+        metavar="N",
+        help="advance the fig10 floor's hardware groups on N worker threads "
+        "(bit-identical to serial; pays off with --hetero)",
+    )
+    parser.add_argument(
+        "--warm-store",
+        default=None,
+        metavar="DIR",
+        help="persist reduced-order bases and assembled operators to DIR so "
+        "repeat runs skip every Arnoldi build (also: REPRO_WARM_STORE)",
+    )
     arguments = parser.parse_args()
     print(
         run_all(
@@ -181,6 +204,8 @@ def main() -> None:
             chillers=arguments.chillers,
             coarse=arguments.coarse,
             fig10_duration_s=arguments.fig10_duration,
+            parallel_groups=arguments.parallel_groups,
+            warm_store=arguments.warm_store,
         )
     )
 

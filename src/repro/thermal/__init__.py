@@ -28,6 +28,7 @@ from repro.thermal.metrics import (
     max_spatial_gradient,
 )
 from repro.thermal.simulator import ThermalResult, ThermalSimulator
+from repro.thermal.warm_store import WarmStore, WarmStoreStats
 
 __all__ = [
     "MATERIALS",
@@ -53,4 +54,6 @@ __all__ = [
     "max_spatial_gradient",
     "ThermalResult",
     "ThermalSimulator",
+    "WarmStore",
+    "WarmStoreStats",
 ]

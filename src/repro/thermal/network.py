@@ -34,6 +34,8 @@ tens of milliseconds, >= 20x faster (see ``benchmarks/test_bench_assembly``).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 from scipy import sparse
 
@@ -260,6 +262,38 @@ class ThermalNetwork:
         """Full steady-state system ``A @ T = b`` for given power and cooling."""
         matrix, boundary_rhs = self.conductance_system(cooling)
         return matrix, boundary_rhs + self.power_vector(power_map_w)
+
+    def content_key(self) -> str:
+        """Content hash identifying this network's assembled operators.
+
+        Two networks with byte-identical bulk matrices, capacitances, top
+        half-resistances and bottom-boundary RHS produce identical
+        :meth:`conductance_system` output for equal cooling boundaries, so
+        the hex digest is a process-independent key for persisting derived
+        operators (see :mod:`repro.thermal.warm_store`).  Memoised on first
+        use under the network's immutability contract.
+        """
+        key = getattr(self, "_content_key", None)
+        if key is None:
+            bulk = self._bulk_matrix.tocsr()
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                repr(
+                    (self.grid.n_layers, self.grid.n_rows, self.grid.n_columns)
+                ).encode()
+            )
+            for array in (
+                bulk.data,
+                bulk.indices,
+                bulk.indptr,
+                self._capacitance,
+                self._top_half_resistance,
+                self._bottom_rhs,
+            ):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            key = digest.hexdigest()
+            self._content_key = key
+        return key
 
     @property
     def capacitance(self) -> np.ndarray:

@@ -129,6 +129,24 @@ class RomStats:
         """An independent snapshot of the current counters."""
         return replace(self)
 
+    def merge(self, other: "RomStats") -> None:
+        """Fold another counter set into this one, in place.
+
+        The thread-parallel floor engine hands every hardware group its own
+        scratch counter set and merges them back in group-index order after
+        the join — integer addition is order-independent, but the fixed
+        order keeps the commit path deterministic by construction.
+        """
+        self.basis_builds += other.basis_builds
+        self.basis_rebuilds += other.basis_rebuilds
+        self.spans += other.spans
+        self.rom_periods += other.rom_periods
+        self.rom_rows += other.rom_rows
+        self.fallback_rows += other.fallback_rows
+        self.fallback_error += other.fallback_error
+        self.fallback_guard += other.fallback_guard
+        self.fallback_projection += other.fallback_projection
+
     def delta(self, before: "RomStats") -> "RomStats":
         """Counter activity since a :meth:`copy` snapshot."""
         return RomStats(

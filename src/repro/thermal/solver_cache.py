@@ -163,6 +163,8 @@ class FactorizationCache:
         self._steady: OrderedDict[tuple, SteadyOperator] = OrderedDict()
         self._transient: OrderedDict[tuple, TransientOperator] = OrderedDict()
         self._reduced: OrderedDict[tuple, object] = OrderedDict()
+        self._warm_store = None
+        self._network_key: str | None = None
         self._hits = 0
         self._misses = 0
         # Get-or-build is guarded so thread fan-out (BatchEvaluator
@@ -172,6 +174,34 @@ class FactorizationCache:
         # Reentrant because a reduced-operator build solves through the
         # steady/transient accessors of the same cache.
         self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Warm store (repro.thermal.warm_store)
+    # ------------------------------------------------------------------ #
+    def attach_warm_store(self, store) -> None:
+        """Attach a :class:`~repro.thermal.warm_store.WarmStore` (or None).
+
+        With a store attached, operator misses first consult the disk
+        entries keyed by the network's content key: a hit skips the
+        operator *assembly* (the symbolic half — the numeric factorization
+        of the byte-identical persisted system re-runs and reproduces the
+        cold factors exactly, so warm and cold runs stay bit-identical),
+        and reduced-operator misses skip the whole Arnoldi build.  Cold
+        builds persist their results back (first write wins).
+        """
+        with self._lock:
+            self._warm_store = store
+            self._network_key = None
+
+    @property
+    def warm_store(self):
+        """The attached warm store, or None."""
+        return self._warm_store
+
+    def _warm_network_key(self) -> str:
+        if self._network_key is None:
+            self._network_key = self.network.content_key()
+        return self._network_key
 
     # ------------------------------------------------------------------ #
     # Operators
@@ -186,7 +216,19 @@ class FactorizationCache:
                 self._steady.move_to_end(key)
                 return entry
             self._misses += 1
-            matrix, boundary_rhs = self.network.conductance_system(cooling)
+            matrix = boundary_rhs = None
+            store = self._warm_store
+            if store is not None:
+                system_key = store.system_key(
+                    self._warm_network_key(), "steady", key, None
+                )
+                loaded = store.load_system(system_key)
+                if loaded is not None:
+                    matrix, boundary_rhs = loaded
+            if matrix is None:
+                matrix, boundary_rhs = self.network.conductance_system(cooling)
+                if store is not None:
+                    store.store_system(system_key, matrix, boundary_rhs)
             entry = SteadyOperator(boundary_rhs=boundary_rhs, solve=_factorize(matrix))
             self._steady[key] = entry
             while len(self._steady) > self.max_entries:
@@ -206,9 +248,21 @@ class FactorizationCache:
                 self._transient.move_to_end(key)
                 return entry
             self._misses += 1
-            matrix, boundary_rhs = self.network.conductance_system(cooling)
             capacitance_over_dt = self.network.capacitance / float(dt_s)
-            system = matrix + sparse.diags(capacitance_over_dt)
+            system = boundary_rhs = None
+            store = self._warm_store
+            if store is not None:
+                system_key = store.system_key(
+                    self._warm_network_key(), "transient", key[0], dt_s
+                )
+                loaded = store.load_system(system_key)
+                if loaded is not None:
+                    system, boundary_rhs = loaded
+            if system is None:
+                matrix, boundary_rhs = self.network.conductance_system(cooling)
+                system = matrix + sparse.diags(capacitance_over_dt)
+                if store is not None:
+                    store.store_system(system_key, system, boundary_rhs)
             entry = TransientOperator(
                 boundary_rhs=boundary_rhs,
                 capacitance_over_dt=capacitance_over_dt,
@@ -216,39 +270,73 @@ class FactorizationCache:
             )
             self._transient[key] = entry
             while len(self._transient) > self.max_entries:
-                self._transient.popitem(last=False)
+                evicted_key, _ = self._transient.popitem(last=False)
+                # Evict the reduced-operator lane with its LU entry: the
+                # basis is only ever stepped against this exact (boundary,
+                # dt) operator, so an orphaned basis would pin memory for a
+                # key the cache already dropped under pressure.
+                self._reduced.pop(evicted_key, None)
             return entry
 
     # ------------------------------------------------------------------ #
     # Reduced-order operators (repro.thermal.rom)
     # ------------------------------------------------------------------ #
-    def reduced_operator(self, cooling: CoolingBoundary, dt_s: float):
+    def reduced_operator(self, cooling: CoolingBoundary, dt_s: float, config=None):
         """The cached reduced-order operator for one (cooling, dt), or None.
 
         Reduced operators live beside the LU factors under the same
         content-keyed LRU discipline, but are built by the caller (the
         floor's reduced-order lane decides the basis seeds) and stored via
-        :meth:`store_reduced_operator`.  Lookups deliberately do not touch
-        the :class:`CacheStats` hit/miss counters — those count
-        factorizations, which trace engines report as physical work.
+        :meth:`store_reduced_operator`.  With a warm store attached and a
+        :class:`~repro.thermal.rom.RomConfig` given, an in-memory miss
+        falls through to the persisted entry for (network, boundary, dt,
+        config) — the cross-run path that makes run N+1 skip every Arnoldi
+        build.  Lookups deliberately do not touch the :class:`CacheStats`
+        hit/miss counters — those count factorizations, which trace
+        engines report as physical work.
         """
         key = (cooling.cache_token(), float(dt_s))
         with self._lock:
             entry = self._reduced.get(key)
             if entry is not None:
                 self._reduced.move_to_end(key)
+                return entry
+            store = self._warm_store
+            if store is None or config is None:
+                return None
+            entry = store.load_reduced(
+                store.reduced_key(self._warm_network_key(), key[0], dt_s, config)
+            )
+            if entry is not None:
+                self._insert_reduced(key, entry)
             return entry
 
+    def _insert_reduced(self, key: tuple, operator) -> None:
+        self._reduced[key] = operator
+        self._reduced.move_to_end(key)
+        while len(self._reduced) > self.max_entries:
+            self._reduced.popitem(last=False)
+
     def store_reduced_operator(
-        self, cooling: CoolingBoundary, dt_s: float, operator
+        self, cooling: CoolingBoundary, dt_s: float, operator, config=None
     ) -> None:
-        """Insert/replace the reduced operator for one (cooling, dt)."""
+        """Insert/replace the reduced operator for one (cooling, dt).
+
+        With a warm store attached and a config given, the operator is
+        also persisted to disk under first-write-wins: the *first* build
+        of a key defines the stored entry and drift-triggered rebuilds
+        never overwrite it, which is what keeps a warm replay bit-identical
+        to the cold run (both start every key from the same basis).
+        """
         key = (cooling.cache_token(), float(dt_s))
         with self._lock:
-            self._reduced[key] = operator
-            self._reduced.move_to_end(key)
-            while len(self._reduced) > self.max_entries:
-                self._reduced.popitem(last=False)
+            self._insert_reduced(key, operator)
+            store = self._warm_store
+            if store is not None and config is not None:
+                store.store_reduced(
+                    store.reduced_key(self._warm_network_key(), key[0], dt_s, config),
+                    operator,
+                )
 
     @property
     def reduced_entries(self) -> int:
@@ -277,9 +365,20 @@ class FactorizationCache:
 
         Required only when the underlying network is replaced or mutated in
         place; cooling-boundary changes invalidate implicitly through the
-        content-based key.
+        content-based key.  Every lane drops together — steady and
+        transient LU entries, the reduced-operator bases riding beside
+        them, and the memoised warm-store network key (the mutated network
+        must re-hash, so stale disk entries under the old key can never be
+        loaded again).
         """
         with self._lock:
             self._steady.clear()
             self._transient.clear()
             self._reduced.clear()
+            self._network_key = None
+            # The network memoises its own content key; a mutation-driven
+            # invalidate must force a re-hash there too.
+            try:
+                del self.network._content_key
+            except AttributeError:
+                pass

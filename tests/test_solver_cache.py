@@ -167,6 +167,28 @@ class TestCacheManagement:
         with pytest.raises(ValidationError):
             FactorizationCache(network, max_entries=0)
 
+    def test_transient_eviction_drops_reduced_lane_too(self, setup):
+        """Regression: evicting a transient LU under LRU pressure must take
+        the same key's reduced-order operator with it — an orphaned basis
+        would pin memory for a (boundary, dt) the cache already dropped,
+        and could later be served against a freshly rebuilt LU."""
+        grid, _, network = setup
+        cache = FactorizationCache(network, max_entries=2)
+        boundaries = [_boundary(grid, fluid=fluid) for fluid in (30.0, 32.0, 34.0)]
+        operators = [object(), object(), object()]
+        dt_s = 0.5
+        for boundary, operator in zip(boundaries[:2], operators[:2]):
+            cache.transient_operator(boundary, dt_s)
+            cache.store_reduced_operator(boundary, dt_s, operator)
+        assert cache.reduced_entries == 2
+        # The third transient evicts the first (LRU): its reduced twin goes.
+        cache.transient_operator(boundaries[2], dt_s)
+        cache.store_reduced_operator(boundaries[2], dt_s, operators[2])
+        assert cache.reduced_operator(boundaries[0], dt_s) is None
+        assert cache.reduced_operator(boundaries[1], dt_s) is operators[1]
+        assert cache.reduced_operator(boundaries[2], dt_s) is operators[2]
+        assert cache.reduced_entries == 2
+
     def test_shared_cache_between_solvers(self, setup):
         grid, mapper, network = setup
         cache = FactorizationCache(network)

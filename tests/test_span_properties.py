@@ -1,0 +1,206 @@
+"""Property-based tests of the floor-wide span lattice.
+
+Hypothesis sweeps the span-planning laws the example suites spot check:
+
+* :meth:`~repro.datacenter.span.SpanPlanner.next_event_after` agrees with
+  the golden model — the min over every trace of
+  :meth:`~repro.workloads.trace.PhasedTrace.next_phase_change_after` —
+  for query times randomized to land exactly on phase boundaries, where
+  ``side=`` mistakes live;
+* a planned span is 1 or a power of two inside the configured band, and
+  replaying the run loop's own float accumulation over the span never
+  crosses the next envelope event, the supervisory window boundary or
+  the run end;
+* the serial and thread-parallel floor engines stay bit-identical on
+  randomized mixed-SKU floors, through a mid-run snapshot/restore.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter.model import DatacenterModel
+from repro.datacenter.scenarios import build_scenario
+from repro.datacenter.span import SpanPlanner
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.thermal.simulator import ThermalSimulator
+from repro.workloads.trace import PhasedTrace, TracePhase
+
+
+@st.composite
+def traces(draw):
+    n_phases = draw(st.integers(min_value=1, max_value=6))
+    phases = tuple(
+        TracePhase(
+            duration_s=draw(st.floats(min_value=0.25, max_value=8.0)),
+            activity_factor=draw(st.floats(min_value=0.0, max_value=1.3)),
+            memory_intensity=draw(st.floats(min_value=0.0, max_value=1.0)),
+        )
+        for _ in range(n_phases)
+    )
+    return PhasedTrace("prop", phases)
+
+
+@st.composite
+def floors(draw):
+    """A few traces plus a planner band and control period."""
+    floor_traces = draw(st.lists(traces(), min_size=1, max_size=5))
+    control_period_s = draw(st.floats(min_value=0.25, max_value=2.0))
+    min_exp = draw(st.integers(min_value=1, max_value=3))
+    max_exp = draw(st.integers(min_value=min_exp, max_value=6))
+    return floor_traces, control_period_s, 2**min_exp, 2**max_exp
+
+
+@st.composite
+def query_times(draw, floor_traces):
+    """A query time: arbitrary, or exactly on some trace's boundary."""
+    if draw(st.booleans()):
+        trace = draw(st.sampled_from(floor_traces))
+        boundary = draw(
+            st.sampled_from([float(b) for b in trace._boundaries])
+        )
+        return boundary
+    return draw(st.floats(min_value=0.0, max_value=64.0))
+
+
+class TestEventLattice:
+    @given(floor=floors(), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_next_event_matches_per_trace_golden_model(self, floor, data):
+        floor_traces, control_period_s, min_span, max_span = floor
+        planner = SpanPlanner(
+            floor_traces, control_period_s, min_span=min_span, max_span=max_span
+        )
+        time_s = data.draw(query_times(floor_traces))
+        golden = min(
+            trace.next_phase_change_after(time_s) for trace in floor_traces
+        )
+        assert planner.next_event_after(time_s) == golden
+
+    @given(floor=floors())
+    @settings(max_examples=100, deadline=None)
+    def test_duplicate_trace_objects_fold(self, floor):
+        floor_traces, control_period_s, min_span, max_span = floor
+        deduped = SpanPlanner(
+            floor_traces, control_period_s, min_span=min_span, max_span=max_span
+        )
+        repeated = SpanPlanner(
+            floor_traces * 3, control_period_s, min_span=min_span, max_span=max_span
+        )
+        assert repeated.n_events == deduped.n_events
+        assert np.array_equal(repeated._lattice, deduped._lattice)
+
+
+class TestSpanGeometry:
+    @given(
+        floor=floors(),
+        data=st.data(),
+        duration_s=st.floats(min_value=1.0, max_value=128.0),
+        periods_per_window=st.sampled_from([0, 3, 5, 8, 16]),
+        period_index=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_span_is_dyadic_and_never_crosses(
+        self, floor, data, duration_s, periods_per_window, period_index
+    ):
+        floor_traces, control_period_s, min_span, max_span = floor
+        planner = SpanPlanner(
+            floor_traces, control_period_s, min_span=min_span, max_span=max_span
+        )
+        time_s = data.draw(query_times(floor_traces))
+        span = planner.plan(time_s, duration_s, periods_per_window, period_index)
+        assert span == 1 or (
+            min_span <= span <= max_span and (span & (span - 1)) == 0
+        )
+        if span <= 1:
+            return
+        # A macro-span never outlives the supervisory window it started in.
+        if periods_per_window:
+            assert span <= periods_per_window - period_index % periods_per_window
+        # Replay the run loop's own accumulation: every period the span
+        # covers must start before the run end and before the next
+        # floor-wide envelope event (so no trace changes phase mid-span).
+        boundary = planner.next_event_after(time_s)
+        stamp = time_s
+        for _ in range(span):
+            assert stamp < duration_s
+            assert stamp < boundary
+            stamp += control_period_s
+
+
+class TestSerialParallelEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        servers_per_rack=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=3, deadline=None)
+    def test_randomized_mixed_sku_floor_bit_identical(
+        self, seed, servers_per_rack
+    ):
+        from dataclasses import replace
+
+        cell_size_mm = 4.0
+        duration_s = 24.0
+        floorplans = (
+            build_xeon_e5_v4_floorplan(),
+            build_xeon_e5_v4_floorplan(spreader_size_mm=42.0),
+        )
+        racks = []
+        for index, rack_floorplan in enumerate(floorplans):
+            scenario = build_scenario(
+                "mixed",
+                n_racks=1,
+                servers_per_rack=servers_per_rack,
+                duration_s=duration_s,
+                seed=seed + index,
+                phase_dt_s=6.0,
+                floorplan=rack_floorplan,
+            )
+            racks.append(
+                replace(
+                    scenario.racks[0],
+                    name=f"sku{index}",
+                    floorplan=None if index == 0 else rack_floorplan,
+                )
+            )
+
+        def run(parallel_groups):
+            model = DatacenterModel(
+                racks,
+                floorplan=floorplans[0],
+                thermal_simulator=ThermalSimulator(
+                    floorplans[0], cell_size_mm=cell_size_mm
+                ),
+                control_period_s=2.0,
+                parallel_groups=parallel_groups,
+            )
+            session = model.session()
+            try:
+                periods = []
+                time_s = 0.0
+                # Exercise snapshot()/restore() mid-run under both engines:
+                # the committed periods must be unaffected by the detour.
+                for step in range(int(duration_s / 2.0)):
+                    if step == 3:
+                        snapshot = session.snapshot()
+                        session.advance_period(time_s)
+                        session.restore(snapshot)
+                    periods.append(session.advance_period(time_s))
+                    time_s += 2.0
+                return periods
+            finally:
+                session.close()
+
+        serial = run(0)
+        parallel = run(2)
+        for period_s, period_p in zip(serial, parallel):
+            assert period_p.rack_chiller_power_w == period_s.rack_chiller_power_w
+            assert (
+                period_p.worst_period_peak_case_c
+                == period_s.worst_period_peak_case_c
+            )
+            for rack_s, rack_p in zip(
+                period_s.rack_decisions, period_p.rack_decisions
+            ):
+                for decision_s, decision_p in zip(rack_s, rack_p):
+                    assert decision_p == decision_s
