@@ -19,10 +19,18 @@ Usage::
     python benchmarks/bench_report.py BENCH_quick.json
     python benchmarks/bench_report.py BENCH_quick.json --max-regression 4.0
     python benchmarks/bench_report.py BENCH_quick.json --update-baseline
+    python benchmarks/bench_report.py BENCH_quick.json --telemetry TELEMETRY_quick.jsonl
 
 ``--update-baseline`` rewrites ``BENCH_baseline.json`` from the current
 run (means only, machine metadata stripped) — commit the result when a
 deliberate perf change moves the floor.
+
+``--telemetry`` points at a telemetry JSONL artifact (the CI ``--quick``
+step emits ``TELEMETRY_quick.jsonl``); when the file exists the report
+appends engine-level columns — factorizations, cache hit rate, ROM
+fallbacks by cause, warm-store traffic — so a perf ratio and the engine
+behaviour behind it land in the same CI log.  A missing artifact is
+skipped silently: timing-only invocations keep working.
 """
 
 from __future__ import annotations
@@ -101,6 +109,72 @@ def compare(
     return "\n".join(lines), regressions
 
 
+def telemetry_summary(path: Path) -> str | None:
+    """Engine-level columns from a telemetry JSONL artifact, or None.
+
+    Reads the counter events directly (no ``repro`` import needed, so the
+    report stays runnable without ``PYTHONPATH=src``).  Unreadable or
+    counter-free artifacts yield None — telemetry is advisory here, never
+    a report failure.
+    """
+    if not path.exists():
+        return None
+    counters: dict[str, int] = {}
+    try:
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("type") == "counter":
+                    counters[event["name"]] = int(event["value"])
+    except (OSError, ValueError, KeyError):
+        return None
+    if not counters:
+        return None
+    lines = [f"telemetry ({path.name}):"]
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits or misses:
+        rate = hits / (hits + misses)
+        lines.append(
+            f"  factorizations: {misses} ({hits} cache hits, {rate:.1%} hit rate)"
+        )
+    fallbacks = {
+        name.rsplit(".", 1)[1]: value
+        for name, value in sorted(counters.items())
+        if name.startswith("rom.fallback.")
+    }
+    if fallbacks:
+        causes = ", ".join(f"{cause}={value}" for cause, value in fallbacks.items())
+        lines.append(f"  rom fallbacks: {sum(fallbacks.values())} ({causes})")
+    basis_builds = counters.get("rom.basis_builds", 0)
+    basis_rebuilds = counters.get("rom.basis_rebuilds", 0)
+    if basis_builds or basis_rebuilds:
+        lines.append(
+            f"  rom bases: {basis_builds} built, {basis_rebuilds} rebuilt"
+        )
+    warm = {
+        name.split(".", 1)[1]: value
+        for name, value in sorted(counters.items())
+        if name.startswith("warm_store.")
+    }
+    if warm:
+        traffic = ", ".join(f"{field}={value}" for field, value in warm.items())
+        lines.append(f"  warm store: {traffic}")
+    spans = counters.get("session.spans", 0)
+    periods = counters.get("session.periods", 0)
+    if spans:
+        lines.append(
+            f"  coarsening: {periods} periods in {spans} spans "
+            f"({periods / spans:.2f} periods/span)"
+        )
+    if len(lines) == 1:
+        return None
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("report", type=Path, help="pytest-benchmark JSON to check")
@@ -120,6 +194,14 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline from this run instead of checking it",
+    )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="JSONL",
+        help="telemetry JSONL artifact to summarise alongside the timings "
+        "(missing file = silently skipped)",
     )
     arguments = parser.parse_args(argv)
 
@@ -145,6 +227,10 @@ def main(argv: list[str] | None = None) -> int:
         baseline = load_report(arguments.baseline)
     table, regressions = compare(baseline, current, arguments.max_regression)
     print(table)
+    if arguments.telemetry is not None:
+        summary = telemetry_summary(arguments.telemetry)
+        if summary is not None:
+            print(f"\n{summary}")
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond the tolerance band:")
         for line in regressions:

@@ -40,6 +40,7 @@ hardware group simply stacks fewer rows.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -53,6 +54,7 @@ from repro.core.rack_session import (
     ServerLoad,
 )
 from repro.exceptions import ConfigurationError, ValidationError
+from repro.obs.telemetry import get_telemetry
 from repro.thermal.rom import RomConfig, RomStats, build_reduced_operator
 from repro.thermosyphon.loop import BoundaryResult, LoopOperatingPoint
 
@@ -134,7 +136,12 @@ class FloorSpanAdvance:
 class _HardwareGroup:
     """One stack of racks sharing a thermal network (and its cache)."""
 
-    def __init__(self, rack_indices: list[int], sessions: Sequence[RackSession]):
+    def __init__(
+        self, index: int, rack_indices: list[int], sessions: Sequence[RackSession]
+    ):
+        # Stable position in the floor's group list — the ``group=`` span
+        # attribute, so traces attribute work to groups across threads.
+        self.index = index
         self.rack_indices = rack_indices
         self.simulator = sessions[rack_indices[0]].thermal_simulator
         self.case_cell_index = sessions[rack_indices[0]].case_cell_index
@@ -184,8 +191,8 @@ class FloorEngine:
         for r, session in enumerate(self.rack_sessions):
             by_simulator.setdefault(id(session.thermal_simulator), []).append(r)
         self._groups = [
-            _HardwareGroup(rack_indices, self.rack_sessions)
-            for rack_indices in by_simulator.values()
+            _HardwareGroup(index, rack_indices, self.rack_sessions)
+            for index, rack_indices in enumerate(by_simulator.values())
         ]
         self._group_of_rack: dict[int, _HardwareGroup] = {}
         for group in self._groups:
@@ -226,6 +233,21 @@ class FloorEngine:
         regardless of completion order.
         """
         if self.parallel_groups >= 2 and len(self._groups) >= 2:
+            obs = get_telemetry()
+            if obs.enabled:
+                # Thread-pool queue latency: time from submission to the
+                # moment a worker actually picks the group up.  Observation
+                # only — the map result order is unchanged.
+                submit_ns = time.perf_counter_ns()
+
+                def timed_worker(group: _HardwareGroup) -> object:
+                    obs.observe(
+                        "floor.queue_latency_us",
+                        (time.perf_counter_ns() - submit_ns) / 1_000.0,
+                    )
+                    return worker(group)
+
+                return list(self._ensure_executor().map(timed_worker, self._groups))
             return list(self._ensure_executor().map(worker, self._groups))
         return [worker(group) for group in self._groups]
 
@@ -376,34 +398,37 @@ class FloorEngine:
         """
         if n_substeps < 1:
             raise ValueError(f"n_substeps must be >= 1, got {n_substeps}")
-        loads, breakdowns, power_maps, water_loops, refreshed, boundaries = (
-            self._prepare_period(rack_loads, force_boundary_refresh)
-        )
-
-        # Stages 3-4 run per hardware group on the stacked arrays —
-        # concurrently when ``parallel_groups`` allows, since each group's
-        # state is disjoint and its solves release the GIL.
-        rack_advances: list[RackAdvance | None] = [None] * self.n_racks
-
-        def run_group(group: _HardwareGroup) -> float:
-            return self._advance_group(
-                group,
-                loads,
-                breakdowns,
-                power_maps,
-                water_loops,
-                boundaries,
-                refreshed,
-                rack_advances,
-                dt_s,
-                n_substeps,
+        obs = get_telemetry()
+        with obs.span("floor.advance", n_substeps=n_substeps):
+            loads, breakdowns, power_maps, water_loops, refreshed, boundaries = (
+                self._prepare_period(rack_loads, force_boundary_refresh)
             )
 
-        worst_peak = max(self._map_groups(run_group))
-        return FloorAdvance(
-            racks=tuple(rack_advances),  # type: ignore[arg-type]
-            worst_period_peak_case_c=worst_peak,
-        )
+            # Stages 3-4 run per hardware group on the stacked arrays —
+            # concurrently when ``parallel_groups`` allows, since each
+            # group's state is disjoint and its solves release the GIL.
+            rack_advances: list[RackAdvance | None] = [None] * self.n_racks
+
+            def run_group(group: _HardwareGroup) -> float:
+                with obs.span("floor.advance_group", group=group.index):
+                    return self._advance_group(
+                        group,
+                        loads,
+                        breakdowns,
+                        power_maps,
+                        water_loops,
+                        boundaries,
+                        refreshed,
+                        rack_advances,
+                        dt_s,
+                        n_substeps,
+                    )
+
+            worst_peak = max(self._map_groups(run_group))
+            return FloorAdvance(
+                racks=tuple(rack_advances),  # type: ignore[arg-type]
+                worst_period_peak_case_c=worst_peak,
+            )
 
     # ------------------------------------------------------------------ #
     # Stages 1-2: shared per-period preparation
@@ -513,60 +538,81 @@ class FloorEngine:
             raise ValueError(f"span must be >= 1, got {span}")
         if n_substeps < 1:
             raise ValueError(f"n_substeps must be >= 1, got {n_substeps}")
-        loads, breakdowns, power_maps, water_loops, refreshed, boundaries = (
-            self._prepare_period(rack_loads, force_boundary_refresh)
-        )
-
-        # Warm check for every group *before* dispatching workers, so a
-        # cold floor raises deterministically (and no worker has started
-        # mutating group state when it does).
-        for group in self._groups:
-            if not self._group_is_warm(group):
-                raise ConfigurationError(
-                    "advance_span requires a warm floor; advance at least "
-                    "one fine control period first"
-                )
-
-        rack_advances: list[RackAdvance | None] = [None] * self.n_racks
-        period_case: list[np.ndarray | None] = [None] * self.n_racks
-        period_peak: list[np.ndarray | None] = [None] * self.n_racks
-
-        def run_group(group: _HardwareGroup) -> RomStats:
-            # Each worker accumulates ROM decisions on a private scratch
-            # counter set; the merge below happens serially in group-index
-            # order, keeping ``rom_stats`` deterministic under threads.
-            scratch = RomStats()
-            self._advance_group_span(
-                group,
-                loads,
-                breakdowns,
-                power_maps,
-                water_loops,
-                boundaries,
-                refreshed,
-                rack_advances,
-                period_case,
-                period_peak,
-                dt_s,
-                span,
-                n_substeps,
-                t_case_max_c,
-                scratch,
+        obs = get_telemetry()
+        with obs.span("floor.advance_span", span=span, n_substeps=n_substeps):
+            loads, breakdowns, power_maps, water_loops, refreshed, boundaries = (
+                self._prepare_period(rack_loads, force_boundary_refresh)
             )
-            return scratch
 
-        for scratch in self._map_groups(run_group):
-            self.rom_stats.merge(scratch)
-        period_worst = np.max(
-            np.concatenate([peaks for peaks in period_peak], axis=1), axis=1
-        )
-        return FloorSpanAdvance(
-            racks=tuple(rack_advances),  # type: ignore[arg-type]
-            span=span,
-            period_case_c=tuple(period_case),  # type: ignore[arg-type]
-            period_peak_case_c=tuple(period_peak),  # type: ignore[arg-type]
-            period_worst_peak_c=period_worst,
-        )
+            # Warm check for every group *before* dispatching workers, so a
+            # cold floor raises deterministically (and no worker has started
+            # mutating group state when it does).
+            for group in self._groups:
+                if not self._group_is_warm(group):
+                    raise ConfigurationError(
+                        "advance_span requires a warm floor; advance at least "
+                        "one fine control period first"
+                    )
+
+            rack_advances: list[RackAdvance | None] = [None] * self.n_racks
+            period_case: list[np.ndarray | None] = [None] * self.n_racks
+            period_peak: list[np.ndarray | None] = [None] * self.n_racks
+
+            def run_group(group: _HardwareGroup) -> RomStats:
+                # Each worker accumulates ROM decisions on a private scratch
+                # counter set; the merge below happens serially in
+                # group-index order, keeping ``rom_stats`` deterministic
+                # under threads.
+                scratch = RomStats()
+                with obs.span(
+                    "floor.advance_group_span", group=group.index, span=span
+                ):
+                    self._advance_group_span(
+                        group,
+                        loads,
+                        breakdowns,
+                        power_maps,
+                        water_loops,
+                        boundaries,
+                        refreshed,
+                        rack_advances,
+                        period_case,
+                        period_peak,
+                        dt_s,
+                        span,
+                        n_substeps,
+                        t_case_max_c,
+                        scratch,
+                    )
+                return scratch
+
+            for scratch in self._map_groups(run_group):
+                self.rom_stats.merge(scratch)
+                if obs.enabled:
+                    # Publish the span's ROM decisions to the hub on the
+                    # calling thread, in group-index order — the live
+                    # counters behind the fallback-cause report.
+                    for name in (
+                        "basis_builds",
+                        "basis_rebuilds",
+                        "fallback_error",
+                        "fallback_guard",
+                        "fallback_projection",
+                    ):
+                        value = getattr(scratch, name)
+                        if value:
+                            prefix = "rom.fallback." if name.startswith("fallback_") else "rom."
+                            obs.inc(prefix + name.removeprefix("fallback_"), value)
+            period_worst = np.max(
+                np.concatenate([peaks for peaks in period_peak], axis=1), axis=1
+            )
+            return FloorSpanAdvance(
+                racks=tuple(rack_advances),  # type: ignore[arg-type]
+                span=span,
+                period_case_c=tuple(period_case),  # type: ignore[arg-type]
+                period_peak_case_c=tuple(period_peak),  # type: ignore[arg-type]
+                period_worst_peak_c=period_worst,
+            )
 
     def _group_is_warm(self, group: _HardwareGroup) -> bool:
         """True when every session of the group views the group array."""
@@ -606,6 +652,17 @@ class FloorEngine:
                 point_members.setdefault(key, []).append((r, s, total))
         if not point_members:
             return
+        with get_telemetry().span(
+            "floor.refresh_boundaries", points=len(point_members)
+        ):
+            self._converge_and_march_points(point_members, power_maps, water_loops)
+
+    def _converge_and_march_points(
+        self,
+        point_members: dict[tuple, list[tuple[int, int, float]]],
+        power_maps: Sequence[np.ndarray],
+        water_loops: Sequence[Sequence],
+    ) -> None:
 
         # One loop convergence per group, then one lane march per group of
         # members sharing the grid pitch (the pitch is fixed per hardware
@@ -776,16 +833,33 @@ class FloorEngine:
         peak_hist = np.empty((span, n), dtype=float)
         residuals = np.empty(n, dtype=float)
 
+        obs = get_telemetry()
         for rows in token_rows.values():
             boundary = group_boundaries[rows[0]].boundary
             maps_rows = group_maps[rows]
             state = fields[rows]
             if rom is not None:
                 stats.spans += 1
-                ok, end, cases, peaks, res = self._rom_march(
-                    group, boundary, maps_rows, state, sub_dt, span,
-                    n_substeps, t_case_max_c, rom, stats,
-                )
+                with obs.span(
+                    "rom.march", group=group.index, rows=len(rows)
+                ) as march_span:
+                    causes_before = (
+                        stats.fallback_projection,
+                        stats.fallback_error,
+                        stats.fallback_guard,
+                    )
+                    ok, end, cases, peaks, res = self._rom_march(
+                        group, boundary, maps_rows, state, sub_dt, span,
+                        n_substeps, t_case_max_c, rom, stats,
+                    )
+                    # The *why* of every row returned to the full solver:
+                    # projection drift, error-bound trip, or guard band.
+                    march_span.set(
+                        fallback_projection=stats.fallback_projection
+                        - causes_before[0],
+                        fallback_error=stats.fallback_error - causes_before[1],
+                        fallback_guard=stats.fallback_guard - causes_before[2],
+                    )
                 fallback = [row for i, row in enumerate(rows) if not ok[i]]
                 kept = np.flatnonzero(ok)
                 kept_rows = [rows[i] for i in kept]
@@ -796,20 +870,26 @@ class FloorEngine:
                     residuals[kept_rows] = res[kept]
                 if fallback:
                     stats.fallback_rows += len(fallback)
-                    f_end, f_cases, f_peaks, f_res = self._full_march(
-                        simulator, boundary, group_maps[fallback],
-                        fields[fallback], sub_dt, span, n_substeps,
-                        group.case_cell_index,
-                    )
+                    with obs.span(
+                        "rom.full_march", group=group.index, rows=len(fallback)
+                    ):
+                        f_end, f_cases, f_peaks, f_res = self._full_march(
+                            simulator, boundary, group_maps[fallback],
+                            fields[fallback], sub_dt, span, n_substeps,
+                            group.case_cell_index,
+                        )
                     new_fields[fallback] = f_end
                     case_hist[:, fallback] = f_cases
                     peak_hist[:, fallback] = f_peaks
                     residuals[fallback] = f_res
             else:
-                end, cases, peaks, res = self._macro_march(
-                    simulator, boundary, maps_rows, state, dt_s, span,
-                    n_substeps, group.case_cell_index,
-                )
+                with obs.span(
+                    "floor.macro_march", group=group.index, rows=len(rows)
+                ):
+                    end, cases, peaks, res = self._macro_march(
+                        simulator, boundary, maps_rows, state, dt_s, span,
+                        n_substeps, group.case_cell_index,
+                    )
                 new_fields[rows] = end
                 case_hist[:, rows] = cases
                 peak_hist[:, rows] = peaks
@@ -859,13 +939,15 @@ class FloorEngine:
         network = simulator.network
         m = state.shape[0]
         power_vecs = network.power_vectors(power_maps_rows)
+        obs = get_telemetry()
 
         op = cache.reduced_operator(boundary, sub_dt, config)
         if op is None:
-            op = build_reduced_operator(
-                network, cache, boundary, sub_dt, state, power_vecs,
-                group.case_cell_index, config,
-            )
+            with obs.span("rom.build_basis", group=group.index, rebuild=False):
+                op = build_reduced_operator(
+                    network, cache, boundary, sub_dt, state, power_vecs,
+                    group.case_cell_index, config,
+                )
             cache.store_reduced_operator(boundary, sub_dt, op, config)
             stats.basis_builds += 1
             coords, entry_error = op.project(state)
@@ -876,10 +958,11 @@ class FloorEngine:
                 # once from the current states (folding the stale basis back
                 # in, so recurring boundaries accrete their whole operating
                 # envelope), then give up per-row.
-                op = build_reduced_operator(
-                    network, cache, boundary, sub_dt, state, power_vecs,
-                    group.case_cell_index, config, previous_basis=op.basis,
-                )
+                with obs.span("rom.build_basis", group=group.index, rebuild=True):
+                    op = build_reduced_operator(
+                        network, cache, boundary, sub_dt, state, power_vecs,
+                        group.case_cell_index, config, previous_basis=op.basis,
+                    )
                 cache.store_reduced_operator(boundary, sub_dt, op, config)
                 stats.basis_rebuilds += 1
                 coords, entry_error = op.project(state)

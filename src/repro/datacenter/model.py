@@ -63,6 +63,7 @@ from repro.datacenter.supervisory import (
 )
 from repro.exceptions import ConfigurationError
 from repro.floorplan.floorplan import Floorplan
+from repro.obs.telemetry import get_telemetry
 from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
 from repro.power.power_model import ServerPowerModel
 from repro.thermal.simulator import ThermalSimulator
@@ -341,6 +342,14 @@ class DatacenterTrace:
                 f"  solver cache hit rate  : {self.cache_stats.hit_rate:.1%} "
                 f"({self.cache_stats.hits} hits / {self.cache_stats.misses} misses)"
             )
+        obs = get_telemetry()
+        if obs.enabled:
+            # Compact telemetry footer (spans, fallback causes, cache hit
+            # rate) — counter-derived only, never wall-clock, so summaries
+            # stay reproducible across machines.
+            footer = obs.footer()
+            if footer:
+                lines.append(f"  telemetry             : {footer}")
         return "\n".join(lines)
 
 
@@ -1068,35 +1077,43 @@ class DatacenterSession:
         duration: float,
         periods_per_window: int,
         period_index: int,
-    ) -> int:
-        """The number of control periods the next step may safely span.
+    ) -> tuple[int, str | None]:
+        """``(span, dropback_reason)`` for the next step.
 
-        Returns 1 (fine stepping) unless every coarsening trigger is clear:
-        the last committed period saw only ``NONE`` decisions with settle
-        residuals inside ``quasi_steady_tol_c``, the floor's peak clears
-        the constraint guard band, no open-valve server sits within the
-        relax drift guard of a ``DECREASE_FLOW`` trigger, no boundary
+        The span is 1 (fine stepping) unless every coarsening trigger is
+        clear: the last committed period saw only ``NONE`` decisions with
+        settle residuals inside ``quasi_steady_tol_c``, the floor's peak
+        clears the constraint guard band, no open-valve server sits within
+        the relax drift guard of a ``DECREASE_FLOW`` trigger, no boundary
         refresh is pending, and the span fits before the next scenario
         phase boundary, supervisory window boundary and run end.  The
         geometric part — event lattice, window cap, run end, dyadic
         quantization — is the floor-wide
         :class:`~repro.datacenter.span.SpanPlanner`'s
         :meth:`~repro.datacenter.span.SpanPlanner.plan`.
+
+        ``dropback_reason`` names the trigger that forced a fine step
+        (``None`` for a coarse span) — the explainability record behind
+        the ``coarsen.dropback.*`` telemetry counters: why did *this*
+        period run at full resolution?
         """
         cfg = self.model.coarsening
         if cfg is None or self.floor_engine is None:
-            return 1
+            return 1, "disabled"
         state = self._coarse_state
         if state is None:
-            return 1
+            # Cold start, or an actuator/setpoint move cleared the signals.
+            return 1, "cold_start"
         all_none, max_residual, worst_peak, rack_decisions = state
-        if not all_none or max_residual > cfg.quasi_steady_tol_c:
-            return 1
+        if not all_none:
+            return 1, "actuator"
+        if max_residual > cfg.quasi_steady_tol_c:
+            return 1, "residual"
         policy = self.model.policy
         if worst_peak > policy.t_case_max_c - cfg.guard_band_c:
-            return 1
+            return 1, "peak_guard"
         if any(any(flags) for flags in self._force_refresh):
-            return 1
+            return 1, "refresh_pending"
         # Relax-band drift guard: a server with an open valve whose case
         # temperature is barely above the DECREASE_FLOW threshold could
         # drift across it mid-span; keep such periods at full resolution.
@@ -1109,10 +1126,15 @@ class DatacenterSession:
                     and decision.case_temperature_c
                     < relax_threshold_c + cfg.relax_guard_c
                 ):
-                    return 1
-        return self._span_planner.plan(
+                    return 1, "relax_guard"
+        span = self._span_planner.plan(
             time_s, duration, periods_per_window, period_index
         )
+        if span <= 1:
+            # Quasi-steady, but the event lattice (phase boundary, window
+            # boundary or run end) left no room for a macro-span.
+            return 1, "lattice"
+        return span, None
 
     def run(
         self,
@@ -1151,8 +1173,15 @@ MpcSupervisoryController`) is handed the live session for receding-horizon
                     f"{model.control_period_s} s"
                 )
         self.reset()
+        obs = get_telemetry()
         caches = self._distinct_caches()
         stats_before = [cache.stats for cache in caches]
+        stores = {
+            id(cache.warm_store): cache.warm_store
+            for cache in caches
+            if getattr(cache, "warm_store", None) is not None
+        }
+        store_stats_before = {key: store.stats for key, store in stores.items()}
         rom_before = (
             self.floor_engine.rom_stats.copy()
             if self.floor_engine is not None and model.coarsening is not None
@@ -1178,13 +1207,21 @@ MpcSupervisoryController`) is handed the live session for receding-horizon
             # one macro-step; otherwise a single fine period.  Spans never
             # cross a supervisory window boundary, so the window block
             # below can stay per-period.
-            span = self._plan_span(time_s, duration, periods_per_window, period_index)
-            if span > 1:
-                periods = self.advance_span(time_s, span)
-                trace.coarse_spans += 1
-                trace.coarse_periods += span
-            else:
-                periods = [self.advance_period(time_s)]
+            span, dropback = self._plan_span(
+                time_s, duration, periods_per_window, period_index
+            )
+            with obs.span("session.span", span=span, reason=dropback):
+                if span > 1:
+                    periods = self.advance_span(time_s, span)
+                    trace.coarse_spans += 1
+                    trace.coarse_periods += span
+                else:
+                    periods = [self.advance_period(time_s)]
+            if obs.enabled:
+                obs.inc("session.spans")
+                obs.inc("session.periods", span)
+                if dropback is not None:
+                    obs.inc(f"coarsen.dropback.{dropback}")
             # Span-boundary accounting: one bulk commit per span.  The
             # planner never lets a span cross a supervisory window
             # boundary, so the window block below only needs to run at the
@@ -1263,4 +1300,25 @@ MpcSupervisoryController`) is handed the live session for receding-horizon
                 CacheStats.zero(),
             )
             trace.factorizations = trace.cache_stats.misses
+        if obs.enabled:
+            # Publish this run's cache and warm-store *deltas* to the hub
+            # once, at the end — the live per-instance bags keep counting
+            # across runs, the hub records what this run contributed.
+            if trace.cache_stats is not None:
+                obs.inc("cache.hits", trace.cache_stats.hits)
+                obs.inc("cache.misses", trace.cache_stats.misses)
+            for key, store in stores.items():
+                before = store_stats_before[key]
+                after = store.stats
+                for name in (
+                    "reduced_hits",
+                    "reduced_misses",
+                    "system_hits",
+                    "system_misses",
+                    "stores",
+                    "stale",
+                ):
+                    delta = getattr(after, name) - getattr(before, name)
+                    if delta:
+                        obs.inc(f"warm_store.{name}", delta)
         return trace

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.telemetry import get_telemetry
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -207,41 +208,57 @@ def plan_setpoint(
     """
     setpoint_c = session.setpoint_c
     limit_c = controller.t_case_max_c - controller.guard_margin_c
-    snapshot = session.snapshot()
-    rollouts: list[RolloutResult] = []
-    try:
-        for candidate in controller.candidates:
-            setpoints = candidate.setpoints_from(
-                setpoint_c, controller.step_c, controller.clamp
-            )
-            energy_j, worst_peak = rollout_trajectory(
-                session,
-                setpoints,
-                start_time_s=time_s,
-                window_s=controller.period_s,
-                rollout_periods_per_window=controller.rollout_periods_per_window,
-                rollout_substeps=controller.rollout_substeps,
-                duration_s=duration_s,
-            )
-            rollouts.append(
-                RolloutResult(
-                    candidate=candidate,
-                    setpoints_c=setpoints,
-                    plant_energy_j=energy_j,
-                    worst_peak_case_c=worst_peak,
-                    feasible=worst_peak <= limit_c,
+    obs = get_telemetry()
+    with obs.span("mpc.plan", candidates=len(controller.candidates)) as plan_span:
+        snapshot = session.snapshot()
+        rollouts: list[RolloutResult] = []
+        try:
+            for candidate in controller.candidates:
+                setpoints = candidate.setpoints_from(
+                    setpoint_c, controller.step_c, controller.clamp
                 )
-            )
+                with obs.span(
+                    "mpc.rollout", candidate=candidate.name
+                ) as rollout_span:
+                    energy_j, worst_peak = rollout_trajectory(
+                        session,
+                        setpoints,
+                        start_time_s=time_s,
+                        window_s=controller.period_s,
+                        rollout_periods_per_window=(
+                            controller.rollout_periods_per_window
+                        ),
+                        rollout_substeps=controller.rollout_substeps,
+                        duration_s=duration_s,
+                    )
+                    feasible = worst_peak <= limit_c
+                    rollout_span.set(
+                        feasible=feasible, plant_energy_j=energy_j
+                    )
+                rollouts.append(
+                    RolloutResult(
+                        candidate=candidate,
+                        setpoints_c=setpoints,
+                        plant_energy_j=energy_j,
+                        worst_peak_case_c=worst_peak,
+                        feasible=feasible,
+                    )
+                )
+                session.restore(snapshot)
+        finally:
             session.restore(snapshot)
-    finally:
-        session.restore(snapshot)
-    chosen = min(rollouts, key=lambda rollout: rollout.cost)
-    if not chosen.feasible:
-        # Every candidate predicts a guard breach: commit the coolest plan.
-        chosen = min(rollouts, key=lambda rollout: rollout.worst_peak_case_c)
-    return MpcPlan(
-        time_s=time_s,
-        setpoint_c=setpoint_c,
-        rollouts=tuple(rollouts),
-        chosen=chosen,
-    )
+        chosen = min(rollouts, key=lambda rollout: rollout.cost)
+        if not chosen.feasible:
+            # Every candidate predicts a guard breach: commit the coolest
+            # plan.
+            chosen = min(rollouts, key=lambda rollout: rollout.worst_peak_case_c)
+        plan_span.set(
+            chosen=chosen.candidate.name,
+            n_feasible=sum(1 for rollout in rollouts if rollout.feasible),
+        )
+        return MpcPlan(
+            time_s=time_s,
+            setpoint_c=setpoint_c,
+            rollouts=tuple(rollouts),
+            chosen=chosen,
+        )

@@ -91,8 +91,14 @@ class Fig10Result:
             return 0.0
         return (baseline - self.mpc.plant_energy_j) / baseline * 100.0
 
-    def as_table(self) -> str:
-        """Textual report of every run."""
+    def as_table(self, *, verbose: bool = False) -> str:
+        """Textual report of every run.
+
+        ``verbose`` appends each run's full :meth:`~repro.datacenter.\
+model.DatacenterTrace.summary` — including the telemetry footer when a
+        telemetry hub is enabled (span counts, ROM fallback causes, cache
+        hit rate).
+        """
         scenario = self.scenario
         plant = (
             f"{self.n_chillers}-unit staged bank"
@@ -159,6 +165,10 @@ class Fig10Result:
                         f"{trace.n_periods} periods in {trace.coarse_spans} "
                         f"macro-steps{rom_note}"
                     )
+        if verbose:
+            for label, trace, _ in runs:
+                footer.append(f"--- {label} run summary ---")
+                footer.append(trace.summary())
         return "\n".join([header, columns, *rows, *footer])
 
 

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import argparse
 import time
+from pathlib import Path
 
+from repro import obs
 from repro.experiments.common import build_platform
 from repro.experiments.cooling_power import run_cooling_power
 from repro.experiments.fig2_motivation import run_fig2
@@ -42,6 +44,8 @@ def run_all(
     fig10_duration_s: float | None = None,
     parallel_groups: int = 0,
     warm_store: str | None = None,
+    telemetry: str | None = None,
+    verbose: bool = False,
 ) -> str:
     """Run every experiment and return the combined textual report.
 
@@ -60,10 +64,21 @@ def run_all(
     (pays off with ``hetero=True``) and ``warm_store`` names a directory
     that persists reduced bases and assembled operators across invocations
     — the year-scale knobs (see the README's simulated-year recipe).
+    ``telemetry`` names a ``.jsonl`` path: a telemetry hub is enabled for
+    the whole suite and the run's counters, histograms and spans are
+    exported there (plus a Chrome/Perfetto trace next to it) when the suite
+    finishes.  ``verbose`` appends each fig10 run's full trace summary —
+    including the telemetry footer when the hub is on.
     """
     platform = build_platform(cell_size_mm=cell_size_mm)
     benchmarks = QUICK_BENCHMARKS if quick else PARSEC_BENCHMARK_NAMES
     sections: list[str] = []
+
+    previous_hub = None
+    hub = None
+    if telemetry is not None:
+        hub = obs.Telemetry()
+        previous_hub = obs.set_telemetry(hub)
 
     start = time.time()
     try:
@@ -107,7 +122,7 @@ def run_all(
                 coarse=coarse,
                 parallel_groups=parallel_groups,
                 warm_store=warm_store,
-            ).as_table()
+            ).as_table(verbose=verbose)
         )
         sections.append(
             run_cooling_power(
@@ -116,6 +131,30 @@ def run_all(
         )
     finally:
         platform.close()
+        if hub is not None:
+            try:
+                manifest = obs.run_manifest(
+                    config={
+                        "quick": quick,
+                        "cell_size_mm": cell_size_mm,
+                        "racks": racks,
+                        "hetero": hetero,
+                        "mpc": mpc,
+                        "chillers": chillers,
+                        "coarse": coarse,
+                        "fig10_duration_s": fig10_duration_s,
+                        "parallel_groups": parallel_groups,
+                    }
+                )
+                events = obs.write_jsonl(hub, telemetry, manifest=manifest)
+                trace_path = Path(telemetry).with_suffix(".trace.json")
+                obs.write_chrome_trace(hub, trace_path)
+                sections.append(
+                    f"Telemetry: {events} events -> {telemetry} "
+                    f"(Chrome trace: {trace_path})"
+                )
+            finally:
+                obs.set_telemetry(previous_hub)
     elapsed = time.time() - start
     sections.append(f"Total experiment time: {elapsed:.1f} s")
     return "\n\n".join(sections)
@@ -192,6 +231,20 @@ def main() -> None:
         help="persist reduced-order bases and assembled operators to DIR so "
         "repeat runs skip every Arnoldi build (also: REPRO_WARM_STORE)",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="OUT.jsonl",
+        help="enable the telemetry hub and export counters, histograms and "
+        "spans to OUT.jsonl (plus a Perfetto-loadable OUT.trace.json); "
+        "render it with `python -m repro.obs.report OUT.jsonl`",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print each fig10 run's full trace summary (includes the "
+        "telemetry footer when --telemetry is on)",
+    )
     arguments = parser.parse_args()
     print(
         run_all(
@@ -206,6 +259,8 @@ def main() -> None:
             fig10_duration_s=arguments.fig10_duration,
             parallel_groups=arguments.parallel_groups,
             warm_store=arguments.warm_store,
+            telemetry=arguments.telemetry,
+            verbose=arguments.verbose,
         )
     )
 

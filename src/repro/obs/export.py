@@ -1,0 +1,210 @@
+"""Exporters for a :class:`~repro.obs.telemetry.Telemetry` hub.
+
+Three interchange formats plus a run manifest:
+
+* **JSON-lines** (:func:`write_jsonl` / :func:`read_jsonl`) — one event
+  per line, self-describing via a ``type`` field (``manifest``,
+  ``counter``, ``gauge``, ``histogram``, ``span``).  The native format
+  of the ``--telemetry out.jsonl`` runner flag and the
+  ``repro.obs.report`` CLI.
+* **Chrome trace-event** (:func:`write_chrome_trace`) — ``"X"`` complete
+  events with microsecond ``ts``/``dur``, loadable in Perfetto or
+  ``chrome://tracing`` for a visual per-thread timeline of a run.
+* **Prometheus text exposition** (:func:`prometheus_text`) — counters,
+  gauges and cumulative histogram buckets in the ``# TYPE`` /
+  ``name value`` line format, for scraping long-lived worker fleets.
+
+The manifest (:func:`run_manifest`) pins what produced a stream: a
+config digest (stable hash of the model configuration's ``repr``), the
+scenario seed, and interpreter/library versions — enough to tell two
+JSONL artifacts apart without trusting filenames.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from typing import IO, Any
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "config_digest",
+    "prometheus_text",
+    "read_jsonl",
+    "run_manifest",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+
+def config_digest(config: Any) -> str:
+    """Stable short digest of a configuration object's ``repr``.
+
+    All engine configs (``CoarseningConfig``, ``RomConfig``,
+    ``RackSpec``, …) are dataclasses with value-complete ``repr``s, so
+    hashing the repr distinguishes any two materially different runs
+    without a serialization dependency.
+    """
+    return hashlib.blake2b(repr(config).encode(), digest_size=8).hexdigest()
+
+
+def run_manifest(
+    *, config: Any = None, seed: int | None = None, extra: dict | None = None
+) -> dict:
+    """Provenance record written as the first JSONL event."""
+    manifest = {
+        "type": "manifest",
+        "format_version": 1,
+        "python": platform.python_version(),
+        "seed": seed,
+        "config_digest": config_digest(config) if config is not None else None,
+    }
+    for module_name in ("numpy", "scipy"):
+        module = sys.modules.get(module_name)
+        if module is not None:
+            manifest[f"{module_name}_version"] = getattr(module, "__version__", None)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def _events(hub: Telemetry, manifest: dict | None) -> list[dict]:
+    events: list[dict] = []
+    if manifest is not None:
+        events.append(manifest)
+    for name, value in sorted(hub.counters.snapshot().items()):
+        events.append({"type": "counter", "name": name, "value": value})
+    for name, value in sorted(hub.gauges_snapshot().items()):
+        events.append({"type": "gauge", "name": name, "value": value})
+    for name, snap in sorted(hub.histograms_snapshot().items()):
+        events.append({"type": "histogram", "name": name, **snap})
+    tracer = hub.tracer
+    events.append(
+        {
+            "type": "span_summary",
+            "started": tracer.started,
+            "dropped": tracer.dropped,
+            "capacity": tracer.capacity,
+        }
+    )
+    for record in tracer.records():
+        events.append(
+            {
+                "type": "span",
+                "name": record.name,
+                "start_ns": record.start_ns,
+                "end_ns": record.end_ns,
+                "thread_id": record.thread_id,
+                "depth": record.depth,
+                "attrs": record.attrs,
+            }
+        )
+    return events
+
+
+def write_jsonl(hub: Telemetry, path_or_file, *, manifest: dict | None = None) -> int:
+    """Dump the hub as JSON-lines; returns the number of events written."""
+    events = _events(hub, manifest)
+    if hasattr(path_or_file, "write"):
+        _write_lines(path_or_file, events)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            _write_lines(handle, events)
+    return len(events)
+
+
+def _write_lines(handle: IO[str], events: list[dict]) -> None:
+    for event in events:
+        handle.write(json.dumps(event, sort_keys=True, default=str))
+        handle.write("\n")
+
+
+def read_jsonl(path_or_file) -> list[dict]:
+    """Parse a JSON-lines stream back into a list of event dicts."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def write_chrome_trace(hub: Telemetry, path_or_file, *, process_name: str = "repro") -> dict:
+    """Write the span ring as a Chrome trace-event JSON document.
+
+    Every span becomes one ``"X"`` (complete) event with microsecond
+    timestamps relative to the earliest retained span, so the file loads
+    directly in Perfetto.  Returns the document (handy for schema
+    validation in tests).
+    """
+    records = hub.tracer.records()
+    origin_ns = min((record.start_ns for record in records), default=0)
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for record in records:
+        trace_events.append(
+            {
+                "name": record.name,
+                "ph": "X",
+                "ts": (record.start_ns - origin_ns) / 1_000.0,
+                "dur": record.duration_ns / 1_000.0,
+                "pid": 1,
+                "tid": record.thread_id,
+                "args": dict(record.attrs),
+            }
+        )
+    document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if hasattr(path_or_file, "write"):
+        json.dump(document, path_or_file, default=str)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, default=str)
+    return document
+
+
+def _metric_name(name: str) -> str:
+    """Map dotted metric names onto the Prometheus charset."""
+    return "repro_" + "".join(
+        char if char.isalnum() or char == "_" else "_" for char in name
+    )
+
+
+def prometheus_text(hub: Telemetry) -> str:
+    """Render counters/gauges/histograms as Prometheus text exposition."""
+    lines: list[str] = []
+    for name, value in sorted(hub.counters.snapshot().items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted(hub.gauges_snapshot().items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, snap in sorted(hub.histograms_snapshot().items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(snap["bounds"], snap["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {snap["total"]}')
+        lines.append(f"{metric}_sum {snap['sum']}")
+        lines.append(f"{metric}_count {snap['total']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(hub: Telemetry, path) -> None:
+    """Write :func:`prometheus_text` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(hub))

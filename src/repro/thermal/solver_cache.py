@@ -41,6 +41,7 @@ from scipy import sparse
 from scipy.sparse.linalg import splu
 
 from repro.exceptions import ConvergenceError
+from repro.obs.telemetry import Counters, get_telemetry
 from repro.thermal.boundary import CoolingBoundary
 from repro.thermal.network import ThermalNetwork
 from repro.utils.validation import check_positive
@@ -165,8 +166,9 @@ class FactorizationCache:
         self._reduced: OrderedDict[tuple, object] = OrderedDict()
         self._warm_store = None
         self._network_key: str | None = None
-        self._hits = 0
-        self._misses = 0
+        # Hit/miss tallies live in a telemetry counter bag; the public
+        # ``stats`` CacheStats is a view over it (repro.obs unification).
+        self._counters = Counters()
         # Get-or-build is guarded so thread fan-out (BatchEvaluator
         # backend="thread") can share one cache: the lock serializes the
         # bookkeeping and the (rare) factorization; the back-substitutions
@@ -212,24 +214,27 @@ class FactorizationCache:
         with self._lock:
             entry = self._steady.get(key)
             if entry is not None:
-                self._hits += 1
+                self._counters.add("hits")
                 self._steady.move_to_end(key)
                 return entry
-            self._misses += 1
-            matrix = boundary_rhs = None
-            store = self._warm_store
-            if store is not None:
-                system_key = store.system_key(
-                    self._warm_network_key(), "steady", key, None
-                )
-                loaded = store.load_system(system_key)
-                if loaded is not None:
-                    matrix, boundary_rhs = loaded
-            if matrix is None:
-                matrix, boundary_rhs = self.network.conductance_system(cooling)
+            self._counters.add("misses")
+            with get_telemetry().span("cache.factorize", kind="steady"):
+                matrix = boundary_rhs = None
+                store = self._warm_store
                 if store is not None:
-                    store.store_system(system_key, matrix, boundary_rhs)
-            entry = SteadyOperator(boundary_rhs=boundary_rhs, solve=_factorize(matrix))
+                    system_key = store.system_key(
+                        self._warm_network_key(), "steady", key, None
+                    )
+                    loaded = store.load_system(system_key)
+                    if loaded is not None:
+                        matrix, boundary_rhs = loaded
+                if matrix is None:
+                    matrix, boundary_rhs = self.network.conductance_system(cooling)
+                    if store is not None:
+                        store.store_system(system_key, matrix, boundary_rhs)
+                entry = SteadyOperator(
+                    boundary_rhs=boundary_rhs, solve=_factorize(matrix)
+                )
             self._steady[key] = entry
             while len(self._steady) > self.max_entries:
                 self._steady.popitem(last=False)
@@ -244,30 +249,31 @@ class FactorizationCache:
         with self._lock:
             entry = self._transient.get(key)
             if entry is not None:
-                self._hits += 1
+                self._counters.add("hits")
                 self._transient.move_to_end(key)
                 return entry
-            self._misses += 1
-            capacitance_over_dt = self.network.capacitance / float(dt_s)
-            system = boundary_rhs = None
-            store = self._warm_store
-            if store is not None:
-                system_key = store.system_key(
-                    self._warm_network_key(), "transient", key[0], dt_s
-                )
-                loaded = store.load_system(system_key)
-                if loaded is not None:
-                    system, boundary_rhs = loaded
-            if system is None:
-                matrix, boundary_rhs = self.network.conductance_system(cooling)
-                system = matrix + sparse.diags(capacitance_over_dt)
+            self._counters.add("misses")
+            with get_telemetry().span("cache.factorize", kind="transient"):
+                capacitance_over_dt = self.network.capacitance / float(dt_s)
+                system = boundary_rhs = None
+                store = self._warm_store
                 if store is not None:
-                    store.store_system(system_key, system, boundary_rhs)
-            entry = TransientOperator(
-                boundary_rhs=boundary_rhs,
-                capacitance_over_dt=capacitance_over_dt,
-                solve=_factorize(system),
-            )
+                    system_key = store.system_key(
+                        self._warm_network_key(), "transient", key[0], dt_s
+                    )
+                    loaded = store.load_system(system_key)
+                    if loaded is not None:
+                        system, boundary_rhs = loaded
+                if system is None:
+                    matrix, boundary_rhs = self.network.conductance_system(cooling)
+                    system = matrix + sparse.diags(capacitance_over_dt)
+                    if store is not None:
+                        store.store_system(system_key, system, boundary_rhs)
+                entry = TransientOperator(
+                    boundary_rhs=boundary_rhs,
+                    capacitance_over_dt=capacitance_over_dt,
+                    solve=_factorize(system),
+                )
             self._transient[key] = entry
             while len(self._transient) > self.max_entries:
                 evicted_key, _ = self._transient.popitem(last=False)
@@ -349,10 +355,14 @@ class FactorizationCache:
     # ------------------------------------------------------------------ #
     @property
     def stats(self) -> CacheStats:
-        """Hit/miss counters and current entry counts."""
+        """Hit/miss counters and current entry counts.
+
+        A frozen *view* built from the live telemetry counter bag — the
+        legacy reporting surface of the unified observability layer.
+        """
         return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
+            hits=self._counters.get("hits"),
+            misses=self._counters.get("misses"),
             steady_entries=len(self._steady),
             transient_entries=len(self._transient),
         )

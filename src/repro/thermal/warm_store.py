@@ -50,13 +50,13 @@ import hashlib
 import io
 import os
 import tempfile
-import threading
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 from scipy import sparse
 
+from repro.obs.telemetry import Counters, get_telemetry
 from repro.thermal.rom import ReducedOperator, RomConfig
 
 __all__ = ["FORMAT_VERSION", "WarmStore", "WarmStoreStats"]
@@ -120,16 +120,31 @@ class WarmStore:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
-        self._stats = WarmStoreStats()
         # One store may serve every hardware group's cache, and the
         # thread-parallel floor engine drives those caches from worker
-        # threads — guard the read-modify-write of the counters.
-        self._stats_lock = threading.Lock()
+        # threads; the telemetry counter bag locks its own increments.
+        self._counters = Counters()
 
     @property
     def stats(self) -> WarmStoreStats:
-        """Hit/miss/store/stale counters since construction."""
-        return self._stats
+        """Hit/miss/store/stale counters since construction.
+
+        A frozen *view* assembled from the live telemetry counter bag —
+        the legacy reporting surface of the unified observability layer.
+        """
+        return WarmStoreStats(
+            **{
+                name: self._counters.get(name)
+                for name in (
+                    "reduced_hits",
+                    "reduced_misses",
+                    "system_hits",
+                    "system_misses",
+                    "stores",
+                    "stale",
+                )
+            }
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WarmStore({str(self.path)!r})"
@@ -148,36 +163,31 @@ class WarmStore:
         return self.path / f"{kind}-{self._digest(kind, parts)}.npz"
 
     def _count(self, **deltas: int) -> None:
-        with self._stats_lock:
-            self._stats = replace(
-                self._stats,
-                **{
-                    name: getattr(self._stats, name) + value
-                    for name, value in deltas.items()
-                },
-            )
+        for name, value in deltas.items():
+            self._counters.add(name, value)
 
     def _write_entry(self, path: Path, payload: dict) -> bool:
         """Atomically write one entry; first write wins.  Returns True when
         this call created the entry."""
         if path.exists():
             return False
-        self.path.mkdir(parents=True, exist_ok=True)
-        buffer = io.BytesIO()
-        np.savez(buffer, **payload)
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=self.path, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                handle.write(buffer.getvalue())
-            os.replace(temp_name, path)
-        except OSError:
+        with get_telemetry().span("warm_store.store", kind=path.stem.split("-", 1)[0]):
+            self.path.mkdir(parents=True, exist_ok=True)
+            buffer = io.BytesIO()
+            np.savez(buffer, **payload)
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=self.path, prefix=path.stem, suffix=".tmp"
+            )
             try:
-                os.unlink(temp_name)
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.write(buffer.getvalue())
+                os.replace(temp_name, path)
             except OSError:
-                pass
-            return False
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                return False
         self._count(stores=1)
         return True
 
@@ -185,17 +195,21 @@ class WarmStore:
         """Load one entry's arrays; None on a miss or any stale entry."""
         if not path.exists():
             return None
-        try:
-            with np.load(path) as archive:
-                payload = {name: archive[name] for name in archive.files}
-            if int(payload["format_version"]) != FORMAT_VERSION:
-                raise ValueError("format version mismatch")
-            return payload
-        except Exception:
-            # Corrupt, truncated, unreadable or incompatible: a stale entry
-            # degrades to a cold build, never to a failed run.
-            self._count(stale=1)
-            return None
+        with get_telemetry().span(
+            "warm_store.load", kind=path.stem.split("-", 1)[0]
+        ) as span:
+            try:
+                with np.load(path) as archive:
+                    payload = {name: archive[name] for name in archive.files}
+                if int(payload["format_version"]) != FORMAT_VERSION:
+                    raise ValueError("format version mismatch")
+                return payload
+            except Exception:
+                # Corrupt, truncated, unreadable or incompatible: a stale
+                # entry degrades to a cold build, never to a failed run.
+                self._count(stale=1)
+                span.set(stale=True)
+                return None
 
     # ------------------------------------------------------------------ #
     # Reduced operators

@@ -197,3 +197,25 @@ class TestFig10:
         assert result.supervisory.setpoint_raises > 0
         text = result.as_table()
         assert "supervisory" in text and "plant" in text
+
+    def test_verbose_table_appends_summaries_with_telemetry_footer(
+        self, coarse_platform
+    ):
+        from repro.experiments.fig10_datacenter_trace import run_fig10
+        from repro.obs import Telemetry, set_telemetry
+
+        hub = Telemetry()
+        previous = set_telemetry(hub)
+        try:
+            result = run_fig10(
+                coarse_platform, n_racks=2, servers_per_rack=2, duration_s=8.0
+            )
+            text = result.as_table(verbose=True)
+        finally:
+            set_telemetry(previous)
+        assert "--- fixed run summary ---" in text
+        assert "--- supervisory run summary ---" in text
+        # The per-run summaries carry the telemetry footer when a hub is on.
+        assert "telemetry" in text
+        # Default table stays footer-free.
+        assert "run summary" not in result.as_table()

@@ -1,0 +1,251 @@
+"""Telemetry on vs off: committed simulation results are bit-identical.
+
+The observability layer's hard contract: telemetry only *observes*.  No
+counter, gauge, histogram or span reading feeds back into a physics
+decision, and no wall-clock value lands in a committed trace — so a run
+with a telemetry hub installed must reproduce the telemetry-off run bit
+for bit.  Pinned here for every engine lane:
+
+* the fine (per-period) lane, fixed setpoint;
+* the coarsened lane on a mixed-SKU floor under the thread-parallel
+  engine (the acceptance configuration);
+* the MPC supervisory lane (snapshot/rollout/restore planning).
+
+Each pair also asserts the enabled run *actually recorded* telemetry, so
+the identity cannot pass vacuously with a dead hub.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.datacenter.model import CoarseningConfig, DatacenterModel
+from repro.datacenter.scenarios import build_scenario
+from repro.datacenter.supervisory import MpcSupervisoryController
+from repro.floorplan.xeon_e5_v4 import build_xeon_e5_v4_floorplan
+from repro.obs import Telemetry, set_telemetry
+from repro.thermal.simulator import ThermalSimulator
+
+CELL_SIZE_MM = 4.0
+CONTROL_PERIOD_S = 2.0
+
+_DECISION_FIELDS = (
+    "time_s",
+    "case_temperature_c",
+    "die_hot_spot_c",
+    "package_power_w",
+    "water_flow_kg_h",
+    "frequency_ghz",
+    "action",
+    "settle_residual_c",
+    "period_peak_case_c",
+)
+
+
+def _assert_bit_identical(off, on):
+    assert on.n_periods == off.n_periods
+    assert on.setpoint_c == off.setpoint_c
+    assert on.plant_power_w == off.plant_power_w
+    assert on.coarse_spans == off.coarse_spans
+    assert on.coarse_periods == off.coarse_periods
+    assert on.thermal_violations == off.thermal_violations
+    for rack_off, rack_on in zip(off.racks, on.racks):
+        assert rack_on.chiller_power_w == rack_off.chiller_power_w
+        for period_off, period_on in zip(rack_off.periods, rack_on.periods):
+            for decision_off, decision_on in zip(period_off, period_on):
+                for field in _DECISION_FIELDS:
+                    assert getattr(decision_on, field) == getattr(
+                        decision_off, field
+                    ), field
+
+
+def _run_pair(build_model, duration_s, supervisory=None):
+    """The same run twice: telemetry off, then on.  Returns both traces
+    plus the enabled hub for non-vacuity checks."""
+    off = build_model().run_trace(
+        duration_s=duration_s, supervisory=supervisory() if supervisory else None
+    )
+    hub = Telemetry()
+    previous = set_telemetry(hub)
+    try:
+        on = build_model().run_trace(
+            duration_s=duration_s,
+            supervisory=supervisory() if supervisory else None,
+        )
+    finally:
+        set_telemetry(previous)
+    return off, on, hub
+
+
+class TestFineLane:
+    def test_fixed_setpoint_bit_identical(self, floorplan, power_model):
+        duration_s = 16.0
+        scenario = build_scenario(
+            "diurnal",
+            n_racks=2,
+            servers_per_rack=2,
+            duration_s=duration_s,
+            seed=3,
+            floorplan=floorplan,
+        )
+
+        def build_model():
+            return DatacenterModel(
+                scenario.racks,
+                floorplan=floorplan,
+                power_model=power_model,
+                thermal_simulator=ThermalSimulator(
+                    floorplan, cell_size_mm=CELL_SIZE_MM
+                ),
+                control_period_s=CONTROL_PERIOD_S,
+            )
+
+        off, on, hub = _run_pair(build_model, duration_s)
+        _assert_bit_identical(off, on)
+        assert hub.tracer.started > 0
+        assert hub.counters.get("session.periods") == off.n_periods
+
+
+class TestCoarsenedMixedSkuLane:
+    def test_parallel_coarse_floor_bit_identical(self, floorplan):
+        # The acceptance configuration: mixed-SKU floor, adaptive
+        # coarsening + ROM lane, hardware groups on worker threads.
+        duration_s = 120.0
+        skus = (floorplan, build_xeon_e5_v4_floorplan(spreader_size_mm=42.0))
+        racks = []
+        for index, sku in enumerate(skus):
+            scenario = build_scenario(
+                "diurnal",
+                n_racks=1,
+                servers_per_rack=2,
+                duration_s=duration_s,
+                seed=3 + index,
+                phase_dt_s=30.0,
+                floorplan=sku,
+            )
+            racks.append(
+                replace(
+                    scenario.racks[0],
+                    name=f"sku{index}",
+                    floorplan=None if index == 0 else sku,
+                )
+            )
+
+        def build_model():
+            return DatacenterModel(
+                tuple(racks),
+                floorplan=skus[0],
+                thermal_simulator=ThermalSimulator(
+                    skus[0], cell_size_mm=CELL_SIZE_MM
+                ),
+                control_period_s=CONTROL_PERIOD_S,
+                coarsening=CoarseningConfig(),
+                parallel_groups=2,
+            )
+
+        off, on, hub = _run_pair(build_model, duration_s)
+        assert off.coarse_spans > 0, "coarsening never engaged - vacuous test"
+        _assert_bit_identical(off, on)
+        # Non-vacuity: the enabled run recorded the coarse lane.
+        names = {record.name for record in hub.tracer.records()}
+        assert "floor.advance_span" in names
+        assert "session.span" in names
+        assert hub.counters.get("session.spans") > 0
+        # Per-server peak grids match exactly, not approximately.
+        for rack_off, rack_on in zip(off.racks, on.racks):
+            peaks_off = [
+                [decision.period_peak_case_c for decision in period]
+                for period in rack_off.periods
+            ]
+            peaks_on = [
+                [decision.period_peak_case_c for decision in period]
+                for period in rack_on.periods
+            ]
+            assert np.array_equal(np.asarray(peaks_off), np.asarray(peaks_on))
+
+
+class TestMpcLane:
+    def test_mpc_supervisory_bit_identical(self, floorplan, power_model):
+        duration_s = 24.0
+        scenario = build_scenario(
+            "flash_crowd",
+            n_racks=2,
+            servers_per_rack=2,
+            duration_s=duration_s,
+            seed=3,
+            floorplan=floorplan,
+        )
+
+        def build_model():
+            return DatacenterModel(
+                scenario.racks,
+                floorplan=floorplan,
+                power_model=power_model,
+                thermal_simulator=ThermalSimulator(
+                    floorplan, cell_size_mm=CELL_SIZE_MM
+                ),
+                control_period_s=CONTROL_PERIOD_S,
+            )
+
+        def supervisory():
+            return MpcSupervisoryController(
+                period_s=8.0, setpoint_max_c=40.0, horizon=2
+            )
+
+        off, on, hub = _run_pair(build_model, duration_s, supervisory)
+        _assert_bit_identical(off, on)
+        names = {record.name for record in hub.tracer.records()}
+        assert "mpc.plan" in names
+        assert "mpc.rollout" in names
+        plan_spans = [
+            record
+            for record in hub.tracer.records()
+            if record.name == "mpc.plan"
+        ]
+        for record in plan_spans:
+            assert "chosen" in record.attrs
+            assert record.attrs["candidates"] == 6
+
+
+class TestNoWallClockInTraces:
+    def test_summary_footer_only_when_enabled(self, floorplan, power_model):
+        duration_s = 8.0
+        scenario = build_scenario(
+            "diurnal",
+            n_racks=1,
+            servers_per_rack=2,
+            duration_s=duration_s,
+            seed=3,
+            floorplan=floorplan,
+        )
+
+        def build_model():
+            return DatacenterModel(
+                scenario.racks,
+                floorplan=floorplan,
+                power_model=power_model,
+                thermal_simulator=ThermalSimulator(
+                    floorplan, cell_size_mm=CELL_SIZE_MM
+                ),
+                control_period_s=CONTROL_PERIOD_S,
+            )
+
+        off = build_model().run_trace(duration_s=duration_s)
+        assert "telemetry" not in off.summary()
+        hub = Telemetry()
+        previous = set_telemetry(hub)
+        try:
+            on = build_model().run_trace(duration_s=duration_s)
+            summary = on.summary()
+        finally:
+            set_telemetry(previous)
+        assert "telemetry" in summary
+        # The footer carries counts and rates, never wall-clock readings:
+        # the same summary re-rendered later must be stable text.
+        footer_line = next(
+            line for line in summary.splitlines() if "telemetry" in line
+        )
+        import re
+
+        assert not re.search(r"\d\s*(ns|us|ms)\b", footer_line)
